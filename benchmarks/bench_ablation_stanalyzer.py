@@ -1,0 +1,64 @@
+"""E6 — ablation: ST-Analyzer-selected vs full instrumentation.
+
+Section VII-B argues the low overhead "is the benefit from static
+analysis.  Without static analysis, MC-Checker may cause hundreds of times
+more overhead because it needs to instrument all memory load/store
+accesses."  Reproduced here on LU: the local matrix block ``a`` dominates
+memory traffic but never appears in an RMA call, so ST-Analyzer excludes
+it; ``scope='all'`` instruments it anyway.
+"""
+
+import pytest
+
+from benchmarks.conftest import median_time
+from repro.apps.lu import lu
+from repro.profiler.session import baseline_run, profile_run
+from repro.stanalyzer import analyze_app
+
+
+def test_stanalyzer_report_contents(record, benchmark):
+    report = benchmark(lambda: analyze_app(lu))
+    record("ablation_stanalyzer",
+           f"ST-Analyzer selected buffers: {sorted(report.buffer_names)} "
+           f"(excluded: the local block 'a')")
+    assert "a" not in report.buffer_names
+
+
+@pytest.mark.parametrize("scope", ["report", "all"])
+def test_instrumentation_scope(scope, record, scale, benchmark):
+    nranks = min(scale["fig8_ranks"], 8)
+    params = dict(n=scale["lu_n"])
+    reps = scale["reps"]
+
+    native = median_time(
+        lambda: baseline_run(lu, nranks, params=params, delivery="eager"),
+        reps)
+    run = benchmark.pedantic(
+        lambda: profile_run(lu, nranks, params=params, scope=scope,
+                            delivery="eager"),
+        rounds=max(reps, 2), iterations=1)
+    prof = median_time(
+        lambda: profile_run(lu, nranks, params=params, scope=scope,
+                            delivery="eager"), reps)
+    counts = run.traces.event_counts()
+    record("ablation_stanalyzer",
+           f"scope={scope:7s} ranks={nranks} native={native:6.3f}s "
+           f"profiled={prof:6.3f}s overhead={100 * (prof / native - 1):6.1f}% "
+           f"mem-events={counts['mem']}")
+
+
+def test_scope_all_writes_many_more_events(record, scale, benchmark):
+    nranks = 4
+    params = dict(n=scale["lu_n"])
+    selective = profile_run(lu, nranks, params=params, scope="report",
+                            delivery="eager")
+    everything = benchmark.pedantic(
+        lambda: profile_run(lu, nranks, params=params, scope="all",
+                            delivery="eager"),
+        rounds=1, iterations=1)
+    sel = selective.traces.event_counts()["mem"]
+    full = everything.traces.event_counts()["mem"]
+    record("ablation_stanalyzer",
+           f"mem events: selective={sel} full={full} "
+           f"ratio={full / max(sel, 1):.1f}x")
+    assert full > 2 * sel

@@ -1,0 +1,31 @@
+"""Supplementary — DN-Analyzer phase breakdown (section VI: the offline
+analyzer ran on a workstation; this records where its time goes on a
+representative trace and benchmarks the full pipeline)."""
+
+import pytest
+
+from repro.apps.lu import lu
+from repro.core.checker import check_traces
+from repro.profiler.session import profile_run
+
+
+@pytest.fixture(scope="module")
+def lu_traces(scale):
+    run = profile_run(lu, min(8, scale["fig8_ranks"]),
+                      params=dict(n=scale["lu_n"]), delivery="eager")
+    return run.traces
+
+
+def test_full_pipeline(lu_traces, record, benchmark):
+    report = benchmark(lambda: check_traces(lu_traces))
+    stats = report.stats
+    record("analyzer_phases",
+           f"events={stats.events} ops={stats.rma_ops} "
+           f"locals={stats.local_accesses} matches={stats.sync_matches} "
+           f"regions={stats.regions}")
+    for phase, seconds in sorted(stats.phase_seconds.items(),
+                                 key=lambda kv: -kv[1]):
+        record("analyzer_phases",
+               f"  {phase:10s} {seconds * 1000:8.1f} ms "
+               f"({100 * seconds / stats.total_seconds:4.1f}%)")
+    assert not report.findings  # LU is race-free

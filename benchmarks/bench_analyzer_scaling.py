@@ -1,0 +1,48 @@
+"""Supplementary — DN-Analyzer cost vs trace length.
+
+The paper's offline analyzer must keep up with production traces (they
+ran it on a workstation against 64-process cluster runs).  This benchmark
+sweeps the trace length on a fixed-rank jacobi run and records analysis
+time per event, demonstrating near-linear scaling of the full pipeline
+(matching + clocks + regions + both detectors).
+"""
+
+import time
+
+import pytest
+
+from repro.apps.jacobi import jacobi
+from repro.core.checker import check_traces
+from repro.profiler.session import profile_run
+
+_POINTS = []
+
+
+@pytest.mark.parametrize("iterations", [4, 16, 64])
+def test_analysis_scaling(iterations, record, benchmark):
+    run = profile_run(jacobi, 4,
+                      params=dict(buggy=False, interior=16,
+                                  iterations=iterations),
+                      delivery="eager", capture_locations=False)
+    benchmark.group = "analyzer-scaling"
+    report = benchmark(lambda: check_traces(run.traces))
+    events = report.stats.events
+    per_event_us = 1e6 * report.stats.total_seconds / events
+    _POINTS.append((events, per_event_us))
+    record("analyzer_scaling",
+           f"iterations={iterations:<4d} events={events:<7d} "
+           f"analysis={report.stats.total_seconds * 1000:8.1f}ms "
+           f"per-event={per_event_us:6.1f}us")
+    assert not report.findings
+
+
+def test_per_event_cost_stays_bounded(record, benchmark):
+    """Near-linear pipeline: per-event cost must not blow up with trace
+    length (allow 3x drift for constant overheads at the small end)."""
+    assert len(_POINTS) >= 2
+    benchmark(lambda: sorted(_POINTS))
+    smallest = _POINTS[0][1]
+    largest = _POINTS[-1][1]
+    record("analyzer_scaling",
+           f"per-event cost drift: {smallest:.1f}us -> {largest:.1f}us")
+    assert largest < 3.0 * max(smallest, 1e-9)

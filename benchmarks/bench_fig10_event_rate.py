@@ -1,0 +1,49 @@
+"""E5 — Figure 10: profiled event rates vs process count (LU).
+
+The mechanism behind Figure 9: per-rank load/store event counts fall as
+``~1/P`` under strong scaling while per-rank MPI-call counts stay flat, so
+the per-rank profiling event *rate* decreases with scale.  Records, per
+rank count: events per rank by class and the aggregate event rate.
+"""
+
+import pytest
+
+from repro.apps.lu import lu
+from repro.profiler.session import profile_run
+
+_MEM_PER_RANK = {}
+
+
+@pytest.mark.parametrize("point", range(4))
+def test_fig10_event_rates(point, record, scale, benchmark):
+    sweep = list(scale["rank_sweep"])[:4]
+    nranks = sweep[point]
+    params = dict(n=scale["lu_n"])
+
+    run = benchmark.pedantic(
+        lambda: profile_run(lu, nranks, params=params, scope="report",
+                            delivery="eager"),
+        rounds=1, iterations=1)
+    counts = run.traces.event_counts()
+    mem_pr = counts["mem"] / nranks
+    call_pr = counts["call"] / nranks
+    rate = (counts["mem"] + counts["call"]) / run.elapsed
+    _MEM_PER_RANK[nranks] = mem_pr
+    record("fig10_event_rate",
+           f"ranks={nranks:<4d} loadstore/rank={mem_pr:8.1f} "
+           f"mpicalls/rank={call_pr:8.1f} "
+           f"total-rate={rate:10.0f} events/s "
+           f"(loads={counts['load']}, stores={counts['store']}, "
+           f"calls={counts['call']})")
+
+
+def test_fig10_trend(record, benchmark):
+    assert len(_MEM_PER_RANK) >= 2
+    ranks = sorted(_MEM_PER_RANK)
+    series = benchmark(lambda: [_MEM_PER_RANK[r] for r in ranks])
+    record("fig10_event_rate",
+           "trend: per-rank load/store events "
+           + " -> ".join(f"{v:.0f}@{r}" for r, v in zip(ranks, series))
+           + "  (paper: rate of load/store events decreases with scale)")
+    # strictly decreasing per-rank memory-event counts
+    assert all(a > b for a, b in zip(series, series[1:]))

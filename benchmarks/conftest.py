@@ -1,0 +1,75 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(tables/figures; see DESIGN.md section 4).  Besides pytest-benchmark's
+timing table, each writes the *paper-shaped* rows (normalized runtimes,
+overhead percentages, event rates, detection outcomes) to
+``benchmarks/results/<artifact>.txt`` and echoes them to stdout, so a
+plain ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.
+
+Scale knobs: the paper ran 64-rank jobs on a 658-node cluster; the
+simulated runs default to smaller rank counts/problem sizes that preserve
+the curves' shape.  Set ``MCCHECKER_BENCH_SCALE=paper`` for the full-size
+(slow) configuration.
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: scale presets: (figure8 ranks, figure9/10 rank sweep, LU matrix size)
+SCALES = {
+    "quick": {"fig8_ranks": 8, "rank_sweep": (2, 4, 8, 16), "lu_n": 48,
+              "reps": 3},
+    "paper": {"fig8_ranks": 64, "rank_sweep": (8, 16, 32, 64, 128),
+              "lu_n": 160, "reps": 3},
+}
+
+
+def bench_scale():
+    return SCALES[os.environ.get("MCCHECKER_BENCH_SCALE", "quick")]
+
+
+class _Recorder:
+    def __init__(self):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        self._started = set()
+
+    def path(self, artifact):
+        return os.path.join(RESULTS_DIR, f"{artifact}.txt")
+
+    def row(self, artifact, text):
+        mode = "a" if artifact in self._started else "w"
+        self._started.add(artifact)
+        with open(self.path(artifact), mode, encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"[{artifact}] {text}")
+
+
+_RECORDER = _Recorder()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """record(artifact, row_text): persist one row of a paper artifact."""
+    return _RECORDER.row
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def median_time(fn, reps):
+    """Median wall-clock of ``reps`` invocations (fresh state per call)."""
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Profiling-overhead study: a miniature of the paper's Figures 8-10.
+
+Runs one workload (LU) three ways —
+
+* native (no Profiler),
+* Profiler with ST-Analyzer-selected instrumentation (the paper's mode),
+* Profiler instrumenting *every* buffer (the ablation the paper says
+  costs "hundreds of times more" in the worst case)
+
+— then sweeps the rank count to show the strong-scaling effect of
+Figure 9/10: per-rank load/store event counts (and so relative overhead)
+drop as ranks increase.
+
+Run:  python examples/overhead_study.py
+"""
+
+import statistics
+
+from repro.apps.lu import lu
+from repro.profiler.session import baseline_run, profile_run
+
+N = 48
+REPS = 3
+
+
+def timed_profile(scope: str, nranks: int):
+    times, counts = [], None
+    for rep in range(REPS):
+        run = profile_run(lu, nranks, params=dict(n=N), scope=scope,
+                          seed=rep, delivery="eager")
+        times.append(run.elapsed)
+        counts = run.traces.event_counts()
+    return statistics.median(times), counts
+
+
+def main():
+    nranks = 8
+    native = statistics.median(
+        baseline_run(lu, nranks, params=dict(n=N), seed=rep,
+                     delivery="eager")
+        for rep in range(REPS))
+    selective, counts_sel = timed_profile("report", nranks)
+    full, counts_all = timed_profile("all", nranks)
+
+    print(f"LU n={N} on {nranks} ranks (median of {REPS}):")
+    print(f"  native                      : {native:.3f}s  (1.00x)")
+    print(f"  profiler + ST-Analyzer scope: {selective:.3f}s  "
+          f"({selective / native:.2f}x, {counts_sel['mem']} mem events)")
+    print(f"  profiler, ALL buffers       : {full:.3f}s  "
+          f"({full / native:.2f}x, {counts_all['mem']} mem events)")
+
+    print("\nstrong scaling (selective instrumentation):")
+    print(f"{'ranks':>6} {'overhead':>9} {'mem ev/rank':>12} "
+          f"{'call ev/rank':>13}")
+    for nranks in (2, 4, 8, 16):
+        native = statistics.median(
+            baseline_run(lu, nranks, params=dict(n=N), seed=rep,
+                         delivery="eager")
+            for rep in range(REPS))
+        prof, counts = timed_profile("report", nranks)
+        overhead = 100.0 * (prof - native) / native
+        print(f"{nranks:>6} {overhead:>8.1f}% "
+              f"{counts['mem'] / nranks:>12.0f} "
+              f"{counts['call'] / nranks:>13.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The trace-tooling workflow: stats -> diff -> minimize.
+
+A realistic debugging session around MC-Checker's trace format:
+
+1. profile a buggy run and inspect its event profile (`compute_stats` —
+   what dominates, which statements are hot);
+2. profile the fixed build and *diff* the call streams to see exactly
+   where the two diverge;
+3. *minimize* the failing trace to a fraction of its events while the
+   finding survives — the artifact you attach to a bug report.
+
+Run:  python examples/trace_tools.py
+"""
+
+import tempfile
+
+from repro.apps.jacobi import jacobi
+from repro.core import check_traces
+from repro.profiler.session import profile_run
+from repro.tools import compute_stats, diff_traces
+from repro.tools.minimize import minimize_trace
+
+RANKS = 3
+PARAMS = dict(interior=8, iterations=4)
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="mcchecker-tools-")
+
+    buggy = profile_run(jacobi, RANKS, params=dict(buggy=True, **PARAMS),
+                        trace_dir=f"{workdir}/buggy",
+                        delivery="eager").traces
+    fixed = profile_run(jacobi, RANKS, params=dict(buggy=False, **PARAMS),
+                        trace_dir=f"{workdir}/fixed",
+                        delivery="eager").traces
+
+    print("=== 1. event profile of the buggy run ===")
+    print(compute_stats(buggy).format(hot_limit=5))
+
+    print("\n=== 2. buggy vs fixed call streams ===")
+    diff = diff_traces(buggy, fixed)
+    print(diff.format())
+
+    print("\n=== 3. minimize the failing trace ===")
+    report = check_traces(buggy)
+    print(f"analyzer found {len(report.errors)} error(s); minimizing "
+          "around the first...")
+    result = minimize_trace(buggy, f"{workdir}/minimized",
+                            finding=report.errors[0])
+    print(result.format())
+
+    minimized_report = check_traces(result.traces)
+    print(f"\nminimized set still yields "
+          f"{len(minimized_report.errors)} error(s); first:")
+    print(minimized_report.errors[0].format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""MC-Checker reproduction — memory consistency checking for (simulated)
+MPI one-sided applications.
+
+Top-level conveniences re-export the two things most users need: the
+simulated MPI runtime to write programs against, and the checker to
+analyze them.
+
+    from repro import check_app, run_app
+
+    def main(mpi):
+        ...
+
+    report = check_app(main, nranks=4)
+    print(report.format())
+
+Subpackages: :mod:`repro.simmpi` (the MPI-2.2/3 simulator),
+:mod:`repro.stanalyzer` (static instrumentation analysis),
+:mod:`repro.profiler` (trace collection), :mod:`repro.core`
+(DN-Analyzer), :mod:`repro.ga` (Global-Arrays layer), :mod:`repro.apps`
+(the paper's evaluated applications), :mod:`repro.tools` (trace
+statistics / filtering / diffing / minimization).
+"""
+
+from repro.core import CheckReport, ConsistencyError, check_app, check_traces
+from repro.simmpi import MPIContext, run_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckReport", "ConsistencyError", "check_app", "check_traces",
+    "MPIContext", "run_app",
+    "__version__",
+]

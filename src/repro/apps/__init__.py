@@ -1,0 +1,22 @@
+"""The paper's evaluated applications, reimplemented on the simulator.
+
+Bug-study applications (Table II): :mod:`emulate`, :mod:`bt_broadcast`,
+:mod:`lockopts`, :mod:`pingpong`, :mod:`jacobi` — each with a ``buggy``
+parameter selecting the documented defect or the corrected code.
+
+Overhead/scaling applications (Figures 8-10): :mod:`lennard_jones`,
+:mod:`scf`, :mod:`boltzmann`, :mod:`skampi`, :mod:`lu`.
+
+:data:`BUG_CASES` is the machine-readable Table II row list consumed by
+``benchmarks/bench_table2_detection.py``; :data:`OVERHEAD_APPS` the
+Figure 8 workload list.
+"""
+
+from repro.apps.registry import (
+    BUG_CASES, OVERHEAD_APPS, BugCase, OverheadApp, bug_case, overhead_app,
+)
+
+__all__ = [
+    "BUG_CASES", "OVERHEAD_APPS", "BugCase", "OverheadApp",
+    "bug_case", "overhead_app",
+]

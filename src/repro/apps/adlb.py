@@ -1,0 +1,93 @@
+"""``adlb`` — the ADLB/GFMC stack-buffer anecdote (paper section II-B).
+
+An older version of the Asynchronous Dynamic Load Balancing library "used
+MPI_Put to transfer data from a stack variable in a function and returned
+from the function without waiting for the completion of that operation,
+since the epoch was closed later elsewhere in the program.  This procedure
+worked correctly for several years ... on most platforms small variables
+are copied into internal temporary communication buffers" — until Blue
+Gene/Q ran out of eager buffers and transmitted later, by which time "the
+function stack was overwritten by other functions, resulting in data
+corruption".
+
+This reimplementation models a work-queue server: workers push work
+descriptors into the server's queue window with ``MPI_Put`` issued from a
+helper function's *stack buffer*.  The buggy variant returns from the
+helper (and lets later helpers reuse the same stack slot) before the epoch
+closes — harmless under eager delivery, corrupting under lazy delivery,
+and flagged by MC-Checker either way.  The fix keeps the payload alive in
+a dedicated send buffer until the epoch closes.
+
+This is the delivery-policy engine's reason to exist: the same binary
+behaviour ("latent for years, bites on one machine generation") falls out
+of switching ``delivery="eager"`` to ``delivery="lazy"``.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi import DOUBLE, MPIContext
+
+SLOT_WORDS = 4  # one work descriptor
+
+
+def _push_work_buggy(mpi: MPIContext, win, stack, slot: int,
+                     payload: float) -> None:
+    """Put from a 'stack' buffer and return immediately (the defect).
+
+    ``stack`` models the helper's stack frame: every call reuses it, like
+    successive calls reusing the same stack memory.
+    """
+    for i in range(SLOT_WORDS):
+        stack[i] = payload + i
+    win.put(stack, target=0, target_disp=slot * SLOT_WORDS,
+            origin_count=SLOT_WORDS)
+    # returns with the Put possibly still reading `stack` -- the caller's
+    # next helper invocation will overwrite the frame
+
+
+def _push_work_fixed(mpi: MPIContext, win, sendbuf, slot: int,
+                     payload: float) -> None:
+    """Put from a persistent send buffer dedicated to this slot."""
+    for i in range(SLOT_WORDS):
+        sendbuf[slot * SLOT_WORDS + i] = payload + i
+    win.put(sendbuf, target=0, target_disp=slot * SLOT_WORDS,
+            origin_offset=slot * SLOT_WORDS, origin_count=SLOT_WORDS)
+
+
+def adlb(mpi: MPIContext, buggy: bool = True, pushes: int = 3):
+    """Run the work-queue pattern; rank 0 (the server) returns the queue
+    contents, workers return None."""
+    slots = (mpi.size - 1) * pushes
+    queue = mpi.alloc("queue", max(slots, 1) * SLOT_WORDS,
+                      datatype=DOUBLE, fill=-1.0)
+    stack = mpi.alloc("stack", SLOT_WORDS, datatype=DOUBLE)
+    sendbuf = mpi.alloc("sendbuf", max(slots, 1) * SLOT_WORDS,
+                        datatype=DOUBLE)
+    win = mpi.win_create(queue)
+
+    win.fence()  # the epoch is opened once; ADLB closed it "later
+    #               elsewhere in the program"
+    if mpi.rank != 0:
+        for k in range(pushes):
+            slot = (mpi.rank - 1) * pushes + k
+            payload = float(100 * mpi.rank + 10 * k)
+            if buggy:
+                _push_work_buggy(mpi, win, stack, slot, payload)
+            else:
+                _push_work_fixed(mpi, win, sendbuf, slot, payload)
+    win.fence()  # ...here: all Puts complete only now
+
+    contents = queue.read(0, slots * SLOT_WORDS).tolist() \
+        if mpi.rank == 0 else None
+    win.free()
+    return contents
+
+
+def expected_queue(nranks: int, pushes: int = 3):
+    """The uncorrupted queue contents."""
+    out = []
+    for rank in range(1, nranks):
+        for k in range(pushes):
+            payload = float(100 * rank + 10 * k)
+            out.extend(payload + i for i in range(SLOT_WORDS))
+    return out

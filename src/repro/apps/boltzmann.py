@@ -1,0 +1,96 @@
+"""``Boltzmann`` — a D1Q3 lattice-Boltzmann strip solver (Figure 8).
+
+The GA Boltzmann benchmark advances a lattice gas on a distributed grid.
+This reimplementation uses a 1-D strip decomposition with three particle
+distributions (rest, +x, -x) per cell, stored interleaved in a window with
+one ghost cell per side.  Per step:
+
+1. collide locally (vectorized relaxation toward equilibrium, through the
+   tracked buffer);
+2. stage the post-collide edge cells, fence, ``Put`` them into both
+   neighbours' ghost cells, fence — a halo exchange identical in
+   structure to the paper's stencil workloads;
+3. stream: shift the +x/-x populations one cell (ghosts supply the
+   neighbour fluxes), with reflective walls at the global edges.
+
+Race-free: all local window accesses sit in epochs with no remote
+operation in flight, and mass is conserved (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import DOUBLE, MPIContext
+
+_Q = 3  # rest, +x, -x
+_OMEGA = 1.2  # relaxation rate
+
+
+def boltzmann(mpi: MPIContext, cells_per_rank: int = 16, steps: int = 3):
+    """Advance the lattice; returns this rank's final mass (conserved-ish)."""
+    cells = cells_per_rank
+    width = (cells + 2) * _Q  # ghost | interior cells | ghost
+    lattice = mpi.alloc("lattice", width, datatype=DOUBLE, fill=0.0)
+    halo_l = mpi.alloc("halo_l", _Q, datatype=DOUBLE)
+    halo_r = mpi.alloc("halo_r", _Q, datatype=DOUBLE)
+    win = mpi.win_create(lattice)
+
+    # deterministic initial density bump in the middle of the global domain
+    init = np.zeros(width)
+    for c in range(1, cells + 1):
+        gx = mpi.rank * cells + (c - 1)
+        rho = 1.0 + 0.5 * np.exp(-((gx - mpi.size * cells / 2) ** 2) / 8.0)
+        init[c * _Q + 0] = 4.0 * rho / 6.0
+        init[c * _Q + 1] = rho / 6.0
+        init[c * _Q + 2] = rho / 6.0
+    lattice.write(init)
+
+    left = mpi.rank - 1 if mpi.rank > 0 else None
+    right = mpi.rank + 1 if mpi.rank < mpi.size - 1 else None
+
+    win.fence()
+    for _step in range(steps):
+        # collide: relax the interior toward local equilibrium, vectorized
+        # over whole cells (one tracked load + store per step and cell
+        # block; local epoch: no remote operation is in flight here)
+        interior = lattice.read(_Q, cells * _Q).reshape(cells, _Q)
+        f0, fp, fm = interior[:, 0], interior[:, 1], interior[:, 2]
+        rho = f0 + fp + fm
+        vel = np.divide(fp - fm, rho, out=np.zeros_like(rho),
+                        where=rho > 0)
+        eq = np.empty_like(interior)
+        eq[:, 0] = 4.0 * rho / 6.0
+        eq[:, 1] = rho * (1.0 + 3.0 * vel) / 6.0
+        eq[:, 2] = rho * (1.0 - 3.0 * vel) / 6.0
+        lattice.write((interior + _OMEGA * (eq - interior)).reshape(-1),
+                      offset=_Q)
+
+        # stage the post-collide edge cells before the exchange epoch opens
+        if left is not None:
+            halo_l.write(lattice.read(1 * _Q, _Q))
+        if right is not None:
+            halo_r.write(lattice.read(cells * _Q, _Q))
+        win.fence()  # open the halo-exchange epoch
+        if left is not None:
+            win.put(halo_l, target=left, target_disp=(cells + 1) * _Q,
+                    origin_count=_Q)
+        if right is not None:
+            win.put(halo_r, target=right, target_disp=0, origin_count=_Q)
+        win.fence()  # ghosts carry the neighbours' post-collide edges
+
+        # stream: shift +x and -x populations (vectorized, tracked slices)
+        snapshot = lattice.read(0, width).reshape(cells + 2, _Q)
+        streamed = snapshot.copy()
+        streamed[1:, 1] = snapshot[:-1, 1]   # +x moves right
+        streamed[:-1, 2] = snapshot[1:, 2]   # -x moves left
+        # reflective walls at the global domain edges
+        if left is None:
+            streamed[1, 1] = snapshot[1, 2]
+        if right is None:
+            streamed[cells, 2] = snapshot[cells, 1]
+        lattice.write(streamed.reshape(width))
+
+    mass = float(lattice.read(_Q, cells * _Q).sum())
+    win.free()
+    return mass

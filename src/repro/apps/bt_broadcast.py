@@ -1,0 +1,115 @@
+"""``BT-broadcast`` — binary-tree broadcast over one-sided MPI (Table II,
+row 2; case study 1).
+
+The algorithm (from the appendix of Luecke et al.): ranks form a binary
+tree; each non-root polls a flag on its parent with ``MPI_Get`` until the
+parent signals the payload is ready, then fetches the payload and raises
+its own flag for its children.
+
+The real-world bug: the polling loop issues the Get and tests the local
+``check`` variable *inside the same lock epoch* —
+
+.. code-block:: none
+
+    1  Win_lock(parent)
+    3  check = 0                  # store
+    4  while check == 0:          # load — races with the pending Get
+    5      Win_get(check, parent)
+    6  ...
+    8  Win_unlock(parent)         # Gets complete only here
+
+Since the Get is nonblocking, ``check`` may never be updated inside the
+epoch and "the program will execute the while loop forever".  The buggy
+variant here bounds the spin (``max_spin``) so the simulation terminates
+even under lazy delivery; with ``delivery="lazy"`` it genuinely livelocks
+until the bound trips, reproducing the paper's hang symptom.
+
+The fix closes the epoch around every poll, making each Get's result
+visible before the test.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi import DOUBLE, INT, LOCK_SHARED, MPIContext
+
+PAYLOAD_WORDS = 16
+
+
+def _poll_parent_buggy(mpi: MPIContext, flag_win, check, parent: int,
+                       max_spin: int) -> bool:
+    """The defective poll: Get and load of ``check`` share one epoch."""
+    flag_win.lock(parent, LOCK_SHARED)            # line 1
+    check[0] = 0                                  # line 3: store
+    spins = 0
+    hung = False
+    while check[0] == 0:                          # line 4: load (races)
+        flag_win.get(check, target=parent,        # line 5
+                     origin_count=1)
+        spins += 1
+        if spins >= max_spin:                     # livelock guard: the
+            hung = True                           # real program hangs here
+            break
+    flag_win.unlock(parent)                       # line 8
+    return hung
+
+
+READY_TAG = 77
+
+
+def _children(rank: int, size: int):
+    for child in (2 * rank + 1, 2 * rank + 2):
+        if child < size:
+            yield child
+
+
+def bt_broadcast(mpi: MPIContext, buggy: bool = True, max_spin: int = 32):
+    """Broadcast rank 0's payload down a binary tree; returns
+    ``(payload_ok, hung)`` per rank.
+
+    Buggy variant: children spin on a one-sided flag with the defective
+    poll above.  Fixed variant: the parent notifies each child with a
+    two-sided message once its payload window is ready — the notification
+    orders the child's Get after the parent's stores, so no polling (and
+    no race) remains.
+    """
+    flag = mpi.alloc("flag", 1, datatype=INT, fill=0)
+    data = mpi.alloc("data", PAYLOAD_WORDS, datatype=DOUBLE, fill=0.0)
+    check = mpi.alloc("check", 1, datatype=INT, fill=0)
+    payload = mpi.alloc("payload", PAYLOAD_WORDS, datatype=DOUBLE)
+    flag_win = mpi.win_create(flag)
+    data_win = mpi.win_create(data)
+
+    if mpi.rank == 0:
+        data.write([float(i) for i in range(PAYLOAD_WORDS)])
+        flag.store(0, 1)
+    mpi.barrier()
+
+    hung = False
+    if mpi.rank != 0:
+        parent = (mpi.rank - 1) // 2
+        if buggy:
+            hung = _poll_parent_buggy(mpi, flag_win, check, parent, max_spin)
+        else:
+            mpi.recv(source=parent, tag=READY_TAG)  # parent's data is ready
+        # fetch the payload from the parent, then publish our own copy
+        data_win.lock(parent, LOCK_SHARED)
+        data_win.get(payload, target=parent, origin_count=PAYLOAD_WORDS)
+        data_win.unlock(parent)
+        data.write(payload.read())
+        if buggy:
+            # raise own flag through the window so children's Gets see it
+            # (itself concurrent with those Gets — part of the defect)
+            one = mpi.alloc("one", 1, datatype=INT, fill=1)
+            flag_win.lock(mpi.rank, LOCK_SHARED)
+            flag_win.put(one, target=mpi.rank, origin_count=1)
+            flag_win.unlock(mpi.rank)
+    if not buggy:
+        for child in _children(mpi.rank, mpi.size):
+            mpi.send("ready", dest=child, tag=READY_TAG)
+
+    mpi.barrier()
+    payload_ok = data.read().tolist() == [float(i)
+                                          for i in range(PAYLOAD_WORDS)]
+    flag_win.free()
+    data_win.free()
+    return payload_ok, hung

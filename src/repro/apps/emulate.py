@@ -1,0 +1,72 @@
+"""``emulate`` — a distributed-shared-memory emulation (Table II, row 1).
+
+Every rank exposes a page of shared memory in a window; remote pages are
+read with ``dsm_read`` (lock/Get/unlock) and written with ``dsm_write``
+(lock/Put/unlock).
+
+The real-world bug (the paper's Figure 1): inside the lock epoch, the code
+loads the Get's destination buffer before the epoch closes — but the Get
+is nonblocking, so the data "may not be ready until the invocation of
+MPI_Win_unlock"; the load can observe the stale value and the subsequent
+store can be overwritten by the late-arriving Get payload.
+
+Root cause class: conflicting MPI_Get and local load/store **within an
+epoch**; 2 processes suffice.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi import DOUBLE, LOCK_SHARED, MPIContext
+
+PAGE_WORDS = 8
+
+
+def dsm_read_buggy(mpi: MPIContext, win, out, owner: int, slot: int) -> float:
+    """Figure 1's pattern: Get + load + store of `out` inside one epoch."""
+    win.lock(owner, LOCK_SHARED)
+    win.get(out, target=owner, target_disp=slot, origin_count=1)  # line 2
+    value = out[0]                 # line 3: load races with the Get
+    out[0] = value + 1.0           # line 4: store races with the Get
+    win.unlock(owner)              # line 6: Get completes here
+    return value
+
+
+def dsm_read_fixed(mpi: MPIContext, win, out, owner: int, slot: int) -> float:
+    """Corrected: the epoch closes before `out` is touched."""
+    win.lock(owner, LOCK_SHARED)
+    win.get(out, target=owner, target_disp=slot, origin_count=1)
+    win.unlock(owner)              # Get complete: out is now safe to use
+    value = out[0]
+    out[0] = value + 1.0
+    return value
+
+
+def dsm_write(mpi: MPIContext, win, src, owner: int, slot: int,
+              value: float) -> None:
+    src[0] = value
+    win.lock(owner, LOCK_SHARED)
+    win.put(src, target=owner, target_disp=slot, origin_count=1)
+    win.unlock(owner)
+
+
+def emulate(mpi: MPIContext, buggy: bool = True, rounds: int = 4):
+    """Run the DSM emulation; returns the values this rank read."""
+    page = mpi.alloc("page", PAGE_WORDS, datatype=DOUBLE,
+                     fill=float(mpi.rank))
+    out = mpi.alloc("out", 1, datatype=DOUBLE)
+    src = mpi.alloc("src", 1, datatype=DOUBLE)
+    win = mpi.win_create(page)
+    mpi.barrier()
+
+    read = dsm_read_buggy if buggy else dsm_read_fixed
+    values = []
+    for round_no in range(rounds):
+        owner = (mpi.rank + 1) % mpi.size
+        slot = round_no % PAGE_WORDS
+        dsm_write(mpi, win, src, owner, slot, float(100 * mpi.rank + round_no))
+        mpi.barrier()
+        values.append(read(mpi, win, out, owner, slot))
+        mpi.barrier()
+
+    win.free()
+    return values

@@ -1,0 +1,60 @@
+"""``heat2d`` — 2-D heat diffusion over a Global Array (extension app).
+
+A realistic PGAS stencil: the temperature field lives in a
+:class:`~repro.ga.GlobalArray2D` distributed by row blocks.  Each step,
+every rank fetches the row above and below its block with strided section
+``get``s, applies a 5-point relaxation over its rows, and writes the block
+back; ``sync`` separates the read and write phases.
+
+The ``buggy`` variant writes its block back *before* the sync, so a
+neighbour's halo ``get`` can observe a half-updated field — a GA-level
+read/write race that MC-Checker reports at the section-call granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ga import GlobalArray2D
+from repro.simmpi import MPIContext
+
+_ALPHA = 0.2
+
+
+def heat2d(mpi: MPIContext, rows: int = 12, cols: int = 8,
+           steps: int = 3, buggy: bool = False):
+    """Diffuse a hot spot; returns this rank's final block (ndarray)."""
+    field = GlobalArray2D.create(mpi, "field", rows, cols)
+    lo, hi = field.distribution()
+
+    # initial condition: a hot row near the top of the global domain
+    block = np.zeros((hi - lo, cols))
+    for gr in range(lo, hi):
+        if gr == 1:
+            block[gr - lo, :] = 100.0
+    field.set_local(block)
+    field.sync()
+
+    for _step in range(steps):
+        # read phase: my block + halo rows from the neighbours
+        mine = field.get(lo, hi, 0, cols)
+        above = field.get(lo - 1, lo, 0, cols) if lo > 0 else mine[:1]
+        below = field.get(hi, hi + 1, 0, cols) if hi < rows else mine[-1:]
+        stacked = np.vstack([above, mine, below])
+
+        # 5-point relaxation on interior columns of my rows
+        new = stacked[1:-1].copy()
+        lap = (stacked[:-2, 1:-1] + stacked[2:, 1:-1]
+               + stacked[1:-1, :-2] + stacked[1:-1, 2:]
+               - 4.0 * stacked[1:-1, 1:-1])
+        new[:, 1:-1] += _ALPHA * lap
+
+        if not buggy:
+            field.sync()  # everyone finished reading before anyone writes
+        field.put(lo, hi, 0, cols, new)
+        field.sync()
+
+    result = field.get(lo, hi, 0, cols)
+    field.sync()
+    field.destroy()
+    return result

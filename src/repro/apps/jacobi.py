@@ -1,0 +1,63 @@
+"""``jacobi`` — one-sided Jacobi iteration (Table II, row 5).
+
+1-D domain decomposition of a Poisson relaxation: each rank owns a strip
+of the grid plus two ghost cells, exposed in a window.  Each iteration:
+
+1. fence — open the exchange epoch;
+2. Put boundary values into both neighbours' ghost cells;
+3. fence — close the exchange epoch;
+4. local sweep (reads ghosts + interior, writes interior).
+
+Injected bug: the second fence is skipped, so the local sweep reads and
+writes the window while neighbours' Puts are still in flight — a
+cross-process Put vs local load/store conflict (the Figure 2d class).
+Under lazy delivery the sweep genuinely reads stale ghosts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import DOUBLE, MPIContext
+
+#: window layout: [ghost_left | interior ... | ghost_right]
+GHOSTS = 2
+
+
+def jacobi(mpi: MPIContext, buggy: bool = True, interior: int = 16,
+           iterations: int = 4):
+    """Run the relaxation; returns this rank's final strip (list)."""
+    width = interior + GHOSTS
+    grid = mpi.alloc("grid", width, datatype=DOUBLE, fill=0.0)
+    # one staging buffer per direction: both Puts are pending in the same
+    # epoch, so sharing a buffer would itself be a consistency error
+    edge_l = mpi.alloc("edge_l", 1, datatype=DOUBLE)
+    edge_r = mpi.alloc("edge_r", 1, datatype=DOUBLE)
+    win = mpi.win_create(grid)
+
+    # fixed boundary condition: global left edge = 1.0
+    if mpi.rank == 0:
+        grid[0] = 1.0
+    left = mpi.rank - 1 if mpi.rank > 0 else None
+    right = mpi.rank + 1 if mpi.rank < mpi.size - 1 else None
+
+    win.fence()
+    for _ in range(iterations):
+        # 1-2: exchange boundary cells into neighbours' ghosts
+        if left is not None:
+            edge_l[0] = grid[1]
+            win.put(edge_l, target=left, target_disp=width - 1,
+                    origin_count=1)
+        if right is not None:
+            edge_r[0] = grid[interior]
+            win.put(edge_r, target=right, target_disp=0, origin_count=1)
+        if not buggy:
+            win.fence()  # 3: the synchronization the bug omits
+        # 4: local sweep over the interior
+        strip = grid.read(0, width)
+        new = 0.5 * (strip[:-2] + strip[2:])
+        grid.write(new, offset=1)
+        win.fence()  # end of iteration (the buggy code's only fence)
+    result = grid.read(0, width).tolist()
+    win.free()
+    return result

@@ -1,0 +1,116 @@
+"""``lockopts`` — the MPICH RMA test-case bug (Table II, row 3; case 2).
+
+Extracted from the ``lockopts`` test in the MPICH test suite (svn r10308):
+rank 0 performs direct load/store accesses on its own window memory
+(section A of the paper's Figure 7) while rank 1 accesses the same window
+region with ``MPI_Put``/``MPI_Get`` under passive-target locks (section D).
+The remaining ranks work in private window slots, which is why the bug
+needs tooling to spot at 64 processes.  The concurrent accesses make the
+program "yield nondeterministic results".
+
+Two variants of the defect, as in the paper:
+
+* ``lock_type="shared"`` — the revised bug: the remote epochs use shared
+  locks, so nothing serializes them against rank 0's local accesses —
+  a hard **error**;
+* ``lock_type="exclusive"`` — the original bug: rank 0 guards its local
+  accesses with an exclusive self-lock and the origin uses exclusive
+  locks too, so every access is serialized, but in nondeterministic
+  order — MC-Checker reports a **warning** and "relies on programmers to
+  identify its buggy scenario" (section VII-A-2).
+
+The fixed variant separates section A from section D with a barrier, so
+the accesses fall into different concurrent regions.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi import (
+    INT, LOCK_EXCLUSIVE, LOCK_SHARED, MPIContext,
+)
+
+#: window cells 0..1 are the contended "header" rank 0 works on; each rank
+#: r >= 2 owns private cell r.
+HEADER_CELLS = 2
+
+
+def _section_a(mpi: MPIContext, win, wbuf, round_no: int,
+               exclusive: bool) -> int:
+    """Rank 0's direct accesses to its own window memory (Figure 7, A)."""
+    if exclusive:
+        win.lock(0, LOCK_EXCLUSIVE)
+        wbuf[0] = round_no + 1       # store into the contended header
+        value = wbuf[1]              # load from the contended header
+        win.unlock(0)
+    else:
+        wbuf[0] = round_no + 1       # store (completely unprotected)
+        value = wbuf[1]              # load
+    return value
+
+
+def _section_d(mpi: MPIContext, win, src, dst, round_no: int,
+               lock_type: str) -> None:
+    """Rank 1's remote accesses to the contended header (Figure 7, D)."""
+    src[0] = 10 * mpi.rank + round_no
+    win.lock(0, lock_type)
+    # Put spanning both header cells: races with rank 0's store (ERROR
+    # cell: store/Put conflict even without overlap) and load (NONOV)
+    win.put(src, target=0, target_disp=0, origin_count=1)
+    win.unlock(0)
+    win.lock(0, lock_type)
+    win.get(dst, target=0, target_disp=1, origin_count=1)
+    win.unlock(0)
+
+
+def _private_work(mpi: MPIContext, win, src, dst, round_no: int,
+                  lock_type: str) -> None:
+    """Ranks >= 2 use their own private slot — no conflicts."""
+    slot = HEADER_CELLS + mpi.rank
+    src[0] = 10 * mpi.rank + round_no
+    win.lock(0, lock_type)
+    win.put(src, target=0, target_disp=slot, origin_count=1)
+    win.unlock(0)
+    win.lock(0, lock_type)
+    win.get(dst, target=0, target_disp=slot, origin_count=1)
+    win.unlock(0)
+
+
+def lockopts(mpi: MPIContext, buggy: bool = True,
+             lock_type: str = LOCK_SHARED, rounds: int = 2):
+    """Run the lockopts pattern; returns rank 0's observed header values."""
+    exclusive = lock_type == LOCK_EXCLUSIVE
+    wbuf = mpi.alloc("wbuf", HEADER_CELLS + mpi.size + 1, datatype=INT,
+                     fill=0)
+    src = mpi.alloc("src", 1, datatype=INT)
+    dst = mpi.alloc("dst", 1, datatype=INT)
+    win = mpi.win_create(wbuf)
+    mpi.barrier()
+
+    observed = []
+    for round_no in range(rounds):
+        if buggy:
+            # sections A and D run concurrently (the defect)
+            if mpi.rank == 0:
+                observed.append(
+                    _section_a(mpi, win, wbuf, round_no, exclusive))
+            elif mpi.rank == 1:
+                _section_d(mpi, win, src, dst, round_no, lock_type)
+            else:
+                _private_work(mpi, win, src, dst, round_no, lock_type)
+            mpi.barrier()
+        else:
+            # fixed: a barrier separates the remote epochs from rank 0's
+            # local accesses
+            if mpi.rank == 1:
+                _section_d(mpi, win, src, dst, round_no, lock_type)
+            elif mpi.rank >= 2:
+                _private_work(mpi, win, src, dst, round_no, lock_type)
+            mpi.barrier()
+            if mpi.rank == 0:
+                observed.append(
+                    _section_a(mpi, win, wbuf, round_no, exclusive))
+            mpi.barrier()
+
+    mpi.barrier()
+    win.free()
+    return observed

@@ -1,0 +1,59 @@
+"""``ping-pong`` — ARMCI-MPI-style one-sided ping-pong (Table II, row 4).
+
+Two ranks bounce a message buffer: the origin Puts its payload into the
+peer's window, fences, the peer increments and Puts it back.  Run as a
+latency benchmark (this is the pattern of the ARMCI-MPI ping-pong in the
+MPICH package).
+
+Injected bug (the paper evaluates two injected defects): the origin
+*reuses the send buffer* immediately after the Put, inside the same fence
+epoch — the same defect class as the ADLB stack-buffer anecdote of
+section II-B.  Under lazy delivery the payload actually transmitted is the
+corrupted one, which ``verify=True`` detects at the peer.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi import DOUBLE, MPIContext
+
+MSG_WORDS = 8
+
+
+def pingpong(mpi: MPIContext, buggy: bool = True, iterations: int = 4,
+             verify: bool = False):
+    """Bounce a payload between ranks 0 and 1; returns per-rank
+    ``(corrupt_observations, last_value)``."""
+    if mpi.size < 2:
+        raise ValueError("pingpong needs at least 2 ranks")
+    court = mpi.alloc("court", MSG_WORDS, datatype=DOUBLE, fill=-1.0)
+    ball = mpi.alloc("ball", MSG_WORDS, datatype=DOUBLE, fill=0.0)
+    win = mpi.win_create(court)
+    win.fence()
+
+    peer = 1 - mpi.rank
+    corrupt = 0
+    playing = mpi.rank in (0, 1)
+    for it in range(iterations):
+        serving = playing and (it % 2 == mpi.rank)
+        if serving:
+            ball.write([float(it)] * MSG_WORDS)
+            win.put(ball, target=peer, origin_count=MSG_WORDS)
+            if buggy:
+                # reuse of the origin buffer before the epoch closes: the
+                # Put may transmit this value instead of the serve
+                ball[0] = -42.0
+        win.fence()
+        if playing and not serving:
+            received = court.read(0, MSG_WORDS)
+            if verify and any(v != float(it) for v in received):
+                corrupt += 1
+        win.fence()
+        if buggy or not serving:
+            pass
+        else:
+            # fixed code reuses the buffer only after the closing fence
+            ball[0] = -42.0
+
+    last = court.read(0, 1)[0] if playing else None
+    win.free()
+    return corrupt, last

@@ -1,0 +1,201 @@
+"""Machine-readable experiment registry: Table II rows and Figure 8 apps.
+
+Each :class:`BugCase` mirrors one row of the paper's Table II: the
+application, the number of processes used in the paper's experiment, where
+the error lives (within an epoch / across processes), its root cause
+(which conflicting operation pair), and the failure symptom.  The
+detection benchmark replays every case and checks MC-Checker's findings
+against the expected root cause.
+
+Applications are referenced by dotted path and resolved lazily so that
+importing the registry stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
+
+
+def _resolve(dotted: str) -> Callable:
+    module_name, attr = dotted.rsplit(":", 1)
+    return getattr(importlib.import_module(module_name), attr)
+
+
+@dataclass(frozen=True)
+class BugCase:
+    """One Table II row."""
+
+    name: str
+    app_path: str
+    nranks: int
+    buggy_params: Tuple[Tuple[str, Any], ...]
+    fixed_params: Tuple[Tuple[str, Any], ...]
+    #: "within an epoch" | "across processes"
+    error_location: str
+    #: access-kind pair expected in at least one finding
+    root_cause: FrozenSet[str]
+    failure_symptom: str
+    #: expected severity of the principal finding
+    expected_severity: str = "error"
+    #: real-world vs injected (the paper evaluates 3 + 2)
+    provenance: str = "real-world"
+
+    @property
+    def app(self) -> Callable:
+        return _resolve(self.app_path)
+
+    def params(self, buggy: bool) -> Dict[str, Any]:
+        return dict(self.buggy_params if buggy else self.fixed_params)
+
+
+@dataclass(frozen=True)
+class OverheadApp:
+    """One Figure 8 workload."""
+
+    name: str
+    app_path: str
+    nranks: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def app(self) -> Callable:
+        return _resolve(self.app_path)
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+BUG_CASES: Tuple[BugCase, ...] = (
+    BugCase(
+        name="emulate",
+        app_path="repro.apps.emulate:emulate",
+        nranks=2,
+        buggy_params=(("buggy", True),),
+        fixed_params=(("buggy", False),),
+        error_location="within an epoch",
+        root_cause=frozenset({"get", "load", "store"}),
+        failure_symptom="stale value read / update lost",
+        provenance="real-world",
+    ),
+    BugCase(
+        name="BT-broadcast",
+        app_path="repro.apps.bt_broadcast:bt_broadcast",
+        nranks=2,
+        buggy_params=(("buggy", True),),
+        fixed_params=(("buggy", False),),
+        error_location="within an epoch",
+        root_cause=frozenset({"get", "load"}),
+        failure_symptom="infinite while loop",
+        provenance="real-world",
+    ),
+    BugCase(
+        name="lockopts",
+        app_path="repro.apps.lockopts:lockopts",
+        nranks=64,
+        buggy_params=(("buggy", True), ("lock_type", "shared")),
+        fixed_params=(("buggy", False),),
+        error_location="across processes",
+        root_cause=frozenset({"put", "get", "load", "store"}),
+        failure_symptom="nondeterministic results",
+        provenance="real-world",
+    ),
+    BugCase(
+        name="ping-pong",
+        app_path="repro.apps.pingpong:pingpong",
+        nranks=2,
+        buggy_params=(("buggy", True),),
+        fixed_params=(("buggy", False),),
+        error_location="within an epoch",
+        root_cause=frozenset({"put", "store"}),
+        failure_symptom="corrupted payload transmitted",
+        provenance="injected",
+    ),
+    BugCase(
+        name="jacobi",
+        app_path="repro.apps.jacobi:jacobi",
+        nranks=4,
+        buggy_params=(("buggy", True),),
+        fixed_params=(("buggy", False),),
+        error_location="across processes",
+        root_cause=frozenset({"put", "load", "store"}),
+        failure_symptom="stale ghost cells / wrong results",
+        provenance="injected",
+    ),
+)
+
+#: The ADLB/GFMC stack-buffer anecdote of section II-B — not a Table II
+#: row, but the paper's motivating production incident.
+ADLB_ANECDOTE = BugCase(
+    name="adlb",
+    app_path="repro.apps.adlb:adlb",
+    nranks=3,
+    buggy_params=(("buggy", True),),
+    fixed_params=(("buggy", False),),
+    error_location="within an epoch",
+    root_cause=frozenset({"put", "store"}),
+    failure_symptom="stack frame transmitted after overwrite (BG/Q)",
+    provenance="real-world",
+)
+
+#: PSCW exposure-epoch race (the Figure 2d class under generalized
+#: active-target synchronization) — exercises post/start/complete/wait.
+SWEEP_PSCW = BugCase(
+    name="sweep-pscw",
+    app_path="repro.apps.sweep_pscw:sweep_pscw",
+    nranks=3,
+    buggy_params=(("buggy", True),),
+    fixed_params=(("buggy", False),),
+    error_location="across processes",
+    root_cause=frozenset({"put", "load"}),
+    failure_symptom="stale face read during exposure epoch",
+    provenance="injected",
+)
+
+#: The original (exclusive-lock) lockopts defect: detected as a warning.
+LOCKOPTS_EXCLUSIVE = BugCase(
+    name="lockopts-exclusive",
+    app_path="repro.apps.lockopts:lockopts",
+    nranks=64,
+    buggy_params=(("buggy", True), ("lock_type", "exclusive")),
+    fixed_params=(("buggy", False),),
+    error_location="across processes",
+    root_cause=frozenset({"put", "get", "load", "store"}),
+    failure_symptom="nondeterministic results (serialized)",
+    expected_severity="warning",
+    provenance="real-world",
+)
+
+OVERHEAD_APPS: Tuple[OverheadApp, ...] = (
+    OverheadApp("Lennard-Jones", "repro.apps.lennard_jones:lennard_jones",
+                nranks=64, params=(("particles_per_rank", 4), ("steps", 3))),
+    OverheadApp("SCF", "repro.apps.scf:scf",
+                nranks=64, params=(("basis_per_rank", 4), ("iterations", 3))),
+    OverheadApp("Boltzmann", "repro.apps.boltzmann:boltzmann",
+                nranks=64, params=(("cells_per_rank", 16), ("steps", 3))),
+    OverheadApp("SKaMPI", "repro.apps.skampi:skampi",
+                nranks=64, params=(("sizes", (8, 64, 256)),
+                                   ("repeats", 3))),
+    OverheadApp("LU", "repro.apps.lu:lu",
+                nranks=64, params=(("n", 128),)),
+)
+
+
+#: Cases beyond the paper's Table II, bundled for the CLI and examples.
+EXTRA_CASES: Tuple[BugCase, ...] = (LOCKOPTS_EXCLUSIVE, ADLB_ANECDOTE,
+                                    SWEEP_PSCW)
+
+
+def bug_case(name: str) -> BugCase:
+    for case in BUG_CASES + EXTRA_CASES:
+        if case.name == name:
+            return case
+    raise KeyError(f"unknown bug case {name!r}")
+
+
+def overhead_app(name: str) -> OverheadApp:
+    for app in OVERHEAD_APPS:
+        if app.name == name:
+            return app
+    raise KeyError(f"unknown overhead app {name!r}")

@@ -1,0 +1,73 @@
+"""``SKaMPI`` — an RMA microbenchmark sweep (Figure 8).
+
+SKaMPI times individual MPI operations across message sizes and
+synchronization modes.  This reimplementation sweeps Put, Get, and
+Accumulate over a size list in both active-target (fence) and
+passive-target (lock/unlock) modes, pairing even ranks with their odd
+neighbours, and returns the per-(op, mode, size) timings.
+
+Race-free: within each measurement, only the even rank of a pair issues
+operations, and epochs strictly alternate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simmpi import DOUBLE, LOCK_SHARED, MPIContext, SUM
+
+OPS = ("put", "get", "acc")
+MODES = ("fence", "lock")
+
+
+def _issue(win, op: str, buf, peer: int, count: int) -> None:
+    if op == "put":
+        win.put(buf, target=peer, origin_count=count)
+    elif op == "get":
+        win.get(buf, target=peer, origin_count=count)
+    else:
+        win.accumulate(buf, target=peer, op=SUM, origin_count=count)
+
+
+def skampi(mpi: MPIContext, sizes: Sequence[int] = (8, 64, 256),
+           repeats: int = 3) -> List[Dict]:
+    """Run the sweep; every rank returns the same list of measurement rows
+    ``{"op", "mode", "size", "seconds"}`` (times from the issuing ranks,
+    averaged via allreduce)."""
+    max_size = max(sizes)
+    wbuf = mpi.alloc("wbuf", max_size, datatype=DOUBLE, fill=0.0)
+    obuf = mpi.alloc("obuf", max_size, datatype=DOUBLE, fill=1.0)
+    win = mpi.win_create(wbuf)
+
+    active = mpi.size - (mpi.size % 2)  # ranks taking part in pairs
+    is_origin = mpi.rank < active and mpi.rank % 2 == 0
+    peer = mpi.rank + 1 if is_origin else mpi.rank - 1
+
+    rows: List[Dict] = []
+    win.fence()
+    for op in OPS:
+        for mode in MODES:
+            for size in sizes:
+                start = mpi.wtime()
+                for _rep in range(repeats):
+                    if mode == "fence":
+                        if is_origin:
+                            _issue(win, op, obuf, peer, size)
+                        win.fence()
+                    else:
+                        if is_origin:
+                            win.lock(peer, LOCK_SHARED)
+                            _issue(win, op, obuf, peer, size)
+                            win.unlock(peer)
+                        mpi.barrier()
+                elapsed = mpi.wtime() - start
+                mine = elapsed if is_origin else 0.0
+                total = mpi.allreduce([mine], op="SUM")
+                issuers = max(active // 2, 1)
+                rows.append({
+                    "op": op, "mode": mode, "size": size,
+                    "seconds": float(total[0]) / issuers / repeats,
+                })
+    win.fence()
+    win.free()
+    return rows

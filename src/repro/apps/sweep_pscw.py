@@ -1,0 +1,80 @@
+"""``sweep_pscw`` — wavefront sweep with generalized active-target sync.
+
+Post/Start/Complete/Wait (PSCW) is MPI's synchronization mode for sparse
+communication graphs: instead of a window-wide fence, each rank
+synchronizes only with the neighbours it actually exchanges with.  This
+app models a pipelined wavefront sweep (the communication skeleton of
+Sweep3D-style transport codes): rank *r* receives an incoming face from
+rank *r-1*, applies a relaxation, and exposes its outgoing face to rank
+*r+1*:
+
+* the downstream rank ``post``s its window to its upstream neighbour and
+  ``wait``s;
+* the upstream rank ``start``s an access epoch to its downstream
+  neighbour, ``put``s the face, and ``complete``s.
+
+The buggy variant reads the exposed face *during* the exposure epoch
+(between post and wait) — the PSCW flavour of the Figure 2d defect: the
+Put may land before, during, or after the local read.
+
+The fixed variant reads only after ``wait`` returns, which PSCW guarantees
+orders after the origin's ``complete``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import DOUBLE, MPIContext
+
+FACE_WORDS = 4
+
+
+def sweep_pscw(mpi: MPIContext, buggy: bool = True, waves: int = 3):
+    """Run the sweep; returns this rank's final face checksum."""
+    face = mpi.alloc("face", FACE_WORDS, datatype=DOUBLE, fill=0.0)
+    out_face = mpi.alloc("out_face", FACE_WORDS, datatype=DOUBLE)
+    win = mpi.win_create(face)
+    world = mpi.comm_group()
+    upstream = mpi.rank - 1 if mpi.rank > 0 else None
+    downstream = mpi.rank + 1 if mpi.rank < mpi.size - 1 else None
+
+    checksum = 0.0
+    for wave in range(waves):
+        incoming = None
+        if upstream is not None:
+            win.post(world.incl([upstream]))  # expose to my upstream
+            if buggy:
+                # reading the face during the exposure epoch: the
+                # upstream Put may not have landed (or may land mid-read)
+                incoming = face.read(0, FACE_WORDS)
+            win.wait()  # upstream completed: the face is consistent
+            if not buggy:
+                incoming = face.read(0, FACE_WORDS)
+        else:
+            incoming = np.full(FACE_WORDS, float(wave + 1))
+
+        # relax and pass the wave downstream
+        outgoing = 0.5 * incoming + 0.25
+        checksum += float(outgoing.sum())
+        if downstream is not None:
+            out_face.write(outgoing)
+            win.start(world.incl([downstream]))
+            win.put(out_face, target=downstream, origin_count=FACE_WORDS)
+            win.complete()
+
+    mpi.barrier()
+    win.free()
+    return checksum
+
+
+def expected_checksum(nranks: int, waves: int = 3) -> list:
+    """Reference checksums computed without any communication."""
+    sums = [0.0] * nranks
+    for wave in range(waves):
+        incoming = np.full(FACE_WORDS, float(wave + 1))
+        for rank in range(nranks):
+            outgoing = 0.5 * incoming + 0.25
+            sums[rank] += float(outgoing.sum())
+            incoming = outgoing
+    return sums

@@ -1,0 +1,78 @@
+"""``work_queue`` — decentralized work claiming over MPI-3 atomics.
+
+The production pattern behind ADLB (the paper's section II-B anecdote):
+a shared pool of task descriptors claimed by competing workers.  Here the
+pool is a window at rank 0 holding a ticket counter plus one ownership
+word per task; workers claim tasks atomically and process them.
+
+Variants:
+
+* ``mode="cas"`` (default) — workers CAS-claim per-task ownership words;
+  exactly one winner per task, consistency-clean;
+* ``mode="fetch_add"`` — a ``fetch_and_op(SUM)`` ticket counter; also
+  correct, fewer RMA ops per claim;
+* ``mode="racy"`` — the naive read-check-write claim (Get, test, Put):
+  tasks get double-claimed under contention AND MC-Checker flags the
+  Get/Put race.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simmpi import INT, LOCK_SHARED, MPIContext
+
+FREE = 0
+TAKEN = 1
+
+
+def work_queue(mpi: MPIContext, tasks: int = 8, mode: str = "cas"):
+    """Claim ``tasks`` tasks; returns ``(my claimed ids, ownership table)``
+    (the table only at rank 0)."""
+    if mode not in ("cas", "fetch_add", "racy"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+    # window layout at rank 0: [ticket | owner_0 .. owner_{tasks-1}]
+    pool = mpi.alloc("pool", 1 + tasks, datatype=INT, fill=FREE)
+    one = mpi.alloc("one", 1, datatype=INT, fill=TAKEN)
+    old = mpi.alloc("old", 1, datatype=INT, fill=-1)
+    free_val = mpi.alloc("free_val", 1, datatype=INT, fill=FREE)
+    win = mpi.win_create(pool)
+    mpi.barrier()
+
+    claimed: List[int] = []
+    if mode == "fetch_add":
+        while True:
+            win.lock(0, LOCK_SHARED)
+            win.fetch_and_op(one, old, target=0, op="SUM", target_disp=0)
+            win.unlock(0)
+            ticket = old[0]
+            if ticket >= tasks:
+                break
+            claimed.append(ticket)
+    elif mode == "cas":
+        for task in range(tasks):
+            win.lock(0, LOCK_SHARED)
+            win.compare_and_swap(one, free_val, old, target=0,
+                                 target_disp=1 + task)
+            win.flush(0)
+            won = old[0] == FREE
+            win.unlock(0)
+            if won:
+                claimed.append(task)
+    else:  # racy read-check-write
+        for task in range(tasks):
+            win.lock(0, LOCK_SHARED)
+            win.get(old, target=0, target_disp=1 + task, origin_count=1)
+            win.unlock(0)
+            if old[0] == FREE:
+                win.lock(0, LOCK_SHARED)
+                win.put(one, target=0, target_disp=1 + task,
+                        origin_count=1)
+                win.unlock(0)
+                claimed.append(task)  # possibly double-claimed!
+
+    mpi.barrier()
+    table = pool.read(1, tasks).tolist() if mpi.rank == 0 else None
+    win.free()
+    return claimed, table

@@ -1,0 +1,265 @@
+"""``mc-checker`` command-line interface.
+
+Subcommands mirror the paper's workflow (Figure 5):
+
+* ``mc-checker stanalyze app.py`` — run ST-Analyzer, print the
+  instrumentation report;
+* ``mc-checker run <app> --ranks N --trace-dir D`` — execute an
+  application under the Profiler, writing per-rank traces;
+* ``mc-checker check <trace-dir>`` — run DN-Analyzer offline over traces;
+* ``mc-checker run-check <app>`` — both steps in one go;
+* ``mc-checker table1`` — print the compatibility matrix;
+* ``mc-checker apps`` — list the bundled applications.
+
+``<app>`` is either a bundled bug-case name (``emulate``, ``BT-broadcast``,
+``lockopts``, ``ping-pong``, ``jacobi``), a bundled overhead app name, or a
+dotted path ``package.module:function``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.checker import check_traces
+from repro.core.compat import KINDS, TABLE
+from repro.profiler.session import profile_run
+from repro.profiler.tracer import TraceSet
+from repro.stanalyzer import analyze_source
+
+
+def _resolve_app(name: str) -> Tuple[Callable, Dict]:
+    """Resolve an app spec to (callable, default params)."""
+    from repro.apps.registry import (
+        BUG_CASES, EXTRA_CASES, OVERHEAD_APPS, _resolve,
+    )
+    for case in BUG_CASES + EXTRA_CASES:
+        if case.name == name:
+            return case.app, case.params(buggy=True)
+    for app in OVERHEAD_APPS:
+        if app.name == name:
+            return app.app, app.param_dict()
+    if ":" in name:
+        return _resolve(name), {}
+    raise SystemExit(f"unknown application {name!r}; see `mc-checker apps`")
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", help="bundled app name or module:function")
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--trace-dir", default=None)
+    parser.add_argument("--scope", default="report",
+                        choices=("report", "all", "none"),
+                        help="instrumentation scope (default: ST-Analyzer "
+                             "report)")
+    parser.add_argument("--delivery", default="random",
+                        choices=("eager", "lazy", "random"),
+                        help="RMA delivery policy of the simulator")
+    parser.add_argument("--sched", default="round_robin",
+                        choices=("round_robin", "random"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fixed", action="store_true",
+                        help="run the corrected variant of a bug-case app")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override an app parameter (repeatable)")
+
+
+def _parse_params(raw_params, defaults: Dict) -> Dict:
+    params = dict(defaults)
+    for raw in raw_params:
+        key, _, value = raw.partition("=")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _do_run(args) -> Optional[str]:
+    app, defaults = _resolve_app(args.app)
+    params = _parse_params(args.param, defaults)
+    if args.fixed and "buggy" in params:
+        params["buggy"] = False
+    run = profile_run(app, args.ranks, trace_dir=args.trace_dir,
+                      params=params, scope=args.scope,
+                      delivery=args.delivery, sched_policy=args.sched,
+                      seed=args.seed, app_name=args.app)
+    counts = run.traces.event_counts()
+    print(f"ran {args.app!r} on {args.ranks} ranks in {run.elapsed:.3f}s")
+    print(f"traces: {run.traces.directory}")
+    print(f"events: {counts['call']} MPI calls, {counts['load']} loads, "
+          f"{counts['store']} stores")
+    return run.traces.directory
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mc-checker",
+        description="Detect memory consistency errors in (simulated) MPI "
+                    "one-sided applications.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="profile an application run")
+    _add_run_args(p_run)
+
+    p_check = sub.add_parser("check", help="analyze an existing trace set")
+    p_check.add_argument("trace_dir")
+    p_check.add_argument("--naive-inter", action="store_true",
+                         help="use the combinatorial cross-process detector")
+    p_check.add_argument("--streaming", action="store_true",
+                         help="region-at-a-time analysis with bounded "
+                              "data-event memory")
+    p_check.add_argument("--memory-model", default="separate",
+                         choices=("separate", "unified"),
+                         help="MPI RMA memory model for Table-I verdicts")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the report as JSON (for CI tooling)")
+
+    p_rc = sub.add_parser("run-check", help="profile and analyze in one go")
+    _add_run_args(p_rc)
+
+    p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
+    p_st.add_argument("source_file")
+
+    p_dag = sub.add_parser(
+        "dag", help="render a trace set's data-access DAG (Figure 4)")
+    p_dag.add_argument("trace_dir")
+    p_dag.add_argument("--format", default="ascii",
+                       choices=("ascii", "dot"))
+
+    p_stats = sub.add_parser(
+        "stats", help="event statistics of a trace set (Figure-10 lens)")
+    p_stats.add_argument("trace_dir")
+    p_stats.add_argument("--hot", type=int, default=8,
+                         help="number of hottest statements to list")
+
+    p_diff = sub.add_parser(
+        "diff", help="align two trace sets of the same application")
+    p_diff.add_argument("left_dir")
+    p_diff.add_argument("right_dir")
+
+    p_min = sub.add_parser(
+        "minimize", help="shrink a failing trace set while the first "
+                         "finding persists")
+    p_min.add_argument("trace_dir")
+    p_min.add_argument("out_dir")
+
+    sub.add_parser("table1", help="print the RMA compatibility matrix")
+    sub.add_parser("apps", help="list bundled applications")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        _do_run(args)
+        return 0
+
+    if args.command in ("check", "run-check"):
+        if args.command == "run-check":
+            trace_dir = _do_run(args)
+            naive = streaming = False
+            memory_model = "separate"
+        else:
+            trace_dir = args.trace_dir
+            naive = args.naive_inter
+            streaming = args.streaming
+            memory_model = args.memory_model
+        traces = TraceSet(trace_dir)
+        if streaming:
+            from repro.core.streaming import check_streaming
+            findings, checker = check_streaming(traces,
+                                                memory_model=memory_model)
+            errors = [f for f in findings if f.severity == "error"]
+            print(f"MC-Checker (streaming): {len(errors)} error(s), "
+                  f"{len(findings) - len(errors)} warning(s); peak "
+                  f"buffered load/store events: "
+                  f"{checker.peak_buffered_mems}")
+            for finding in findings:
+                print()
+                print(finding.format())
+            return 1 if errors else 0
+        report = check_traces(traces, naive_inter=naive,
+                              memory_model=memory_model)
+        if getattr(args, "json", False):
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.format())
+        return 1 if report.has_errors else 0
+
+    if args.command == "dag":
+        from repro.core.dag import build_dag, render_ascii, render_dot
+        from repro.core.epochs import EpochIndex
+        from repro.core.matching import match_synchronization
+        from repro.core.preprocess import preprocess
+
+        pre = preprocess(TraceSet(args.trace_dir))
+        matches = match_synchronization(pre)
+        dag = build_dag(pre, matches, EpochIndex(pre))
+        render = render_dot if args.format == "dot" else render_ascii
+        print(render(dag))
+        return 0
+
+    if args.command == "stats":
+        from repro.tools import compute_stats
+        print(compute_stats(TraceSet(args.trace_dir)).format(
+            hot_limit=args.hot))
+        return 0
+
+    if args.command == "diff":
+        from repro.tools import diff_traces
+        diff = diff_traces(TraceSet(args.left_dir),
+                           TraceSet(args.right_dir))
+        print(diff.format())
+        return 0 if diff.identical else 1
+
+    if args.command == "minimize":
+        from repro.tools.minimize import minimize_trace
+        try:
+            result = minimize_trace(TraceSet(args.trace_dir), args.out_dir)
+        except ValueError as exc:
+            print(f"minimize: {exc}")
+            return 2
+        print(result.format())
+        print(f"minimized traces: {result.traces.directory}")
+        return 0
+
+    if args.command == "stanalyze":
+        with open(args.source_file, encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            report = analyze_source(source, filename=args.source_file)
+        except SyntaxError as exc:
+            print(f"stanalyze: {args.source_file} does not parse: {exc}")
+            return 2
+        print(report.summary())
+        return 0
+
+    if args.command == "table1":
+        width = max(len(k) for k in KINDS) + 2
+        print("".ljust(width) + "".join(k.ljust(width) for k in KINDS))
+        for a in KINDS:
+            row = [TABLE[(a, b)] for b in KINDS]
+            print(a.ljust(width) + "".join(v.ljust(width) for v in row))
+        print("\n(acc/acc: BOTH only for the same op and basic datatype)")
+        return 0
+
+    if args.command == "apps":
+        from repro.apps.registry import (
+            BUG_CASES, EXTRA_CASES, OVERHEAD_APPS,
+        )
+        print("bug-study applications (Table II + extras):")
+        for case in BUG_CASES + EXTRA_CASES:
+            print(f"  {case.name:20s} {case.nranks:3d} ranks  "
+                  f"{case.error_location:17s} {case.failure_symptom}")
+        print("overhead applications (Figure 8):")
+        for app in OVERHEAD_APPS:
+            print(f"  {app.name:20s} {app.nranks:3d} ranks")
+        return 0
+
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""DN-Analyzer — offline trace analysis and consistency-error detection.
+
+This package is the paper's primary contribution (sections III and IV-C):
+
+1. :mod:`~repro.core.preprocess` rebuilds communicators, windows, and
+   datatype data-maps from the per-rank traces;
+2. :mod:`~repro.core.matching` matches synchronization calls across ranks
+   (Algorithm 1, progress-counter driven);
+3. :mod:`~repro.core.clocks` derives a happens-before oracle (vector
+   clocks over the synchronization graph);
+4. :mod:`~repro.core.dag` materializes the data-access DAG (Figure 4);
+5. :mod:`~repro.core.regions` extracts concurrent regions between global
+   synchronization cuts;
+6. :mod:`~repro.core.epochs` / :mod:`~repro.core.model` identify epochs
+   and lift trace events into analyzable access views;
+7. :mod:`~repro.core.intra` and :mod:`~repro.core.inter` detect
+   conflicting operations within an epoch and across processes, using the
+   compatibility rules of :mod:`~repro.core.compat` (Table I);
+8. :mod:`~repro.core.checker` wires it all together as :class:`MCChecker`.
+"""
+
+from repro.core.checker import CheckReport, MCChecker, check_app, check_traces
+from repro.core.compat import (
+    BOTH, ERROR, NONOV, MODEL_SEPARATE, MODEL_UNIFIED, compat_verdict,
+)
+from repro.core.diagnostics import ConsistencyError
+from repro.core.streaming import StreamingChecker, check_streaming
+
+__all__ = [
+    "CheckReport", "MCChecker", "check_app", "check_traces",
+    "BOTH", "ERROR", "NONOV", "MODEL_SEPARATE", "MODEL_UNIFIED",
+    "compat_verdict",
+    "ConsistencyError",
+    "StreamingChecker", "check_streaming",
+]

@@ -1,0 +1,187 @@
+"""MCChecker — the end-to-end pipeline of Figure 5.
+
+``traces -> preprocess -> match synchronization -> happens-before oracle ->
+epochs -> access model -> concurrent regions -> intra-epoch + cross-process
+detection -> deduplicated report``.
+
+Two entry points:
+
+* :func:`check_traces` — analyze an existing
+  :class:`~repro.profiler.tracer.TraceSet` (offline, like the paper's
+  DN-Analyzer);
+* :func:`check_app` — profile an application on the simulated runtime and
+  analyze the result in one call (the ``mc-checker run`` workflow).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.clocks import ConcurrencyOracle
+from repro.core.diagnostics import (
+    SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, dedupe,
+)
+from repro.core.epochs import EpochIndex
+from repro.core.inter import detect_cross_process, detect_cross_process_naive
+from repro.core.intra import detect_intra_epoch
+from repro.core.matching import match_synchronization
+from repro.core.model import build_access_model
+from repro.core.preprocess import PreprocessedTrace, preprocess
+from repro.core.regions import RegionIndex
+from repro.profiler.tracer import TraceSet
+
+
+@dataclass
+class CheckStats:
+    """Pipeline statistics (sizes and per-phase wall-clock seconds)."""
+
+    nranks: int = 0
+    events: int = 0
+    rma_ops: int = 0
+    local_accesses: int = 0
+    sync_matches: int = 0
+    regions: int = 0
+    epochs: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+@dataclass
+class CheckReport:
+    """The outcome of one MC-Checker analysis."""
+
+    errors: List[ConsistencyError]
+    warnings: List[ConsistencyError]
+    stats: CheckStats
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def findings(self) -> List[ConsistencyError]:
+        return self.errors + self.warnings
+
+    def summary(self) -> str:
+        return (f"MC-Checker: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s) across "
+                f"{self.stats.nranks} ranks "
+                f"({self.stats.events} events, {self.stats.rma_ops} RMA ops, "
+                f"{self.stats.regions} concurrent regions)")
+
+    def format(self) -> str:
+        lines = [self.summary()]
+        for finding in self.findings:
+            lines.append("")
+            lines.append(finding.format())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the whole report."""
+        return {
+            "errors": [f.to_dict() for f in self.errors],
+            "warnings": [f.to_dict() for f in self.warnings],
+            "stats": {
+                "nranks": self.stats.nranks,
+                "events": self.stats.events,
+                "rma_ops": self.stats.rma_ops,
+                "local_accesses": self.stats.local_accesses,
+                "sync_matches": self.stats.sync_matches,
+                "regions": self.stats.regions,
+                "epochs": self.stats.epochs,
+                "phase_seconds": dict(self.stats.phase_seconds),
+            },
+        }
+
+
+class MCChecker:
+    """Configurable DN-Analyzer pipeline over one trace set."""
+
+    def __init__(self, traces: TraceSet, naive_inter: bool = False,
+                 memory_model: str = "separate"):
+        self.traces = traces
+        self.naive_inter = naive_inter
+        self.memory_model = memory_model
+        # populated by run(); kept public for tests and the CLI
+        self.pre: Optional[PreprocessedTrace] = None
+        self.matches = None
+        self.oracle: Optional[ConcurrencyOracle] = None
+        self.epoch_index: Optional[EpochIndex] = None
+        self.model = None
+        self.regions: Optional[RegionIndex] = None
+
+    def run(self) -> CheckReport:
+        stats = CheckStats()
+        timings = stats.phase_seconds
+
+        def timed(name: str, fn: Callable[[], Any]) -> Any:
+            start = time.perf_counter()
+            result = fn()
+            timings[name] = timings.get(name, 0.0) + \
+                (time.perf_counter() - start)
+            return result
+
+        self.pre = timed("preprocess", lambda: preprocess(self.traces))
+        pre = self.pre
+        stats.nranks = pre.nranks
+        stats.events = sum(len(events) for events in pre.events.values())
+
+        self.matches = timed("matching",
+                             lambda: match_synchronization(pre))
+        stats.sync_matches = len(self.matches)
+
+        self.oracle = timed("clocks",
+                            lambda: ConcurrencyOracle(pre, self.matches))
+        self.epoch_index = timed("epochs", lambda: EpochIndex(pre))
+        stats.epochs = len(self.epoch_index.epochs)
+
+        self.model = timed("model",
+                           lambda: build_access_model(pre, self.epoch_index))
+        stats.rma_ops = len(self.model.ops)
+        stats.local_accesses = len(self.model.local)
+
+        self.regions = timed("regions",
+                             lambda: RegionIndex(pre, self.matches))
+        stats.regions = len(self.regions)
+
+        findings = timed("intra", lambda: detect_intra_epoch(
+            self.model, self.epoch_index, memory_model=self.memory_model))
+        inter_fn = (detect_cross_process_naive if self.naive_inter
+                    else detect_cross_process)
+        findings += timed("inter", lambda: inter_fn(
+            pre, self.model, self.regions, self.oracle, self.epoch_index,
+            memory_model=self.memory_model))
+
+        findings = dedupe(findings)
+        errors = [f for f in findings if f.severity == SEVERITY_ERROR]
+        warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
+        return CheckReport(errors=errors, warnings=warnings, stats=stats)
+
+
+def check_traces(traces: TraceSet, naive_inter: bool = False,
+                 memory_model: str = "separate") -> CheckReport:
+    """Analyze an existing trace set."""
+    return MCChecker(traces, naive_inter=naive_inter,
+                     memory_model=memory_model).run()
+
+
+def check_app(app: Callable, nranks: int,
+              params: Optional[Dict[str, Any]] = None,
+              trace_dir: Optional[str] = None,
+              scope: str = "report",
+              delivery: str = "random",
+              sched_policy: str = "round_robin",
+              seed: int = 0,
+              memory_model: str = "separate") -> CheckReport:
+    """Profile ``app`` on the simulated runtime, then analyze the traces."""
+    from repro.profiler.session import profile_run
+
+    run = profile_run(app, nranks, trace_dir=trace_dir, params=params,
+                      scope=scope, delivery=delivery,
+                      sched_policy=sched_policy, seed=seed)
+    return check_traces(run.traces, memory_model=memory_model)

@@ -1,0 +1,218 @@
+"""Happens-before oracle: vector clocks over the synchronization graph.
+
+Checking whether two trace events are concurrent is the innermost query of
+both detection passes.  Rather than answering it with DAG reachability
+(quadratic in trace length), DN-Analyzer assigns *vector clocks* to
+synchronization events only:
+
+* the sync events of each rank form a chain (program order);
+* a collective match fuses its member events into one *unit* whose clock
+  joins all members' histories (everything before the barrier at any
+  member happens-before everything after it at any member);
+* directed matches (send->recv, post->start, complete->wait) contribute a
+  one-way edge.
+
+For arbitrary events, ``a happens-before b`` iff the first sync at
+``rank(a)`` at-or-after ``a`` is known to the last sync at ``rank(b)``
+at-or-before ``b`` — two binary searches and one integer compare.
+
+Nonblocking RMA operations are compared by their *spans*: an operation
+issued at ``seq_i`` whose epoch closes at ``seq_c`` may touch memory at any
+instant in between, so span ``[seq_i, seq_c]`` is ordered after another
+access only if the access happens-before the issue, and before it only if
+the close happens-before the access (section II-B's consistency order).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matching import KIND_COLLECTIVE, SyncMatch
+from repro.core.preprocess import PreprocessedTrace
+from repro.util.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Span:
+    """The influence interval of an access: ``[start_seq, end_seq]`` at a rank.
+
+    Point accesses (loads/stores) have ``start == end``; a nonblocking RMA
+    operation spans issue to epoch close.
+    """
+
+    rank: int
+    start_seq: int
+    end_seq: int
+
+    @classmethod
+    def point(cls, rank: int, seq: int) -> "Span":
+        return cls(rank, seq, seq)
+
+
+class ConcurrencyOracle:
+    """Vector-clock-based happens-before and concurrency queries."""
+
+    def __init__(self, pre: PreprocessedTrace, matches: Sequence[SyncMatch]):
+        self.nranks = pre.nranks
+        self._build(pre, matches)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build(self, pre: PreprocessedTrace,
+               matches: Sequence[SyncMatch]) -> None:
+        participants: List[Tuple[int, int]] = []
+        seen = set()
+        for match in matches:
+            for rank, seq in match.participants():
+                if (rank, seq) not in seen:
+                    seen.add((rank, seq))
+                    participants.append((rank, seq))
+
+        # per-rank ordered sync positions
+        self.sync_seqs: List[List[int]] = [[] for _ in range(self.nranks)]
+        for rank, seq in participants:
+            self.sync_seqs[rank].append(seq)
+        for seqs in self.sync_seqs:
+            seqs.sort()
+        sync_index = {
+            (rank, seq): i
+            for rank in range(self.nranks)
+            for i, seq in enumerate(self.sync_seqs[rank])
+        }
+
+        # units: collective matches fuse members; everything else singleton
+        unit_of: Dict[Tuple[int, int], int] = {}
+        unit_events: List[List[Tuple[int, int]]] = []
+
+        def unit_for(point: Tuple[int, int]) -> int:
+            uid = unit_of.get(point)
+            if uid is None:
+                uid = len(unit_events)
+                unit_of[point] = uid
+                unit_events.append([point])
+            return uid
+
+        collective_units = set()
+        #: initiation points of nonblocking collectives: their unit's join
+        #: is never readable through the init itself, only via the Wait
+        nb_inits = set()
+        #: (collective unit id, exit point) pairs for nonblocking
+        #: collectives: the join becomes visible at each rank's Wait
+        exit_edges: List[Tuple[int, Tuple[int, int]]] = []
+        for match in matches:
+            if match.kind == KIND_COLLECTIVE and match.members:
+                uid = len(unit_events)
+                members = sorted(match.members.items())
+                unit_events.append([(r, s) for r, s in members])
+                collective_units.add(uid)
+                for r, s in members:
+                    unit_of[(r, s)] = uid
+                if match.exits:
+                    nb_inits.update((r, s) for r, s in members)
+                for r, s in match.exits.items():
+                    exit_edges.append((uid, (r, s)))
+
+        edges: List[Tuple[int, int]] = []
+        for rank in range(self.nranks):
+            seqs = self.sync_seqs[rank]
+            for prev_seq, next_seq in zip(seqs, seqs[1:]):
+                u, v = unit_for((rank, prev_seq)), unit_for((rank, next_seq))
+                if u != v:
+                    edges.append((u, v))
+        for match in matches:
+            if match.kind != KIND_COLLECTIVE and match.src and match.dst:
+                u, v = unit_for(match.src), unit_for(match.dst)
+                if u != v:
+                    edges.append((u, v))
+        for uid, exit_point in exit_edges:
+            v = unit_for(exit_point)
+            if uid != v:
+                edges.append((uid, v))
+
+        n_units = len(unit_events)
+        preds: List[List[int]] = [[] for _ in range(n_units)]
+        out: List[List[int]] = [[] for _ in range(n_units)]
+        indegree = [0] * n_units
+        for u, v in set(edges):
+            preds[v].append(u)
+            out[u].append(v)
+            indegree[v] += 1
+
+        # Kahn topological pass computing clocks
+        clocks = np.zeros((n_units, self.nranks), dtype=np.int64)
+        ready = [u for u in range(n_units) if indegree[u] == 0]
+        done = 0
+        while ready:
+            u = ready.pop()
+            done += 1
+            clock = clocks[u]
+            for p in preds[u]:
+                np.maximum(clock, clocks[p], out=clock)
+            for rank, seq in unit_events[u]:
+                idx = sync_index[(rank, seq)] + 1
+                if clock[rank] < idx:
+                    clock[rank] = idx
+            for v in out[u]:
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    ready.append(v)
+        if done != n_units:
+            raise AnalysisError(
+                "synchronization graph contains a cycle — inconsistent trace")
+
+        self._unit_of = unit_of
+        self._collective_units = collective_units
+        self._nb_inits = nb_inits
+        self._clocks = clocks
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def happens_before(self, a_rank: int, a_seq: int, b_rank: int,
+                       b_seq: int) -> bool:
+        """True iff the event at ``(a_rank, a_seq)`` happens-before (or is
+        program-order-before) the event at ``(b_rank, b_seq)``."""
+        if a_rank == b_rank:
+            return a_seq <= b_seq
+        # first sync at a_rank at-or-after a
+        a_syncs = self.sync_seqs[a_rank]
+        i = bisect_left(a_syncs, a_seq)
+        if i >= len(a_syncs):
+            return False  # a's rank never synchronizes again
+        # last sync at b_rank at-or-before b.  If b *is* a collective
+        # member call, the collective's join becomes visible only after it
+        # (its call vertex only feeds the synthetic sync node), so step
+        # back to the previous sync; a directed destination (recv, start,
+        # wait) does receive its incoming edge at the call itself.
+        b_syncs = self.sync_seqs[b_rank]
+        j = bisect_right(b_syncs, b_seq) - 1
+        if j >= 0 and b_syncs[j] == b_seq and \
+                self._unit_of[(b_rank, b_seq)] in self._collective_units:
+            j -= 1
+        # a nonblocking-collective initiation carries no incoming
+        # knowledge (the join lands at its Wait): step past them
+        while j >= 0 and (b_rank, b_syncs[j]) in self._nb_inits:
+            j -= 1
+        if j < 0:
+            return False  # b's rank has not synchronized yet
+        b_unit = self._unit_of[(b_rank, b_syncs[j])]
+        return bool(self._clocks[b_unit][a_rank] >= i + 1)
+
+    def ordered(self, a: Span, b: Span) -> bool:
+        """True iff the spans are ordered (either direction) by
+        happens-before + consistency order."""
+        if a.rank == b.rank:
+            return a.end_seq <= b.start_seq or b.end_seq <= a.start_seq
+        return (self.happens_before(a.rank, a.end_seq, b.rank, b.start_seq)
+                or self.happens_before(b.rank, b.end_seq, a.rank,
+                                       a.start_seq))
+
+    def concurrent(self, a: Span, b: Span) -> bool:
+        return not self.ordered(a, b)

@@ -1,0 +1,180 @@
+"""Consistency-error reports with the paper's diagnostic payload.
+
+When DN-Analyzer finds a pair of conflicting operations it reports the
+error "along with useful diagnostic information ... such as pairs of
+conflicting operations and operation locations including file names,
+routine names, and line numbers" (section III / IV-C).  That payload lives
+in :class:`ConsistencyError`; reports deduplicate structurally identical
+findings (same statement pair racing every loop iteration counts once,
+with an occurrence counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.util.intervals import IntervalSet
+from repro.util.location import SourceLocation
+
+# error kinds
+INTRA_EPOCH = "intra_epoch"
+CROSS_PROCESS = "cross_process"
+
+# severities
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass
+class AccessDesc:
+    """One side of a conflicting pair."""
+
+    rank: int
+    kind: str  # load | store | get | put | acc
+    fn: str  # MPI call name or "mem"
+    var: str
+    loc: SourceLocation
+    intervals: IntervalSet
+
+    def describe(self) -> str:
+        if self.kind in ("put", "get", "acc"):
+            # prefer the concrete call name (MPI-3 atomics map to "acc")
+            op = (f"MPI_{self.fn}" if self.fn and self.fn != "mem" else
+                  {"put": "MPI_Put", "get": "MPI_Get",
+                   "acc": "MPI_Accumulate"}[self.kind])
+        elif self.fn == "mem":
+            op = f"local {self.kind}"
+        else:
+            op = f"{self.kind} via MPI_{self.fn}"
+        return f"{op} of '{self.var}' by rank {self.rank} at {self.loc.short}"
+
+
+@dataclass
+class ConsistencyError:
+    """One detected memory consistency error (or warning)."""
+
+    kind: str  # intra_epoch | cross_process
+    severity: str  # error | warning
+    rule: str  # violated Table-I cell: NONOV | ERROR | ORIGIN
+    win_id: Optional[int]
+    a: AccessDesc
+    b: AccessDesc
+    overlap: IntervalSet
+    note: str = ""
+    occurrences: int = 1
+
+    def suggestion(self) -> str:
+        """A repair hint matched to the conflict class — the paper's goal
+        of diagnostics that "help programmers locate and fix the bugs"."""
+        rma_kinds = {"put", "get", "acc"}
+        local_side = None
+        if self.a.kind not in rma_kinds or self.a.fn == "mem":
+            local_side = self.a
+        elif self.b.kind not in rma_kinds or self.b.fn == "mem":
+            local_side = self.b
+        if self.kind == INTRA_EPOCH:
+            if self.rule == "ORIGIN" and local_side is not None:
+                return ("move the local access past the epoch-closing "
+                        "synchronization (unlock/fence/complete), or "
+                        "complete the operation early with an MPI-3 "
+                        "Win_flush before touching its buffer")
+            if self.rule == "ORIGIN":
+                return ("give each operation its own local buffer, or "
+                        "separate them with an MPI-3 Win_flush")
+            return ("split the conflicting operations into separate "
+                    "epochs (close and reopen the synchronization between "
+                    "them), or make them same-op accumulates")
+        # cross-process
+        if self.severity == SEVERITY_WARNING:
+            return ("the exclusive locks serialize these accesses but not "
+                    "their order; if the order matters, add explicit "
+                    "synchronization (e.g. send/recv or a barrier) "
+                    "between the epochs")
+        if local_side is not None:
+            return (f"synchronize rank {local_side.rank}'s local access "
+                    "with the remote epoch: separate them with a barrier/"
+                    "send-recv, or protect both sides with exclusive locks")
+        if self.a.kind == "acc" and self.b.kind == "acc":
+            return ("use the same reduction op and basic datatype for "
+                    "concurrent accumulates (they are then permitted to "
+                    "overlap), or serialize the epochs")
+        return ("order the conflicting epochs (barrier, send/recv, or "
+                "post/start-complete/wait), target disjoint window "
+                "regions, or replace the updates with same-op "
+                "accumulates")
+
+    @property
+    def dedup_key(self) -> Tuple:
+        sides = sorted([
+            (self.a.rank, self.a.kind, self.a.fn, self.a.loc),
+            (self.b.rank, self.b.kind, self.b.fn, self.b.loc),
+        ])
+        return (self.kind, self.severity, self.rule, self.win_id,
+                tuple(sides))
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for ``mc-checker check --json``)."""
+        def side(desc: AccessDesc) -> dict:
+            return {
+                "rank": desc.rank, "kind": desc.kind, "fn": desc.fn,
+                "var": desc.var,
+                "file": desc.loc.filename, "line": desc.loc.lineno,
+                "function": desc.loc.function,
+                "intervals": [[iv.start, iv.stop]
+                              for iv in desc.intervals],
+            }
+
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "rule": self.rule,
+            "window": self.win_id,
+            "a": side(self.a),
+            "b": side(self.b),
+            "overlap_bytes": self.overlap.byte_count(),
+            "overlap": [[iv.start, iv.stop] for iv in self.overlap],
+            "note": self.note,
+            "suggestion": self.suggestion(),
+            "occurrences": self.occurrences,
+        }
+
+    def format(self) -> str:
+        head = ("WARNING" if self.severity == SEVERITY_WARNING else "ERROR")
+        where = ("within an epoch" if self.kind == INTRA_EPOCH
+                 else "across processes")
+        lines = [
+            f"{head}: memory consistency conflict {where}"
+            + (f" on window {self.win_id}" if self.win_id is not None
+               else ""),
+            f"  (1) {self.a.describe()}",
+            f"  (2) {self.b.describe()}",
+        ]
+        if self.overlap:
+            b = self.overlap.bounds()
+            lines.append(
+                f"  overlapping bytes: [{b.start:#x}, {b.stop:#x}) "
+                f"({self.overlap.byte_count()} bytes)")
+        else:
+            lines.append("  no byte overlap, but the combination is "
+                         "erroneous under the MPI memory model")
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        lines.append(f"  suggested fix: {self.suggestion()}")
+        if self.occurrences > 1:
+            lines.append(f"  seen {self.occurrences} times")
+        return "\n".join(lines)
+
+
+def dedupe(errors: List[ConsistencyError]) -> List[ConsistencyError]:
+    """Collapse structurally identical findings, keeping counts."""
+    seen = {}
+    out: List[ConsistencyError] = []
+    for error in errors:
+        key = error.dedup_key
+        if key in seen:
+            seen[key].occurrences += 1
+        else:
+            seen[key] = error
+            out.append(error)
+    return out

@@ -1,0 +1,248 @@
+"""Epoch identification (section IV-C-3, first half).
+
+An epoch is the completion unit of RMA operations: it starts at an RMA
+synchronization call and ends at the matching one.  Per rank and window,
+DN-Analyzer recognizes:
+
+* **fence epochs** — between consecutive ``Win_fence`` calls (each fence
+  closes the previous epoch and opens the next);
+* **lock epochs** — ``Win_lock(target)`` .. ``Win_unlock(target)``,
+  carrying the lock type (the exclusive/shared distinction decides
+  error-vs-warning severity later);
+* **PSCW access epochs** — ``Win_start(group)`` .. ``Win_complete``;
+* **PSCW exposure epochs** — ``Win_post(group)`` .. ``Win_wait``.
+
+An RMA operation belongs to the innermost epoch covering its issue point
+and its target; its memory effects may occur anywhere up to the epoch's
+closing call (its *span*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.preprocess import PreprocessedTrace
+from repro.profiler.events import CallEvent
+from repro.util.errors import AnalysisError
+
+#: Sentinel close for epochs never closed in the trace (program ended or
+#: crashed mid-epoch): orders after every real seq.
+OPEN_ENDED = 1 << 60
+
+KIND_FENCE = "fence"
+KIND_LOCK = "lock"
+KIND_PSCW_ACCESS = "pscw_access"
+KIND_PSCW_EXPOSURE = "pscw_exposure"
+
+
+@dataclass
+class Epoch:
+    """One epoch at one rank on one window."""
+
+    rank: int
+    win_id: int
+    kind: str
+    open_seq: int
+    close_seq: int = OPEN_ENDED
+    target: Optional[int] = None  # lock epochs: the locked target
+    lock_type: Optional[str] = None
+    group: Tuple[int, ...] = ()  # PSCW epochs: the partner group
+
+    def contains_seq(self, seq: int) -> bool:
+        return self.open_seq < seq < self.close_seq
+
+    def covers_target(self, target: int) -> bool:
+        if self.kind == KIND_FENCE:
+            return True
+        if self.kind == KIND_LOCK:
+            # ``target is None`` marks an MPI-3 lock_all epoch
+            return self.target is None or self.target == target
+        if self.kind == KIND_PSCW_ACCESS:
+            return target in self.group
+        return False
+
+    @property
+    def is_access(self) -> bool:
+        return self.kind in (KIND_FENCE, KIND_LOCK, KIND_PSCW_ACCESS)
+
+    def describe(self) -> str:
+        close = "<open>" if self.close_seq == OPEN_ENDED else self.close_seq
+        extra = ""
+        if self.kind == KIND_LOCK:
+            extra = f" target={self.target} type={self.lock_type}"
+        elif self.group:
+            extra = f" group={list(self.group)}"
+        return (f"{self.kind} epoch win={self.win_id} rank={self.rank} "
+                f"[{self.open_seq}..{close}]{extra}")
+
+
+class EpochIndex:
+    """All epochs of a preprocessed trace, with lookup by op issue point."""
+
+    def __init__(self, pre: PreprocessedTrace):
+        self.epochs: List[Epoch] = []
+        # (rank, win) -> epochs at that rank/window, in open order
+        self._by_rank_win: Dict[Tuple[int, int], List[Epoch]] = {}
+        # (rank, win) -> sorted [(seq, target-or-None)] of MPI-3 flushes
+        self._flushes: Dict[Tuple[int, int], List[Tuple[int, Optional[int]]]] = {}
+        # (rank, win, req) -> seq of the Rma_wait completing that request
+        self._req_waits: Dict[Tuple[int, int, int], int] = {}
+        self._build(pre)
+
+    def _add(self, epoch: Epoch) -> None:
+        self.epochs.append(epoch)
+        self._by_rank_win.setdefault((epoch.rank, epoch.win_id), []) \
+            .append(epoch)
+
+    def _build(self, pre: PreprocessedTrace) -> None:
+        for rank in range(pre.nranks):
+            # per-window running state
+            fence_open: Dict[int, int] = {}
+            lock_open: Dict[Tuple[int, int], Epoch] = {}
+            pscw_access: Dict[int, Epoch] = {}
+            pscw_exposure: Dict[int, Epoch] = {}
+            for event in pre.events[rank]:
+                if not isinstance(event, CallEvent):
+                    continue
+                fn, args = event.fn, event.args
+                if fn == "Win_fence":
+                    win = int(args["win"])
+                    if win in fence_open:
+                        self._add(Epoch(rank, win, KIND_FENCE,
+                                        open_seq=fence_open[win],
+                                        close_seq=event.seq))
+                    fence_open[win] = event.seq
+                elif fn == "Win_free":
+                    win = int(args["win"])
+                    if win in fence_open:
+                        # final fence epoch closes at Win_free
+                        self._add(Epoch(rank, win, KIND_FENCE,
+                                        open_seq=fence_open.pop(win),
+                                        close_seq=event.seq))
+                elif fn == "Win_lock":
+                    win = int(args["win"])
+                    target = int(args["target"])
+                    epoch = Epoch(rank, win, KIND_LOCK, open_seq=event.seq,
+                                  target=target,
+                                  lock_type=str(args["lock_type"]))
+                    lock_open[(win, target)] = epoch
+                elif fn == "Win_lock_all":
+                    win = int(args["win"])
+                    epoch = Epoch(rank, win, KIND_LOCK, open_seq=event.seq,
+                                  target=None, lock_type="shared")
+                    lock_open[(win, None)] = epoch
+                elif fn == "Win_unlock_all":
+                    win = int(args["win"])
+                    epoch = lock_open.pop((win, None), None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {event.seq}: Win_unlock_all "
+                            "without matching Win_lock_all")
+                    epoch.close_seq = event.seq
+                    self._add(epoch)
+                elif fn == "Win_flush":
+                    win = int(args["win"])
+                    self._flushes.setdefault((rank, win), []).append(
+                        (event.seq, int(args["target"])))
+                elif fn == "Win_flush_all":
+                    win = int(args["win"])
+                    self._flushes.setdefault((rank, win), []).append(
+                        (event.seq, None))
+                elif fn == "Rma_wait":
+                    win = int(args["win"])
+                    self._req_waits[(rank, win, int(args["req"]))] = \
+                        event.seq
+                elif fn == "Win_unlock":
+                    win = int(args["win"])
+                    target = int(args["target"])
+                    epoch = lock_open.pop((win, target), None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {event.seq}: Win_unlock of "
+                            f"target {target} without matching Win_lock")
+                    epoch.close_seq = event.seq
+                    self._add(epoch)
+                elif fn == "Win_start":
+                    win = int(args["win"])
+                    pscw_access[win] = Epoch(
+                        rank, win, KIND_PSCW_ACCESS, open_seq=event.seq,
+                        group=tuple(int(r) for r in args["group"]))
+                elif fn == "Win_complete":
+                    win = int(args["win"])
+                    epoch = pscw_access.pop(win, None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {event.seq}: Win_complete "
+                            "without matching Win_start")
+                    epoch.close_seq = event.seq
+                    self._add(epoch)
+                elif fn == "Win_post":
+                    win = int(args["win"])
+                    pscw_exposure[win] = Epoch(
+                        rank, win, KIND_PSCW_EXPOSURE, open_seq=event.seq,
+                        group=tuple(int(r) for r in args["group"]))
+                elif fn == "Win_wait":
+                    win = int(args["win"])
+                    epoch = pscw_exposure.pop(win, None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {event.seq}: Win_wait without "
+                            "matching Win_post")
+                    epoch.close_seq = event.seq
+                    self._add(epoch)
+            # unterminated epochs (crashed/truncated programs) stay open
+            for win, open_seq in fence_open.items():
+                self._add(Epoch(rank, win, KIND_FENCE, open_seq=open_seq))
+            for epoch in lock_open.values():
+                self._add(epoch)
+            for epoch in pscw_access.values():
+                self._add(epoch)
+            for epoch in pscw_exposure.values():
+                self._add(epoch)
+
+    # ------------------------------------------------------------------
+
+    def of_rank_win(self, rank: int, win_id: int) -> List[Epoch]:
+        return self._by_rank_win.get((rank, win_id), [])
+
+    def enclosing(self, rank: int, win_id: int, seq: int,
+                  target: int) -> Optional[Epoch]:
+        """The access epoch an RMA op issued at ``seq`` belongs to.
+
+        Lock and PSCW epochs take precedence over fence epochs (they are
+        more specific); a correct execution has exactly one candidate.
+        """
+        fence_hit: Optional[Epoch] = None
+        for epoch in self.of_rank_win(rank, win_id):
+            if not (epoch.is_access and epoch.contains_seq(seq)
+                    and epoch.covers_target(target)):
+                continue
+            if epoch.kind in (KIND_LOCK, KIND_PSCW_ACCESS):
+                return epoch
+            fence_hit = epoch
+        return fence_hit
+
+    def access_epochs(self) -> List[Epoch]:
+        return [e for e in self.epochs if e.is_access]
+
+    def completion_seq(self, rank: int, win_id: int, issue_seq: int,
+                       target: int, epoch: Optional[Epoch],
+                       req: Optional[int] = None) -> int:
+        """When an op issued at ``issue_seq`` is guaranteed complete.
+
+        Normally the epoch's closing synchronization; an MPI-3
+        ``Win_flush``/``Win_flush_all`` covering the target — or, for a
+        request-based operation, the MPI_Wait on its request — completes
+        it earlier without closing the epoch.
+        """
+        close = epoch.close_seq if epoch is not None else OPEN_ENDED
+        if req is not None:
+            wait_seq = self._req_waits.get((rank, win_id, req))
+            if wait_seq is not None and issue_seq < wait_seq < close:
+                close = wait_seq
+        for seq, flush_target in self._flushes.get((rank, win_id), ()):
+            if issue_seq < seq < close and \
+                    (flush_target is None or flush_target == target):
+                return seq
+        return close

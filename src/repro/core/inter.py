@@ -1,0 +1,257 @@
+"""Cross-process conflict detection (section IV-C-4).
+
+The key observation the paper exploits: memory consistency errors across
+processes can only occur *in the window buffers at target processes*.  So
+instead of comparing every pair of operations in a concurrent region
+(combinatorial), DN-Analyzer makes two linear passes:
+
+1. scan the region's one-sided operations; record each into a vector entry
+   keyed by ``(window, target rank)``, checking it against the operations
+   already recorded there (Table I on target intervals);
+2. scan the region's *local* operations at each rank — direct loads and
+   stores, MPI calls touching local buffers, and the origin side of RMA
+   calls — and check the ones that fall inside an exposed window against
+   the remote operations recorded for that window.
+
+The happens-before oracle prunes ordered pairs (e.g. separated by a
+send/recv chain inside the region).  The MPI-2.2 special rule is honoured:
+a local **store** conflicts with any concurrent Put/Accumulate epoch on the
+same window even with no byte overlap (``ERROR`` cells of Table I).
+
+Severity: a conflict whose two sides are both serialized by *exclusive*
+locks on the same window is reported as a **warning** — the accesses
+cannot overlap in time, but their order is nondeterministic, which is how
+the paper handles the original (exclusive-lock) lockopts bug.
+
+:func:`detect_cross_process_naive` is the combinatorial strawman kept for
+the E7 ablation benchmark and differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.clocks import ConcurrencyOracle
+from repro.core.compat import ACC, GET, PUT, accumulate_exception, compat_verdict
+from repro.core.diagnostics import (
+    CROSS_PROCESS, SEVERITY_ERROR, SEVERITY_WARNING,
+    AccessDesc, ConsistencyError,
+)
+from repro.core.epochs import EpochIndex, KIND_LOCK
+from repro.core.model import AccessModel, LocalAccess, RMAOpView
+from repro.core.preprocess import PreprocessedTrace
+from repro.core.regions import RegionIndex
+from repro.simmpi.window import LOCK_EXCLUSIVE
+from repro.util.intervals import IntervalSet
+
+_WRITES = (PUT, ACC)
+
+
+def _desc_op(op: RMAOpView) -> AccessDesc:
+    fn = op.fn or {"put": "Put", "get": "Get", "acc": "Accumulate"}[op.kind]
+    return AccessDesc(rank=op.rank, kind=op.kind, fn=fn, var=op.origin_var,
+                      loc=op.loc, intervals=op.target_intervals)
+
+
+def _desc_local(la: LocalAccess) -> AccessDesc:
+    return AccessDesc(rank=la.rank, kind=la.access, fn=la.fn, var=la.var,
+                      loc=la.loc, intervals=la.intervals)
+
+
+def _op_exclusive(op: RMAOpView) -> bool:
+    return (op.epoch is not None and op.epoch.kind == KIND_LOCK
+            and op.epoch.lock_type == LOCK_EXCLUSIVE)
+
+
+class _LocalLockIndex:
+    """Which local accesses are protected by a self-targeted exclusive lock."""
+
+    def __init__(self, epoch_index: EpochIndex, nranks: int):
+        self._epochs = [
+            e for e in epoch_index.epochs
+            if e.kind == KIND_LOCK and e.lock_type == LOCK_EXCLUSIVE
+            and e.target == e.rank
+        ]
+
+    def covers(self, la: LocalAccess, win_id: int) -> bool:
+        for epoch in self._epochs:
+            if epoch.rank == la.rank and epoch.win_id == win_id \
+                    and epoch.contains_seq(la.seq):
+                return True
+        return False
+
+
+def _pair_severity(a_exclusive: bool, b_exclusive: bool) -> str:
+    """Two sides both serialized by exclusive locks: order exists but is
+    nondeterministic -> warning; otherwise a hard race."""
+    if a_exclusive and b_exclusive:
+        return SEVERITY_WARNING
+    return SEVERITY_ERROR
+
+
+def _check_ops(op_a: RMAOpView, op_b: RMAOpView,
+               oracle: ConcurrencyOracle,
+               model: str = "separate") -> Optional[ConsistencyError]:
+    if op_a.rank == op_b.rank:
+        return None  # same-rank pairs are program/epoch ordered or intra
+    if oracle.ordered(op_a.span, op_b.span):
+        return None
+    overlap = op_a.target_intervals.intersection(op_b.target_intervals)
+    verdict = compat_verdict(
+        op_a.kind, op_b.kind, bool(overlap),
+        acc_same=accumulate_exception(op_a.acc_op, op_a.acc_base,
+                                      op_b.acc_op, op_b.acc_base),
+        model=model)
+    if verdict is None:
+        return None
+    return ConsistencyError(
+        kind=CROSS_PROCESS, rule=verdict,
+        severity=_pair_severity(_op_exclusive(op_a), _op_exclusive(op_b)),
+        win_id=op_a.win_id, a=_desc_op(op_a), b=_desc_op(op_b),
+        overlap=overlap,
+        note=(f"concurrent one-sided operations on the window at rank "
+              f"{op_a.target}"))
+
+
+def _check_local_vs_op(la: LocalAccess, la_in_window: IntervalSet,
+                       op: RMAOpView, oracle: ConcurrencyOracle,
+                       lock_index: _LocalLockIndex,
+                       model: str = "separate"
+                       ) -> Optional[ConsistencyError]:
+    if la.origin_of is op:
+        return None  # an op does not conflict with its own origin access
+    if la.origin_of is not None and la.origin_of.rank == op.rank:
+        return None  # same-origin RMA pair: handled as op-op / intra
+    if oracle.ordered(la.span, op.span):
+        return None
+    overlap = la_in_window.intersection(op.target_intervals)
+    verdict = compat_verdict(la.access, op.kind, bool(overlap),
+                             model=model)
+    if verdict is None:
+        return None
+    la_exclusive = lock_index.covers(la, op.win_id)
+    return ConsistencyError(
+        kind=CROSS_PROCESS, rule=verdict,
+        severity=_pair_severity(la_exclusive, _op_exclusive(op)),
+        win_id=op.win_id, a=_desc_local(la), b=_desc_op(op),
+        overlap=overlap,
+        note=(f"local access at target rank {la.rank} concurrent with a "
+              "remote one-sided operation on the same window"))
+
+
+def detect_cross_process(pre: PreprocessedTrace, model: AccessModel,
+                         regions: RegionIndex, oracle: ConcurrencyOracle,
+                         epoch_index: EpochIndex,
+                         memory_model: str = "separate"
+                         ) -> List[ConsistencyError]:
+    """The paper's linear two-step detector, one pass per concurrent region."""
+    errors: List[ConsistencyError] = []
+    lock_index = _LocalLockIndex(epoch_index, pre.nranks)
+
+    # assign ops and local accesses to the regions their spans intersect
+    ops_by_region: Dict[int, List[RMAOpView]] = {}
+    for op in sorted(model.ops, key=lambda o: (o.rank, o.seq)):
+        for region_index in regions.regions_of_span(op.span):
+            ops_by_region.setdefault(region_index, []).append(op)
+    locals_by_region: Dict[int, List[LocalAccess]] = {}
+    for la in model.local:
+        for region_index in regions.regions_of_span(la.span):
+            locals_by_region.setdefault(region_index, []).append(la)
+
+    for region in regions:
+        region_ops = ops_by_region.get(region.index, [])
+        if not region_ops:
+            continue
+        errors.extend(detect_region(
+            pre, region_ops, locals_by_region.get(region.index, []),
+            oracle, lock_index, memory_model))
+    return errors
+
+
+def detect_region(pre: PreprocessedTrace, region_ops: List[RMAOpView],
+                  region_locals: List[LocalAccess],
+                  oracle: ConcurrencyOracle, lock_index: "_LocalLockIndex",
+                  memory_model: str = "separate") -> List[ConsistencyError]:
+    """The two linear passes over one concurrent region's accesses.
+
+    Exposed separately so the streaming checker can analyze each region as
+    it closes and then discard its accesses.
+    """
+    errors: List[ConsistencyError] = []
+    # step 1: record remote ops per (window, target), checking as we go
+    vector: Dict[Tuple[int, int], List[RMAOpView]] = {}
+    for op in region_ops:
+        entry = vector.setdefault((op.win_id, op.target), [])
+        for prev in entry:
+            error = _check_ops(prev, op, oracle, memory_model)
+            if error is not None:
+                errors.append(error)
+        entry.append(op)
+
+    # step 2: local operations at each target vs recorded remote ops
+    for la in region_locals:
+        for (win_id, target), entry in vector.items():
+            if target != la.rank:
+                continue
+            window = pre.window(win_id)
+            la_in_window = la.intervals.intersection(
+                window.exposure(la.rank))
+            if not la_in_window:
+                continue
+            for op in entry:
+                error = _check_local_vs_op(la, la_in_window, op, oracle,
+                                           lock_index, memory_model)
+                if error is not None:
+                    errors.append(error)
+    return errors
+
+
+def detect_cross_process_naive(pre: PreprocessedTrace, model: AccessModel,
+                               regions: RegionIndex,
+                               oracle: ConcurrencyOracle,
+                               epoch_index: EpochIndex,
+                               memory_model: str = "separate"
+                               ) -> List[ConsistencyError]:
+    """Combinatorial strawman: compare *every* pair of accesses in each
+    region, with no window-vector keying.  Same findings, quadratic time —
+    the baseline the paper's section IV-C-4 improves upon."""
+    errors: List[ConsistencyError] = []
+    lock_index = _LocalLockIndex(epoch_index, pre.nranks)
+
+    ops_by_region: Dict[int, List[RMAOpView]] = {}
+    for op in sorted(model.ops, key=lambda o: (o.rank, o.seq)):
+        for region_index in regions.regions_of_span(op.span):
+            ops_by_region.setdefault(region_index, []).append(op)
+    locals_by_region: Dict[int, List[LocalAccess]] = {}
+    for la in model.local:
+        for region_index in regions.regions_of_span(la.span):
+            locals_by_region.setdefault(region_index, []).append(la)
+
+    for region in regions:
+        region_ops = ops_by_region.get(region.index, [])
+        region_locals = locals_by_region.get(region.index, [])
+        for i, op_a in enumerate(region_ops):
+            for op_b in region_ops[i + 1:]:
+                if op_a.win_id != op_b.win_id or op_a.target != op_b.target:
+                    continue  # still must touch the same target window
+                error = _check_ops(op_a, op_b, oracle, memory_model)
+                if error is not None:
+                    errors.append(error)
+        for la in region_locals:
+            for op in region_ops:
+                if op.target != la.rank:
+                    continue
+                window = pre.window(op.win_id)
+                la_in_window = la.intervals.intersection(
+                    window.exposure(la.rank))
+                if not la_in_window:
+                    continue
+                error = _check_local_vs_op(la, la_in_window, op, oracle,
+                                           lock_index, memory_model)
+                if error is not None:
+                    errors.append(error)
+    return errors
+
+
+#: public alias for the streaming checker
+LocalLockIndex = _LocalLockIndex

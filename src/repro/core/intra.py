@@ -1,0 +1,181 @@
+"""Within-epoch conflict detection (section IV-C-3, Figure 2a).
+
+Operations inside one epoch at one rank are mutually unordered (they are
+nonblocking and complete only at the epoch-closing synchronization — or at
+an MPI-3 flush), so the paper checks all of them pairwise against the
+memory model ruleset.  Two access populations matter here:
+
+* the *local buffers attached to the epoch's RMA calls* — a Put or
+  Accumulate reads its origin at an undefined instant before completion, a
+  Get (and the result side of MPI-3 fetching atomics) writes its local
+  buffer at an undefined instant — so until completion those buffers are
+  off limits for conflicting local accesses;
+* the *target intervals* of same-epoch RMA calls to the same target, which
+  fall under Table I (e.g. two overlapping Puts in one epoch are
+  undefined).
+
+Conflicts involving the *window* memory at the target (including a rank
+targeting itself) are the cross-process detector's job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.clocks import Span
+from repro.core.compat import accumulate_exception, compat_verdict
+from repro.core.diagnostics import (
+    INTRA_EPOCH, SEVERITY_ERROR, AccessDesc, ConsistencyError,
+)
+from repro.core.epochs import Epoch, EpochIndex
+from repro.core.model import AccessModel, LocalAccess, RMAOpView
+
+
+def _desc_op(op: RMAOpView, origin_side: bool) -> AccessDesc:
+    fn = op.fn or {"put": "Put", "get": "Get", "acc": "Accumulate"}[op.kind]
+    return AccessDesc(
+        rank=op.rank, kind=op.kind, fn=fn, var=op.origin_var, loc=op.loc,
+        intervals=op.origin_intervals if origin_side else op.target_intervals)
+
+
+def _desc_local(la: LocalAccess) -> AccessDesc:
+    return AccessDesc(rank=la.rank, kind=la.access, fn=la.fn, var=la.var,
+                      loc=la.loc, intervals=la.intervals)
+
+
+def _spans_unordered(a: Span, b: Span) -> bool:
+    """Same-rank span concurrency (consistency order only)."""
+    return not (a.end_seq <= b.start_seq or b.end_seq <= a.start_seq)
+
+
+def detect_intra_epoch(model: AccessModel, epoch_index: EpochIndex,
+                       memory_model: str = "separate"
+                       ) -> List[ConsistencyError]:
+    """Find conflicting operation pairs inside each access epoch."""
+    errors: List[ConsistencyError] = []
+
+    # bucket ops and local accesses by epoch
+    ops_by_epoch: Dict[int, List[RMAOpView]] = {}
+    for op in model.ops:
+        if op.epoch is not None:
+            ops_by_epoch.setdefault(id(op.epoch), []).append(op)
+
+    attached_by_epoch: Dict[int, List[LocalAccess]] = {}
+    plain_by_rank: Dict[int, List[LocalAccess]] = {}
+    for la in model.local:
+        if la.origin_of is not None:
+            if la.origin_of.epoch is not None:
+                attached_by_epoch.setdefault(
+                    id(la.origin_of.epoch), []).append(la)
+        else:
+            plain_by_rank.setdefault(la.rank, []).append(la)
+
+    for epoch in epoch_index.access_epochs():
+        ops = ops_by_epoch.get(id(epoch), [])
+        if not ops:
+            continue
+        attached = attached_by_epoch.get(id(epoch), [])
+        mems = [
+            la for la in plain_by_rank.get(epoch.rank, ())
+            if epoch.contains_seq(la.seq)
+        ]
+        errors.extend(check_epoch(epoch, ops, attached, mems, memory_model))
+    return errors
+
+
+def check_epoch(epoch: Epoch, ops: List[RMAOpView],
+                attached: List[LocalAccess], mems: List[LocalAccess],
+                memory_model: str = "separate") -> List[ConsistencyError]:
+    """Run the within-epoch ruleset over one epoch's accesses.
+
+    Exposed separately so the streaming checker can invoke it as soon as
+    an epoch closes, with only that epoch's accesses retained.
+    """
+    errors: List[ConsistencyError] = []
+
+    # (a) RMA op pairs: target-side conflicts under Table I
+    for i, op_a in enumerate(ops):
+        for op_b in ops[i + 1:]:
+            error = _check_target_pair(op_a, op_b, memory_model)
+            if error is not None:
+                errors.append(error)
+
+    # (b) local buffers attached to RMA ops vs plain loads/stores and
+    # vs each other: unordered while the owning op is incomplete
+    for i, acc_a in enumerate(attached):
+        for la in mems:
+            errors.extend(_check_attached_vs_plain(epoch, acc_a, la))
+        for acc_b in attached[i + 1:]:
+            if acc_a.origin_of is acc_b.origin_of:
+                continue  # one call's own buffers don't self-conflict
+            errors.extend(_check_attached_pair(epoch, acc_a, acc_b))
+    return errors
+
+
+def _check_target_pair(op_a: RMAOpView, op_b: RMAOpView,
+                       memory_model: str) -> ConsistencyError:
+    # ops completing at different points (MPI-3 flush between them) are
+    # consistency-ordered even within one epoch
+    if op_a.complete_seq <= op_b.seq or op_b.complete_seq <= op_a.seq:
+        return None
+    if op_a.target != op_b.target:
+        return None
+    overlap = op_a.target_intervals.intersection(op_b.target_intervals)
+    verdict = compat_verdict(
+        op_a.kind, op_b.kind, bool(overlap),
+        acc_same=accumulate_exception(op_a.acc_op, op_a.acc_base,
+                                      op_b.acc_op, op_b.acc_base),
+        model=memory_model)
+    if verdict is None:
+        return None
+    return ConsistencyError(
+        kind=INTRA_EPOCH, severity=SEVERITY_ERROR, rule=verdict,
+        win_id=op_a.win_id,
+        a=_desc_op(op_a, origin_side=False),
+        b=_desc_op(op_b, origin_side=False),
+        overlap=overlap,
+        note="unordered same-epoch operations on the same target")
+
+
+def _check_attached_vs_plain(epoch: Epoch, attached: LocalAccess,
+                             la: LocalAccess) -> List[ConsistencyError]:
+    op = attached.origin_of
+    # program order protects accesses before the issue; the flush/close
+    # completes the op before anything after it
+    if la.seq < op.seq or la.seq > op.complete_seq:
+        return []
+    if attached.access != "store" and la.access != "store":
+        return []  # two reads never conflict
+    overlap = attached.intervals.intersection(la.intervals)
+    if not overlap:
+        return []
+    return [ConsistencyError(
+        kind=INTRA_EPOCH, severity=SEVERITY_ERROR, rule="ORIGIN",
+        win_id=op.win_id,
+        a=_desc_attached(attached), b=_desc_local(la), overlap=overlap,
+        note=("the one-sided operation is not complete until "
+              f"seq {op.complete_seq}; the local access may observe or "
+              "corrupt in-flight data"))]
+
+
+def _check_attached_pair(epoch: Epoch, acc_a: LocalAccess,
+                         acc_b: LocalAccess) -> List[ConsistencyError]:
+    if not _spans_unordered(acc_a.span, acc_b.span):
+        return []
+    if acc_a.access != "store" and acc_b.access != "store":
+        return []
+    overlap = acc_a.intervals.intersection(acc_b.intervals)
+    if not overlap:
+        return []
+    return [ConsistencyError(
+        kind=INTRA_EPOCH, severity=SEVERITY_ERROR, rule="ORIGIN",
+        win_id=acc_a.origin_of.win_id,
+        a=_desc_attached(acc_a), b=_desc_attached(acc_b), overlap=overlap,
+        note="overlapping local buffers of unordered same-epoch "
+             "operations, at least one of which writes locally")]
+
+
+def _desc_attached(la: LocalAccess) -> AccessDesc:
+    op = la.origin_of
+    return AccessDesc(rank=la.rank, kind=op.kind, fn=la.fn, var=la.var,
+                      loc=la.loc, intervals=la.intervals)

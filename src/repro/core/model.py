@@ -1,0 +1,222 @@
+"""Analyzable access views lifted from raw trace events.
+
+Detection reasons about two access populations:
+
+* :class:`RMAOpView` — one per Put/Get/Accumulate event, carrying the
+  *target* byte intervals (in the target rank's address space, resolved
+  through the window registry and data-maps) and the *origin* byte
+  intervals (local), plus the enclosing epoch that bounds its span.
+* :class:`LocalAccess` — every local touch of memory: instrumented
+  loads/stores, MPI calls reading or writing a local buffer (send reads,
+  recv writes, ...), and the local side of RMA calls themselves (a Put
+  reads its origin buffer, a Get writes it — section IV-C-4: "they can be
+  treated as local load and store, respectively").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clocks import Span
+from repro.core.compat import ACC, GET, LOAD, PUT, STORE
+from repro.core.epochs import Epoch, EpochIndex, OPEN_ENDED
+from repro.core.preprocess import PreprocessedTrace
+from repro.profiler.events import CallEvent, MemEvent
+from repro.util.errors import AnalysisError
+from repro.util.intervals import IntervalSet
+from repro.util.location import SourceLocation
+
+_RMA_KIND = {"Put": PUT, "Get": GET, "Accumulate": ACC,
+             # MPI-3 atomics are accumulate-family ops for Table I purposes
+             "Get_accumulate": ACC, "Compare_and_swap": ACC,
+             # request-based variants behave like their plain counterparts,
+             # with the span truncated at the request's MPI_Wait
+             "Rput": PUT, "Rget": GET, "Raccumulate": ACC}
+
+#: MPI calls whose logged buffer is read (load-like) / written (store-like).
+_CALL_LOADS = frozenset({"Send", "Isend", "Reduce", "Allreduce", "Scan"})
+_CALL_STORES = frozenset({"Recv"})
+
+
+@dataclass
+class RMAOpView:
+    """One one-sided communication operation, analysis-ready."""
+
+    rank: int
+    seq: int
+    kind: str  # put | get | acc
+    win_id: int
+    target: int
+    target_intervals: IntervalSet
+    origin_intervals: IntervalSet
+    origin_var: str
+    loc: SourceLocation
+    epoch: Optional[Epoch]
+    acc_op: Optional[str] = None
+    acc_base: Optional[str] = None
+    fn: str = ""
+    #: completion point: epoch close, or an earlier MPI-3 flush
+    complete_seq: int = OPEN_ENDED
+
+    @property
+    def close_seq(self) -> int:
+        return self.complete_seq
+
+    @property
+    def span(self) -> Span:
+        """Influence interval: issue to guaranteed completion."""
+        return Span(self.rank, self.seq, self.complete_seq)
+
+    def describe(self) -> str:
+        name = f"MPI_{self.fn}" if self.fn else {
+            PUT: "MPI_Put", GET: "MPI_Get", ACC: "MPI_Accumulate",
+        }[self.kind]
+        return (f"{name} rank {self.rank} -> target {self.target} "
+                f"(win {self.win_id}) at {self.loc.short}")
+
+
+@dataclass
+class LocalAccess:
+    """One local memory access (direct or through an MPI call)."""
+
+    rank: int
+    seq: int
+    access: str  # load | store
+    intervals: IntervalSet
+    var: str
+    loc: SourceLocation
+    fn: str  # "mem" for direct loads/stores, else the MPI call name
+    origin_of: Optional[RMAOpView] = None  # set for RMA-origin accesses
+
+    @property
+    def span(self) -> Span:
+        if self.origin_of is not None:
+            # an RMA op may read/write its origin buffer any time until
+            # its epoch closes
+            return self.origin_of.span
+        return Span.point(self.rank, self.seq)
+
+    def describe(self) -> str:
+        if self.fn == "mem":
+            what = f"local {self.access} of '{self.var}'"
+        elif self.origin_of is not None:
+            what = (f"origin-buffer {self.access} ('{self.var}') by "
+                    f"{self.fn}")
+        else:
+            what = f"{self.access} of '{self.var}' by MPI_{self.fn}"
+        return f"{what} at rank {self.rank}, {self.loc.short}"
+
+
+@dataclass
+class AccessModel:
+    """All lifted accesses of a trace set."""
+
+    ops: List[RMAOpView]
+    local: List[LocalAccess]
+
+    def ops_by_rank(self) -> Dict[int, List[RMAOpView]]:
+        out: Dict[int, List[RMAOpView]] = {}
+        for op in self.ops:
+            out.setdefault(op.rank, []).append(op)
+        return out
+
+
+def _call_buffer_intervals(pre: PreprocessedTrace, rank: int,
+                           event: CallEvent) -> Optional[IntervalSet]:
+    """Intervals of the local buffer named in a two-sided/collective call."""
+    args = event.args
+    if "base" not in args or "count" not in args or "dtype" not in args:
+        return None
+    dtype = pre.datatype(rank, int(args["dtype"]))
+    base = int(args["base"]) + int(args.get("offset", 0))
+    return dtype.intervals(base, int(args["count"]))
+
+
+def build_access_model(pre: PreprocessedTrace,
+                       epoch_index: EpochIndex) -> AccessModel:
+    """Lift every relevant trace event into analysis views."""
+    ops: List[RMAOpView] = []
+    local: List[LocalAccess] = []
+
+    for rank in range(pre.nranks):
+        for event in pre.events[rank]:
+            if isinstance(event, MemEvent):
+                local.append(LocalAccess(
+                    rank=rank, seq=event.seq, access=event.access,
+                    intervals=IntervalSet.single(event.addr, event.size),
+                    var=event.var, loc=event.loc, fn="mem"))
+                continue
+            assert isinstance(event, CallEvent)
+            fn, args = event.fn, event.args
+            if fn in _RMA_KIND:
+                win = pre.window(int(args["win"]))
+                target = int(args["target"])
+                origin_dtype = pre.datatype(rank, int(args["origin_dtype"]))
+                target_dtype = pre.datatype(rank, int(args["target_dtype"]))
+                target_ivs = win.target_intervals(
+                    target, int(args["target_disp"]),
+                    int(args["target_count"]), target_dtype)
+                origin_base = int(args["origin_base"]) + \
+                    int(args["origin_offset"])
+                origin_ivs = origin_dtype.intervals(
+                    origin_base, int(args["origin_count"]))
+                epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
+                                              target)
+                acc_op = str(args["op"]) if "op" in args else None
+                if fn == "Compare_and_swap":
+                    acc_op = "CAS"
+                op = RMAOpView(
+                    rank=rank, seq=event.seq, kind=_RMA_KIND[fn],
+                    win_id=win.win_id, target=target,
+                    target_intervals=target_ivs,
+                    origin_intervals=origin_ivs,
+                    origin_var=str(args.get("var", "?")),
+                    loc=event.loc, epoch=epoch, fn=fn,
+                    acc_op=acc_op,
+                    acc_base=(origin_dtype.base
+                              if _RMA_KIND[fn] == ACC else None),
+                    complete_seq=epoch_index.completion_seq(
+                        rank, win.win_id, event.seq, target, epoch,
+                        req=(int(args["req"])
+                             if fn in ("Rput", "Rget", "Raccumulate")
+                             else None)),
+                )
+                ops.append(op)
+                # the local (origin-buffer) side of the call
+                origin_access = STORE if op.kind == GET else LOAD
+                local.append(LocalAccess(
+                    rank=rank, seq=event.seq, access=origin_access,
+                    intervals=origin_ivs, var=op.origin_var, loc=event.loc,
+                    fn=fn, origin_of=op))
+                # MPI-3 fetching ops also *write* a local result buffer
+                if "result_base" in args:
+                    result_base = int(args["result_base"]) + \
+                        int(args.get("result_offset", 0))
+                    result_ivs = target_dtype.intervals(
+                        result_base, int(args["target_count"]))
+                    local.append(LocalAccess(
+                        rank=rank, seq=event.seq, access=STORE,
+                        intervals=result_ivs,
+                        var=str(args.get("result_var", "?")),
+                        loc=event.loc, fn=fn, origin_of=op))
+            elif fn in _CALL_LOADS or fn in _CALL_STORES or fn == "Bcast" \
+                    or (fn == "Wait" and args.get("req_kind") == "irecv"):
+                intervals = _call_buffer_intervals(pre, rank, event)
+                if intervals is None:
+                    continue
+                if fn == "Bcast":
+                    comm = int(args["comm"])
+                    root_world = pre.world_of_comm_rank(comm,
+                                                        int(args["root"]))
+                    access = LOAD if root_world == rank else STORE
+                elif fn in _CALL_LOADS:
+                    access = LOAD
+                else:
+                    access = STORE
+                local.append(LocalAccess(
+                    rank=rank, seq=event.seq, access=access,
+                    intervals=intervals, var=str(args.get("var", "?")),
+                    loc=event.loc, fn=fn))
+
+    return AccessModel(ops=ops, local=local)

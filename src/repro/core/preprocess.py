@@ -1,0 +1,183 @@
+"""Trace preprocessing (section IV-C-1): communicators, windows, datatypes.
+
+The per-rank traces record MPI calls with the arguments visible at the PMPI
+layer.  Before any analysis, DN-Analyzer must rebuild three registries:
+
+a. **communicators/groups** — membership and rank order of every
+   communicator, so group-relative ranks can be resolved to absolute
+   (world) ranks;
+b. **window buffers** — which byte range each rank exposes in each window;
+c. **datatypes** — the data-map of every derived datatype, reconstructed
+   by replaying each rank's ``Type_*`` calls (datatype ids are per-rank,
+   exactly as MPI handles are local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiler.events import CallEvent, Event, MemEvent
+from repro.profiler.tracer import TraceSet
+from repro.simmpi.comm import WORLD_COMM_ID
+from repro.simmpi.datatypes import Datatype, DatatypeFactory, PRIMITIVES_BY_ID
+from repro.util.errors import AnalysisError
+from repro.util.intervals import IntervalSet
+
+
+@dataclass
+class WindowInfo:
+    """Per-window registry entry: what every rank exposes."""
+
+    win_id: int
+    comm_id: int
+    bases: Dict[int, int] = field(default_factory=dict)
+    sizes: Dict[int, int] = field(default_factory=dict)
+    disp_units: Dict[int, int] = field(default_factory=dict)
+    var_names: Dict[int, str] = field(default_factory=dict)
+
+    def exposure(self, rank: int) -> IntervalSet:
+        """The byte interval rank ``rank`` exposes (empty if none)."""
+        size = self.sizes.get(rank, 0)
+        if size <= 0:
+            return IntervalSet()
+        return IntervalSet.single(self.bases[rank], size)
+
+    def target_intervals(self, target: int, target_disp: int, count: int,
+                         dtype: Datatype) -> IntervalSet:
+        """Absolute byte intervals a remote op touches at ``target``."""
+        base = self.bases[target] + target_disp * self.disp_units[target]
+        return dtype.intervals(base, count)
+
+
+class PreprocessedTrace:
+    """All per-rank events plus the reconstructed registries."""
+
+    def __init__(self, events: Dict[int, List[Event]]):
+        self.events = events
+        self.nranks = len(events)
+        self.comms: Dict[int, Tuple[int, ...]] = {
+            WORLD_COMM_ID: tuple(range(self.nranks))
+        }
+        self.windows: Dict[int, WindowInfo] = {}
+        self.datatypes: Dict[int, Dict[int, Datatype]] = {
+            rank: dict(PRIMITIVES_BY_ID) for rank in range(self.nranks)
+        }
+        self._build()
+
+    # ------------------------------------------------------------------
+
+    def comm_members(self, comm_id: int) -> Tuple[int, ...]:
+        try:
+            return self.comms[comm_id]
+        except KeyError:
+            raise AnalysisError(f"unknown communicator id {comm_id}") from None
+
+    def world_of_comm_rank(self, comm_id: int, comm_rank: int) -> int:
+        members = self.comm_members(comm_id)
+        if not 0 <= comm_rank < len(members):
+            raise AnalysisError(
+                f"comm {comm_id} has no rank {comm_rank} "
+                f"(size {len(members)})")
+        return members[comm_rank]
+
+    def datatype(self, rank: int, type_id: int) -> Datatype:
+        try:
+            return self.datatypes[rank][type_id]
+        except KeyError:
+            raise AnalysisError(
+                f"rank {rank}: unknown datatype id {type_id}") from None
+
+    def window(self, win_id: int) -> WindowInfo:
+        try:
+            return self.windows[win_id]
+        except KeyError:
+            raise AnalysisError(f"unknown window id {win_id}") from None
+
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        split_members: Dict[int, Tuple[int, List[Tuple[int, int]]]] = {}
+        create_members: Dict[int, Tuple[int, ...]] = {}
+        dup_parents: Dict[int, int] = {}
+
+        for rank in range(self.nranks):
+            factory = DatatypeFactory()
+            for event in self.events[rank]:
+                if not isinstance(event, CallEvent):
+                    continue
+                fn, args = event.fn, event.args
+                if fn == "Win_create":
+                    info = self.windows.setdefault(
+                        int(args["win"]),
+                        WindowInfo(int(args["win"]), int(args["comm"])))
+                    info.bases[rank] = int(args["base"])
+                    info.sizes[rank] = int(args["size"])
+                    info.disp_units[rank] = int(args["disp_unit"])
+                    if "var" in args:
+                        info.var_names[rank] = str(args["var"])
+                elif fn == "Comm_split":
+                    newcomm = int(args["newcomm"])
+                    if newcomm >= 0:
+                        parent = int(args["comm"])
+                        split_members.setdefault(newcomm, (parent, []))[1] \
+                            .append((int(args["key"]), rank))
+                elif fn == "Comm_dup":
+                    dup_parents[int(args["newcomm"])] = int(args["comm"])
+                elif fn == "Comm_create":
+                    newcomm = int(args["newcomm"])
+                    if newcomm >= 0:
+                        create_members[newcomm] = tuple(
+                            int(r) for r in args["group"])
+                elif fn == "Type_contiguous":
+                    dt = factory.contiguous(
+                        int(args["count"]),
+                        self.datatype(rank, int(args["oldtype"])))
+                    self.datatypes[rank][dt.type_id] = dt
+                elif fn == "Type_vector":
+                    dt = factory.vector(
+                        int(args["count"]), int(args["blocklength"]),
+                        int(args["stride"]),
+                        self.datatype(rank, int(args["oldtype"])))
+                    self.datatypes[rank][dt.type_id] = dt
+                elif fn == "Type_indexed":
+                    dt = factory.indexed(
+                        list(args["blocklengths"]),
+                        list(args["displacements"]),
+                        self.datatype(rank, int(args["oldtype"])))
+                    self.datatypes[rank][dt.type_id] = dt
+                elif fn == "Type_struct":
+                    dt = factory.struct(
+                        list(args["blocklengths"]),
+                        list(args["displacements"]),
+                        [self.datatype(rank, t) for t in args["oldtypes"]])
+                    self.datatypes[rank][dt.type_id] = dt
+
+        # Communicator ids are assigned in creation order, so a parent
+        # always has a smaller id than its children — resolving ascending
+        # guarantees the parent's rank order is available when needed.
+        for comm_id, members in create_members.items():
+            self.comms[comm_id] = members
+        pending_ids = sorted(set(split_members) | set(dup_parents))
+        for comm_id in pending_ids:
+            if comm_id in dup_parents:
+                parent = dup_parents[comm_id]
+                if parent not in self.comms:
+                    raise AnalysisError(
+                        f"Comm_dup of unknown parent comm {parent}")
+                self.comms[comm_id] = self.comms[parent]
+            else:
+                parent, entries = split_members[comm_id]
+                if parent not in self.comms:
+                    raise AnalysisError(
+                        f"Comm_split of unknown parent comm {parent}")
+                parent_order = {w: i for i, w in enumerate(self.comms[parent])}
+                # MPI_Comm_split rank order: by key, ties by parent rank
+                self.comms[comm_id] = tuple(
+                    w for _k, _pr, w in sorted(
+                        (key, parent_order[w], w) for key, w in entries))
+
+
+def preprocess(traces: TraceSet) -> PreprocessedTrace:
+    """Load all rank traces and build the registries."""
+    return PreprocessedTrace(traces.all_events())

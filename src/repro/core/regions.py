@@ -1,0 +1,92 @@
+"""Concurrent-region extraction (section III-B, last paragraph).
+
+Global synchronization events — collectives in which *every* rank
+participates — partition the execution into sequentially ordered regions.
+Two accesses in different regions are always ordered (through the
+intervening global barrier), so detection only ever compares accesses
+sharing a region; this is the truncation the paper uses "to improve the
+efficiency of the analysis".
+
+A nonblocking RMA operation whose epoch closes after a global cut (e.g. a
+lock epoch spanning a barrier on another communicator — impossible for a
+world barrier, but spans are handled generally) is a member of every
+region its span intersects.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.clocks import Span
+from repro.core.matching import SyncMatch
+from repro.core.preprocess import PreprocessedTrace
+from repro.util.errors import AnalysisError
+
+
+@dataclass
+class Region:
+    """One concurrent region: per-rank exclusive (lo, hi) seq bounds."""
+
+    index: int
+    bounds: Dict[int, Tuple[int, int]]
+
+    def contains_seq(self, rank: int, seq: int) -> bool:
+        lo, hi = self.bounds[rank]
+        return lo < seq < hi
+
+    def intersects_span(self, span: Span) -> bool:
+        lo, hi = self.bounds[span.rank]
+        return span.start_seq < hi and span.end_seq > lo
+
+
+class RegionIndex:
+    """All concurrent regions plus span -> region lookup."""
+
+    def __init__(self, pre: PreprocessedTrace,
+                 matches: Sequence[SyncMatch]):
+        self.nranks = pre.nranks
+        cuts: List[Dict[int, int]] = []
+        for match in matches:
+            if match.is_global(pre.nranks):
+                cuts.append(dict(match.members))
+        # order cuts by (any) rank's seq — global collectives are totally
+        # ordered, so every rank induces the same order
+        cuts.sort(key=lambda members: members.get(0, -1))
+        for earlier, later in zip(cuts, cuts[1:]):
+            if any(earlier[r] >= later[r] for r in earlier if r in later):
+                raise AnalysisError(
+                    "global synchronization cuts are not consistently "
+                    "ordered across ranks — inconsistent trace")
+
+        self.regions: List[Region] = []
+        n_regions = len(cuts) + 1
+        #: per-rank sorted cut seqs, for bisect lookup
+        self._cut_seqs: List[List[int]] = [
+            [cut[r] for cut in cuts] for r in range(pre.nranks)
+        ]
+        for i in range(n_regions):
+            bounds = {}
+            for rank in range(pre.nranks):
+                lo = cuts[i - 1][rank] if i > 0 else -1
+                hi = cuts[i][rank] if i < len(cuts) else (1 << 62)
+                bounds[rank] = (lo, hi)
+            self.regions.append(Region(index=i, bounds=bounds))
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def region_of_seq(self, rank: int, seq: int) -> int:
+        """Region index of a point event (cut events belong to no region;
+        they are mapped to the region they open)."""
+        return bisect_right(self._cut_seqs[rank], seq - 1)
+
+    def regions_of_span(self, span: Span) -> range:
+        """All region indices a span intersects."""
+        first = bisect_right(self._cut_seqs[span.rank], span.start_seq - 1)
+        last = bisect_left(self._cut_seqs[span.rank], span.end_seq)
+        return range(first, min(last, len(self.regions) - 1) + 1)

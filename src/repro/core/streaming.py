@@ -1,0 +1,204 @@
+"""Streaming (online) analysis — the paper's stated future work.
+
+Section VII-B: "While MC-Checker analyzes the traces offline, we can
+extend it to perform online analysis by leveraging streaming processing
+algorithms in the future."  This module is that extension: a region-at-a-
+time checker whose memory footprint is bounded by the synchronization
+structure plus a *single concurrent region's* load/store events, rather
+than the full trace.
+
+Two passes over the per-rank trace files:
+
+1. **Control pass** — retain only MPI *call* events (synchronization,
+   RMA, datatype, support).  These suffice to rebuild the registries,
+   match synchronization, build the happens-before oracle, identify
+   epochs, and lift the RMA operation views.  Call events are typically a
+   small fraction of a trace; the load/store events the Profiler emits
+   for compute-heavy applications dominate (Figure 10).
+2. **Data pass** — stream the load/store events region by region (the
+   global synchronization cuts are known after pass 1).  Each region is
+   analyzed with the same :func:`~repro.core.inter.detect_region` pass the
+   batch checker uses and then discarded; epoch-local accesses are held
+   only until their epoch's closing synchronization has been passed, at
+   which point :func:`~repro.core.intra.check_epoch` runs and the buffer
+   is freed.
+
+Findings are identical to the batch pipeline (differential-tested), and
+:class:`StreamingChecker.peak_buffered_mems` records the bound actually
+achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.clocks import ConcurrencyOracle
+from repro.core.diagnostics import (
+    SEVERITY_ERROR, ConsistencyError, dedupe,
+)
+from repro.core.epochs import Epoch, EpochIndex
+from repro.core.inter import LocalLockIndex, detect_region
+from repro.core.intra import check_epoch
+from repro.core.matching import match_synchronization
+from repro.core.model import AccessModel, LocalAccess, build_access_model
+from repro.core.preprocess import PreprocessedTrace
+from repro.core.regions import RegionIndex
+from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.tracer import TraceSet
+from repro.util.intervals import IntervalSet
+
+
+@dataclass
+class RegionReport:
+    """Findings of one concurrent region, emitted as it closes."""
+
+    index: int
+    findings: List[ConsistencyError]
+    mem_events: int
+
+
+class StreamingChecker:
+    """Region-at-a-time DN-Analyzer with bounded data-event memory."""
+
+    def __init__(self, traces: TraceSet, memory_model: str = "separate"):
+        self.traces = traces
+        self.memory_model = memory_model
+        self.peak_buffered_mems = 0
+        self._control_pass()
+
+    # ------------------------------------------------------------------
+
+    def _control_pass(self) -> None:
+        """Pass 1: everything derivable from call events alone."""
+        call_events = {
+            rank: [e for e in self.traces.reader(rank)
+                   if isinstance(e, CallEvent)]
+            for rank in range(self.traces.nranks)
+        }
+        self.pre = PreprocessedTrace(call_events)
+        self.matches = match_synchronization(self.pre)
+        self.oracle = ConcurrencyOracle(self.pre, self.matches)
+        self.epochs = EpochIndex(self.pre)
+        self.call_model = build_access_model(self.pre, self.epochs)
+        self.regions = RegionIndex(self.pre, self.matches)
+        self.lock_index = LocalLockIndex(self.epochs, self.pre.nranks)
+
+        # pre-bucket the call-derived accesses by region / epoch
+        self._ops_by_region: Dict[int, List] = {}
+        for op in sorted(self.call_model.ops, key=lambda o: (o.rank, o.seq)):
+            for index in self.regions.regions_of_span(op.span):
+                self._ops_by_region.setdefault(index, []).append(op)
+        self._call_locals_by_region: Dict[int, List[LocalAccess]] = {}
+        for la in self.call_model.local:
+            for index in self.regions.regions_of_span(la.span):
+                self._call_locals_by_region.setdefault(index, []).append(la)
+        self._ops_by_epoch: Dict[int, List] = {}
+        self._attached_by_epoch: Dict[int, List[LocalAccess]] = {}
+        for op in self.call_model.ops:
+            if op.epoch is not None:
+                self._ops_by_epoch.setdefault(id(op.epoch), []).append(op)
+        for la in self.call_model.local:
+            if la.origin_of is not None and la.origin_of.epoch is not None:
+                self._attached_by_epoch.setdefault(
+                    id(la.origin_of.epoch), []).append(la)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Iterator[RegionReport]:
+        """Pass 2: stream memory events, yielding per-region findings."""
+        readers = [iter(self.traces.reader(rank))
+                   for rank in range(self.pre.nranks)]
+        lookahead: List[Optional[MemEvent]] = [None] * self.pre.nranks
+        # per-epoch buffered plain memory accesses, freed at epoch close
+        epoch_mems: Dict[int, List[LocalAccess]] = {}
+        open_epochs: List[Epoch] = sorted(
+            self.epochs.access_epochs(),
+            key=lambda e: (e.rank, e.open_seq))
+
+        def next_mem(rank: int, upto: int) -> Iterator[MemEvent]:
+            """Drain rank's mem events with seq < upto."""
+            pending = lookahead[rank]
+            if pending is not None:
+                if pending.seq >= upto:
+                    return
+                lookahead[rank] = None
+                yield pending
+            for event in readers[rank]:
+                if not isinstance(event, MemEvent):
+                    continue
+                if event.seq >= upto:
+                    lookahead[rank] = event
+                    return
+                yield event
+
+        for region in self.regions:
+            findings: List[ConsistencyError] = []
+            region_mems: List[LocalAccess] = []
+            consumed_upto = {}
+            for rank in range(self.pre.nranks):
+                _lo, hi = region.bounds[rank]
+                upto = min(hi + 1, 1 << 62)
+                consumed_upto[rank] = upto
+                for event in next_mem(rank, upto):
+                    la = LocalAccess(
+                        rank=rank, seq=event.seq, access=event.access,
+                        intervals=IntervalSet.single(event.addr, event.size),
+                        var=event.var, loc=event.loc, fn="mem")
+                    region_mems.append(la)
+                    for epoch in open_epochs:
+                        if epoch.rank == rank and \
+                                epoch.contains_seq(event.seq):
+                            epoch_mems.setdefault(id(epoch), []).append(la)
+
+            buffered = len(region_mems) + sum(
+                len(v) for v in epoch_mems.values())
+            self.peak_buffered_mems = max(self.peak_buffered_mems, buffered)
+
+            # cross-process pass over this region
+            region_ops = self._ops_by_region.get(region.index, [])
+            if region_ops:
+                locals_here = (self._call_locals_by_region.get(
+                    region.index, []) + region_mems)
+                findings.extend(detect_region(
+                    self.pre, region_ops, locals_here, self.oracle,
+                    self.lock_index, self.memory_model))
+
+            # close every epoch whose closing sync has been passed
+            still_open: List[Epoch] = []
+            for epoch in open_epochs:
+                if epoch.close_seq < consumed_upto.get(epoch.rank, 0):
+                    findings.extend(check_epoch(
+                        epoch,
+                        self._ops_by_epoch.get(id(epoch), []),
+                        self._attached_by_epoch.get(id(epoch), []),
+                        epoch_mems.pop(id(epoch), []),
+                        self.memory_model))
+                else:
+                    still_open.append(epoch)
+            open_epochs = still_open
+
+            yield RegionReport(index=region.index, findings=findings,
+                               mem_events=len(region_mems))
+
+        # epochs never closed in the trace (truncated programs)
+        for epoch in open_epochs:
+            findings = check_epoch(
+                epoch, self._ops_by_epoch.get(id(epoch), []),
+                self._attached_by_epoch.get(id(epoch), []),
+                epoch_mems.pop(id(epoch), []), self.memory_model)
+            if findings:
+                yield RegionReport(index=len(self.regions), mem_events=0,
+                                   findings=findings)
+
+
+def check_streaming(traces: TraceSet,
+                    memory_model: str = "separate"
+                    ) -> Tuple[List[ConsistencyError], StreamingChecker]:
+    """Run the streaming pipeline to completion; returns deduplicated
+    findings plus the checker (for its memory statistics)."""
+    checker = StreamingChecker(traces, memory_model=memory_model)
+    findings: List[ConsistencyError] = []
+    for report in checker.run():
+        findings.extend(report.findings)
+    return dedupe(findings), checker

@@ -1,0 +1,18 @@
+"""Global-Arrays-style PGAS layer over the simulated MPI RMA runtime.
+
+The paper's overhead study runs "three applications in the GA package
+(Lennard-Jones, SCF, and Boltzmann) ... We replace the ARMCI library with
+ARMCI-MPI so that GA will use ARMCI-MPI as communication library" — i.e.
+a Global Arrays programming model lowered onto MPI one-sided operations.
+This package provides that layer: a block-distributed
+:class:`~repro.ga.array.GlobalArray` whose section operations (`get`,
+`put`, `acc`, `read_inc`) lower to passive-target MPI RMA, so MC-Checker
+analyzes GA programs with no extra machinery — the paper's advantage #4
+("the analysis techniques ... can also be applied to other one-sided
+programming models").
+"""
+
+from repro.ga.array import GlobalArray
+from repro.ga.array2d import GlobalArray2D
+
+__all__ = ["GlobalArray", "GlobalArray2D"]

@@ -1,0 +1,32 @@
+"""Profiler — online event collection (the paper's PMPI + LLVM-pass layer).
+
+Registers an :class:`~repro.simmpi.runtime.EventHook` on the simulated
+world, logging the four MPI call categories of section IV-B plus the
+load/store accesses of ST-Analyzer-selected buffers into one trace file per
+rank.  :func:`repro.profiler.session.profile_run` is the one-call entry
+point: run an app under profiling and get back a
+:class:`~repro.profiler.tracer.TraceSet`.
+"""
+
+from repro.profiler.events import (
+    CallEvent,
+    MemEvent,
+    Event,
+    call_category,
+    CATEGORY_ONE_SIDED,
+    CATEGORY_DATATYPE,
+    CATEGORY_SYNC,
+    CATEGORY_SUPPORT,
+)
+from repro.profiler.tracer import TraceReader, TraceSet, TraceWriter
+from repro.profiler.interpose import ProfilerHook, SCOPE_ALL, SCOPE_NONE, SCOPE_REPORT
+from repro.profiler.session import ProfiledRun, profile_run
+
+__all__ = [
+    "CallEvent", "MemEvent", "Event", "call_category",
+    "CATEGORY_ONE_SIDED", "CATEGORY_DATATYPE", "CATEGORY_SYNC",
+    "CATEGORY_SUPPORT",
+    "TraceReader", "TraceSet", "TraceWriter",
+    "ProfilerHook", "SCOPE_ALL", "SCOPE_NONE", "SCOPE_REPORT",
+    "ProfiledRun", "profile_run",
+]

@@ -1,0 +1,170 @@
+"""Typed trace events and the MPI call taxonomy of section IV-B.
+
+The Profiler collects four types of MPI calls (paper, section IV-B):
+
+1. **one-sided** — initialization, communication, and synchronization calls
+   of the RMA interface;
+2. **datatype** — derived-datatype constructors, needed to rebuild
+   data-maps during preprocessing;
+3. **sync** — two-sided and collective calls that order operations across
+   processes (these become happens-before edges);
+4. **support** — rank/group/communicator bookkeeping needed to resolve
+   relative ranks.
+
+Plus memory events: the load/store accesses of instrumented buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Union
+
+from repro.util.location import SourceLocation, UNKNOWN_LOCATION
+from repro.util.records import Record, decode_record, encode_record
+
+CATEGORY_ONE_SIDED = "one_sided"
+CATEGORY_DATATYPE = "datatype"
+CATEGORY_SYNC = "sync"
+CATEGORY_SUPPORT = "support"
+
+ONE_SIDED_CALLS = frozenset({
+    "Win_create", "Win_free", "Put", "Get", "Accumulate",
+    "Win_fence", "Win_lock", "Win_unlock",
+    "Win_post", "Win_start", "Win_complete", "Win_wait",
+    # MPI-3 extensions (paper section V)
+    "Get_accumulate", "Compare_and_swap",
+    "Win_lock_all", "Win_unlock_all", "Win_flush", "Win_flush_all",
+    "Rput", "Rget", "Raccumulate", "Rma_wait",
+})
+
+DATATYPE_CALLS = frozenset({
+    "Type_contiguous", "Type_vector", "Type_indexed", "Type_struct",
+})
+
+SYNC_CALLS = frozenset({
+    "Barrier", "Bcast", "Reduce", "Allreduce", "Scan", "Exscan",
+    "Reduce_scatter",
+    "Gather", "Allgather", "Scatter", "Alltoall",
+    "Send", "Recv", "Isend", "Irecv", "Wait",
+    # MPI-3 nonblocking collectives: initiation events; the
+    # synchronization effect lands at the completing Wait
+    "Ibarrier", "Ibcast",
+})
+
+SUPPORT_CALLS = frozenset({
+    "Comm_rank", "Comm_size", "Comm_group", "Group_incl", "Group_excl",
+    "Comm_dup", "Comm_split", "Comm_create",
+})
+
+#: Collective call names (matched by per-communicator slot order; MPI
+#: requires a single initiation order per communicator, so nonblocking
+#: initiations share the stream with blocking collectives).
+COLLECTIVE_CALLS = frozenset({
+    "Barrier", "Bcast", "Reduce", "Allreduce", "Scan", "Exscan",
+    "Reduce_scatter", "Gather",
+    "Allgather", "Scatter", "Alltoall",
+    "Win_create", "Win_free", "Win_fence",
+    "Comm_dup", "Comm_split", "Comm_create",
+    "Ibarrier", "Ibcast",
+})
+
+#: Nonblocking collectives: the match's happens-before entry is the
+#: initiation, its exit the per-rank completing Wait.
+NB_COLLECTIVE_CALLS = frozenset({"Ibarrier", "Ibcast"})
+
+#: Remote (window-targeting) one-sided communication calls.
+RMA_COMM_CALLS = frozenset({"Put", "Get", "Accumulate", "Get_accumulate",
+                            "Compare_and_swap",
+                            "Rput", "Rget", "Raccumulate"})
+
+
+def call_category(fn: str) -> str:
+    if fn in ONE_SIDED_CALLS:
+        return CATEGORY_ONE_SIDED
+    if fn in DATATYPE_CALLS:
+        return CATEGORY_DATATYPE
+    if fn in SYNC_CALLS:
+        return CATEGORY_SYNC
+    if fn in SUPPORT_CALLS:
+        return CATEGORY_SUPPORT
+    raise KeyError(f"unknown MPI call {fn!r}")
+
+
+@dataclass
+class CallEvent:
+    """One intercepted MPI call at one rank."""
+
+    rank: int
+    seq: int
+    fn: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    loc: SourceLocation = UNKNOWN_LOCATION
+
+    KIND = "C"
+
+    @property
+    def category(self) -> str:
+        return call_category(self.fn)
+
+    def encode(self) -> str:
+        fields: Dict[str, Any] = {"seq": self.seq, "fn": self.fn,
+                                  "loc": self.loc.encode()}
+        fields.update(self.args)
+        return encode_record(self.KIND, fields)
+
+    @classmethod
+    def from_record(cls, rank: int, rec: Record) -> "CallEvent":
+        from repro.util.errors import TraceFormatError
+
+        fields = dict(rec.fields)
+        try:
+            seq = int(fields.pop("seq"))
+            fn = str(fields.pop("fn"))
+            loc = SourceLocation.decode(str(fields.pop("loc")))
+        except (KeyError, ValueError) as exc:
+            raise TraceFormatError(
+                f"malformed call event record: {exc}") from exc
+        return cls(rank=rank, seq=seq, fn=fn, args=fields, loc=loc)
+
+
+@dataclass
+class MemEvent:
+    """One instrumented load/store at one rank."""
+
+    rank: int
+    seq: int
+    access: str  # "load" | "store"
+    addr: int
+    size: int
+    var: str
+    loc: SourceLocation = UNKNOWN_LOCATION
+
+    KIND = "M"
+
+    def encode(self) -> str:
+        return encode_record(self.KIND, {
+            "seq": self.seq, "a": self.access, "addr": self.addr,
+            "size": self.size, "var": self.var, "loc": self.loc.encode(),
+        })
+
+    @classmethod
+    def from_record(cls, rank: int, rec: Record) -> "MemEvent":
+        return cls(
+            rank=rank, seq=rec.get_int("seq"), access=rec.get_str("a"),
+            addr=rec.get_int("addr"), size=rec.get_int("size"),
+            var=rec.get_str("var"),
+            loc=SourceLocation.decode(rec.get_str("loc")),
+        )
+
+
+Event = Union[CallEvent, MemEvent]
+
+
+def decode_event(rank: int, line: str) -> Event:
+    rec = decode_record(line)
+    if rec.kind == CallEvent.KIND:
+        return CallEvent.from_record(rank, rec)
+    if rec.kind == MemEvent.KIND:
+        return MemEvent.from_record(rank, rec)
+    from repro.util.errors import TraceFormatError
+    raise TraceFormatError(f"unknown record kind {rec.kind!r}")

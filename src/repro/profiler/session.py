@@ -1,0 +1,95 @@
+"""One-call profiled runs: app -> per-rank trace files.
+
+:func:`profile_run` wires the pieces of Figure 5 together: ST-Analyzer
+produces the instrumentation report, the Profiler hook is attached to a
+fresh simulated world, the application runs, and the resulting
+:class:`~repro.profiler.tracer.TraceSet` is handed back for DN-Analyzer.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.profiler.interpose import (
+    SCOPE_ALL, SCOPE_NONE, SCOPE_REPORT, ProfilerHook,
+)
+from repro.profiler.tracer import TraceSet
+from repro.simmpi.runtime import World
+from repro.stanalyzer import InstrumentationReport, analyze_app
+
+
+@dataclass
+class ProfiledRun:
+    """Everything a profiled execution produced."""
+
+    traces: TraceSet
+    results: List[Any]
+    report: Optional[InstrumentationReport]
+    world_stats: Dict[str, int]
+    elapsed: float
+    events_written: int
+
+
+def profile_run(app: Callable, nranks: int,
+                trace_dir: Optional[str] = None,
+                params: Optional[Dict[str, Any]] = None,
+                scope: str = SCOPE_REPORT,
+                report: Optional[InstrumentationReport] = None,
+                sched_policy: str = "round_robin",
+                seed: int = 0,
+                delivery: str = "random",
+                capture_locations: bool = True,
+                app_name: Optional[str] = None) -> ProfiledRun:
+    """Run ``app`` on ``nranks`` simulated ranks with the Profiler attached.
+
+    With ``scope="report"`` (the paper's configuration) and no explicit
+    ``report``, ST-Analyzer runs automatically on the app's defining module.
+    """
+    if trace_dir is None:
+        trace_dir = tempfile.mkdtemp(prefix="mcchecker-trace-")
+    os.makedirs(trace_dir, exist_ok=True)
+    if scope == SCOPE_REPORT and report is None:
+        report = analyze_app(app)
+    relevant = report.buffer_names if report is not None else set()
+    app_name = app_name or getattr(app, "__name__", "app")
+
+    hook = ProfilerHook(trace_dir, nranks, app=app_name, scope=scope,
+                        relevant_vars=relevant,
+                        capture_locations=capture_locations)
+    world = World(nranks, sched_policy=sched_policy, seed=seed,
+                  delivery=delivery)
+    world.hooks.append(hook)
+    start = time.perf_counter()
+    try:
+        results = world.run(app, params)
+    finally:
+        hook.close()
+    elapsed = time.perf_counter() - start
+    return ProfiledRun(
+        traces=TraceSet(trace_dir),
+        results=results,
+        report=report,
+        world_stats=dict(world.stats),
+        elapsed=elapsed,
+        events_written=hook.events_written,
+    )
+
+
+def baseline_run(app: Callable, nranks: int,
+                 params: Optional[Dict[str, Any]] = None,
+                 sched_policy: str = "round_robin", seed: int = 0,
+                 delivery: str = "random") -> float:
+    """Run ``app`` without any profiling and return the elapsed time.
+
+    This is the "native execution" arm of the Figure 8 overhead
+    comparison.
+    """
+    world = World(nranks, sched_policy=sched_policy, seed=seed,
+                  delivery=delivery)
+    start = time.perf_counter()
+    world.run(app, params)
+    return time.perf_counter() - start

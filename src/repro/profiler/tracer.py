@@ -1,0 +1,131 @@
+"""Per-rank trace files: buffered writers, readers, and the TraceSet handle.
+
+Each rank logs to its own file (``trace.<rank>.log``), independently — the
+property the paper credits for the Profiler's scalability (section VII-B:
+"Profiler logs the runtime events into the local disk independently for
+each process").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.profiler.events import CallEvent, Event, MemEvent, decode_event
+from repro.util.errors import TraceFormatError
+from repro.util.records import decode_record, encode_record
+
+TRACE_VERSION = 1
+_FLUSH_EVERY = 4096  # buffered lines between writes
+
+
+class TraceWriter:
+    """Buffered line writer for one rank's event stream."""
+
+    def __init__(self, path: str, rank: int, nranks: int, app: str = ""):
+        self.path = path
+        self.rank = rank
+        self._buffer: List[str] = [
+            encode_record("H", {"v": TRACE_VERSION, "rank": rank,
+                                "nranks": nranks, "app": app})
+        ]
+        self._fh = open(path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def write(self, event: Event) -> None:
+        self._buffer.append(event.encode())
+        self.events_written += 1
+        if len(self._buffer) >= _FLUSH_EVERY:
+            self._drain()
+
+    def _drain(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def close(self) -> None:
+        self._drain()
+        self._fh.close()
+
+
+@dataclass
+class TraceHeader:
+    version: int
+    rank: int
+    nranks: int
+    app: str
+
+
+class TraceReader:
+    """Reads one rank's trace back into typed events."""
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, encoding="utf-8") as fh:
+            first = fh.readline()
+        rec = decode_record(first)
+        if rec.kind != "H":
+            raise TraceFormatError(f"{path}: missing trace header")
+        self.header = TraceHeader(
+            version=rec.get_int("v"), rank=rec.get_int("rank"),
+            nranks=rec.get_int("nranks"), app=rec.get_str("app", ""))
+        if self.header.version != TRACE_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported trace version {self.header.version}")
+
+    def __iter__(self) -> Iterator[Event]:
+        with open(self.path, encoding="utf-8") as fh:
+            fh.readline()  # header
+            for line in fh:
+                line = line.rstrip("\n")
+                if line:
+                    yield decode_event(self.header.rank, line)
+
+    def events(self) -> List[Event]:
+        return list(self)
+
+
+class TraceSet:
+    """All per-rank traces of one profiled run."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._paths: Dict[int, str] = {}
+        for name in sorted(os.listdir(directory)):
+            if name.startswith("trace.") and name.endswith(".log"):
+                rank = int(name.split(".")[1])
+                self._paths[rank] = os.path.join(directory, name)
+        if not self._paths:
+            raise TraceFormatError(f"no trace files found in {directory}")
+        self.nranks = TraceReader(self._paths[min(self._paths)]).header.nranks
+        if sorted(self._paths) != list(range(self.nranks)):
+            raise TraceFormatError(
+                f"{directory}: expected traces for ranks 0..{self.nranks - 1}, "
+                f"found {sorted(self._paths)}")
+
+    @staticmethod
+    def rank_path(directory: str, rank: int) -> str:
+        return os.path.join(directory, f"trace.{rank}.log")
+
+    def reader(self, rank: int) -> TraceReader:
+        return TraceReader(self._paths[rank])
+
+    def events(self, rank: int) -> List[Event]:
+        return self.reader(rank).events()
+
+    def all_events(self) -> Dict[int, List[Event]]:
+        return {rank: self.events(rank) for rank in range(self.nranks)}
+
+    def event_counts(self) -> Dict[str, int]:
+        """Aggregate event counts by class (for the Figure 10 experiment)."""
+        counts = {"call": 0, "mem": 0, "load": 0, "store": 0}
+        for rank in range(self.nranks):
+            for event in self.reader(rank):
+                if isinstance(event, CallEvent):
+                    counts["call"] += 1
+                else:
+                    assert isinstance(event, MemEvent)
+                    counts["mem"] += 1
+                    counts[event.access] += 1
+        return counts

@@ -1,0 +1,147 @@
+"""Collective operations over a communicator.
+
+Each communicator carries an implicit stream of collective *slots*: the
+``k``-th collective call a rank makes on a communicator joins slot ``k``.
+All members must therefore call collectives on a communicator in the same
+order — the MPI requirement — and a mismatch (different operation names in
+the same slot) raises immediately, which doubles as a useful application
+bug detector.
+
+A slot gathers one contribution per member rank, blocks arrivals until the
+slot is full, computes the result once, and releases everyone.  Reductions
+combine contributions in rank order so results are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.ops import combine
+from repro.util.errors import SimMPIError
+
+
+@dataclass
+class _Slot:
+    name: str
+    size: int
+    arrived: Set[int] = field(default_factory=set)
+    departed: Set[int] = field(default_factory=set)
+    contributions: Dict[int, Any] = field(default_factory=dict)
+    meta: Dict[int, Any] = field(default_factory=dict)
+    result: Any = None
+    computed: bool = False
+
+    @property
+    def full(self) -> bool:
+        return len(self.arrived) == self.size
+
+
+class CollectiveEngine:
+    """Slot-matching engine shared by all ranks of a world."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[Tuple[int, int], _Slot] = {}
+        # (comm_id, world_rank) -> next slot index for that rank
+        self._counters: Dict[Tuple[int, int], int] = {}
+
+    def enter(self, comm: Comm, world_rank: int, name: str,
+              contribution: Any = None, meta: Any = None) -> Tuple[int, _Slot]:
+        """Join this rank's next collective slot on ``comm``.
+
+        Returns ``(slot_index, slot)``; the caller must then block until
+        ``slot.full`` and finally call :meth:`leave`.
+        """
+        key = (comm.comm_id, world_rank)
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        slot_key = (comm.comm_id, index)
+        slot = self._slots.get(slot_key)
+        if slot is None:
+            slot = _Slot(name=name, size=comm.size)
+            self._slots[slot_key] = slot
+        if slot.name != name:
+            raise SimMPIError(
+                f"collective mismatch on comm {comm.comm_id} slot {index}: "
+                f"rank {world_rank} called {name} but slot is {slot.name}")
+        if world_rank in slot.arrived:
+            raise SimMPIError(
+                f"rank {world_rank} double-arrived at comm {comm.comm_id} "
+                f"slot {index}")
+        slot.arrived.add(world_rank)
+        slot.contributions[world_rank] = contribution
+        slot.meta[world_rank] = meta
+        return index, slot
+
+    def leave(self, comm: Comm, index: int, slot: _Slot, world_rank: int) -> None:
+        slot.departed.add(world_rank)
+        if len(slot.departed) == slot.size:
+            del self._slots[(comm.comm_id, index)]
+
+
+# ----------------------------------------------------------------------
+# result computation helpers (called once per slot, when full)
+# ----------------------------------------------------------------------
+
+def ordered_contributions(slot: _Slot, comm: Comm) -> List[Any]:
+    """Contributions in communicator rank order."""
+    return [slot.contributions[comm.world_of_rank(r)] for r in range(comm.size)]
+
+
+def compute_bcast(slot: _Slot, comm: Comm, root_comm_rank: int) -> Any:
+    return slot.contributions[comm.world_of_rank(root_comm_rank)]
+
+
+def compute_reduce(slot: _Slot, comm: Comm, op: str) -> np.ndarray:
+    parts = ordered_contributions(slot, comm)
+    acc = np.array(parts[0], copy=True)
+    for part in parts[1:]:
+        acc = combine(op, acc, np.asarray(part))
+    return acc
+
+
+def compute_scan(slot: _Slot, comm: Comm, op: str) -> List[np.ndarray]:
+    """Inclusive prefix reduction: result[i] = parts[0] op ... op parts[i]."""
+    parts = ordered_contributions(slot, comm)
+    out: List[np.ndarray] = []
+    acc: Optional[np.ndarray] = None
+    for part in parts:
+        acc = np.array(part, copy=True) if acc is None else combine(
+            op, acc, np.asarray(part))
+        out.append(np.array(acc, copy=True))
+    return out
+
+
+def compute_exscan(slot: _Slot, comm: Comm, op: str
+                   ) -> List[Optional[np.ndarray]]:
+    """Exclusive prefix reduction: result[0] undefined (None),
+    result[i] = parts[0] op ... op parts[i-1]."""
+    inclusive = compute_scan(slot, comm, op)
+    return [None] + inclusive[:-1]
+
+
+def compute_reduce_scatter(slot: _Slot, comm: Comm, op: str,
+                           counts: List[int]) -> List[np.ndarray]:
+    """Reduce element-wise, then scatter contiguous chunks of ``counts``
+    elements to the members in rank order."""
+    total = compute_reduce(slot, comm, op)
+    out: List[np.ndarray] = []
+    cursor = 0
+    for count in counts:
+        out.append(np.array(total[cursor:cursor + count], copy=True))
+        cursor += count
+    return out
+
+
+def compute_gather(slot: _Slot, comm: Comm) -> List[Any]:
+    return ordered_contributions(slot, comm)
+
+
+def compute_alltoall(slot: _Slot, comm: Comm) -> List[List[Any]]:
+    """result[dst][src] = chunk sent by src to dst (comm-rank indices)."""
+    parts = ordered_contributions(slot, comm)  # parts[src] = list of chunks by dst
+    return [[parts[src][dst] for src in range(comm.size)]
+            for dst in range(comm.size)]

@@ -1,0 +1,56 @@
+"""Fault injection: steer the simulator into the interleavings that
+manifest consistency bugs.
+
+MC-Checker detects races that *could* corrupt data whether or not they did
+in a particular run.  These helpers force the runs where they DO, which the
+test suite uses to prove the simulator's nonblocking semantics are real
+(DESIGN.md, "failure injection"):
+
+* :func:`force_all_lazy` — every RMA op defers its data movement to epoch
+  close (the Blue Gene/Q eager-buffer-exhaustion scenario from the ADLB
+  bug anecdote in section II-B).
+* :func:`force_lazy_ops` — defer only selected (win, origin, seq) ops.
+* :class:`AdversarialDelivery` — a delivery engine that alternates
+  eager/lazy per op deterministically, maximising interleaving coverage
+  across repeated runs without randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.simmpi.rma import DeliveryEngine, LAZY, RMAOp
+from repro.simmpi.runtime import World
+
+
+def force_all_lazy(world: World) -> None:
+    """Defer every RMA data movement to its epoch-closing synchronization."""
+    world.delivery.policy = LAZY
+
+
+def force_lazy_ops(world: World,
+                   keys: Iterable[Tuple[int, int, int]]) -> None:
+    """Defer the ops identified by ``(win_id, origin_rank, seq)`` triples."""
+    world.delivery.forced_lazy.update(keys)
+
+
+class AdversarialDelivery(DeliveryEngine):
+    """Deterministically alternate eager/lazy delivery, per origin rank.
+
+    With ``phase=0`` the first op of every origin is eager, the second
+    lazy, and so on; ``phase=1`` flips the parity.  Running a test twice
+    (phase 0 and 1) covers both delivery timings of every op without a
+    random search.
+    """
+
+    def __init__(self, phase: int = 0):
+        super().__init__(policy="random", seed=0)
+        self.phase = phase
+        self._counts = {}
+
+    def deliver_eagerly(self, op: RMAOp) -> bool:
+        if (op.win_id, op.origin_world, op.seq) in self.forced_lazy:
+            return False
+        n = self._counts.get(op.origin_world, 0)
+        self._counts[op.origin_world] = n + 1
+        return (n + self.phase) % 2 == 0

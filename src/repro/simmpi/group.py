@@ -1,0 +1,81 @@
+"""MPI groups: ordered sets of world ranks with the MPI-2.2 set algebra."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.util.errors import SimMPIError
+
+
+class Group:
+    """An immutable ordered list of *world* ranks.
+
+    Ranks inside a group are positions in this list; DN-Analyzer's
+    preprocessing resolves group-relative ranks back to world ranks the same
+    way (section IV-C-1a).
+    """
+
+    __slots__ = ("world_ranks",)
+
+    def __init__(self, world_ranks: Iterable[int]):
+        ranks = tuple(int(r) for r in world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise SimMPIError(f"duplicate ranks in group: {ranks}")
+        self.world_ranks: Tuple[int, ...] = ranks
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def rank_of_world(self, world_rank: int) -> int:
+        """Group-relative rank of a world rank (-1 if not a member)."""
+        try:
+            return self.world_ranks.index(world_rank)
+        except ValueError:
+            return -1
+
+    def world_of_rank(self, group_rank: int) -> int:
+        if not 0 <= group_rank < self.size:
+            raise SimMPIError(
+                f"group rank {group_rank} out of range for size {self.size}")
+        return self.world_ranks[group_rank]
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self.world_ranks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Group):
+            return NotImplemented
+        return self.world_ranks == other.world_ranks
+
+    def __hash__(self) -> int:
+        return hash(self.world_ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group{self.world_ranks}"
+
+    # ------------------------------------------------------------------
+    # MPI group constructors (MPI_Group_incl etc.)
+    # ------------------------------------------------------------------
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """New group containing the given *group-relative* ranks, in order."""
+        return Group(self.world_of_rank(r) for r in ranks)
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        drop = {self.world_of_rank(r) for r in ranks}
+        return Group(r for r in self.world_ranks if r not in drop)
+
+    def union(self, other: "Group") -> "Group":
+        extra = [r for r in other.world_ranks if r not in self.world_ranks]
+        return Group(self.world_ranks + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group(r for r in self.world_ranks if r in other.world_ranks)
+
+    def difference(self, other: "Group") -> "Group":
+        return Group(r for r in self.world_ranks if r not in other.world_ranks)
+
+    def translate_ranks(self, ranks: Sequence[int], other: "Group") -> Tuple[int, ...]:
+        """MPI_Group_translate_ranks: my group ranks -> other's group ranks."""
+        return tuple(other.rank_of_world(self.world_of_rank(r)) for r in ranks)

@@ -1,0 +1,201 @@
+"""Per-rank virtual memory: address spaces and load/store-tracked buffers.
+
+The paper's Profiler instruments CPU load/store instructions selected by
+ST-Analyzer (sections IV-A/IV-B).  Python has no load/store instructions to
+instrument, so the substitute is :class:`TrackedBuffer`: a numpy-backed
+buffer whose element reads and writes pass through ``load``/``store`` hooks
+carrying a *virtual address* and byte size.  Addresses are allocated from a
+per-rank :class:`AddressSpace`, so all downstream overlap logic (window
+containment, conflict intervals) is byte-accurate, exactly as with real
+addresses.
+
+Two access paths exist deliberately:
+
+* the *semantic* path (``buf[i]``, ``buf.load``, ``buf.store``, typed
+  slicing) — these are the application's loads/stores and emit events when
+  the buffer is instrumented;
+* the *raw* path (``buf.raw_read_bytes`` / ``raw_write_bytes``) — used by
+  the runtime itself to move message and RMA payloads.  Runtime data
+  movement is represented in traces by the MPI call events, never by
+  synthetic load/store events, matching the paper's PMPI-level view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.util.errors import SimMPIError
+
+#: Hook signature: (kind, buffer, byte_addr, byte_size) -> None, with kind
+#: one of ``"load"`` or ``"store"``.
+AccessHook = Callable[[str, "TrackedBuffer", int, int], None]
+
+_ALLOC_BASE = 0x1000
+_ALIGN = 64
+
+
+class AddressSpace:
+    """A per-rank virtual address allocator (bump pointer, never freed).
+
+    Buffers from different ranks may receive equal addresses — that is
+    fine and realistic: conflict analysis always pairs an address with the
+    rank that issued the access.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._next = _ALLOC_BASE
+
+    def allocate(self, nbytes: int, align: int = _ALIGN) -> int:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation size {nbytes}")
+        addr = -(-self._next // align) * align
+        self._next = addr + nbytes
+        return addr
+
+
+class TrackedBuffer:
+    """A 1-D typed buffer whose element accesses can be traced.
+
+    Parameters
+    ----------
+    space:
+        The owning rank's :class:`AddressSpace`.
+    name:
+        The source-level variable name; ST-Analyzer reports are keyed by
+        these names, and the profiler flips :attr:`instrumented` for the
+        buffers whose names appear in the report.
+    count:
+        Number of elements.
+    np_dtype:
+        Element type (a numpy dtype).
+    """
+
+    __slots__ = ("name", "base", "array", "itemsize", "rank",
+                 "instrumented", "_hook")
+
+    def __init__(self, space: AddressSpace, name: str, count: int,
+                 np_dtype: Union[str, np.dtype] = np.float64,
+                 fill: Optional[float] = 0):
+        dtype = np.dtype(np_dtype)
+        self.name = name
+        self.rank = space.rank
+        self.itemsize = dtype.itemsize
+        self.base = space.allocate(count * dtype.itemsize)
+        if fill is None:
+            self.array = np.empty(count, dtype=dtype)
+        else:
+            self.array = np.full(count, fill, dtype=dtype)
+        self.instrumented = False
+        self._hook: Optional[AccessHook] = None
+
+    # ------------------------------------------------------------------
+    # hook management (profiler attach/detach)
+    # ------------------------------------------------------------------
+
+    def set_hook(self, hook: Optional[AccessHook]) -> None:
+        self._hook = hook
+
+    @property
+    def count(self) -> int:
+        return int(self.array.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def addr_of(self, index: int) -> int:
+        return self.base + index * self.itemsize
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TrackedBuffer({self.name!r}, rank={self.rank}, "
+                f"base={self.base:#x}, count={self.count})")
+
+    # ------------------------------------------------------------------
+    # semantic (application) accesses — these are the "loads/stores"
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, index: int, nelems: int) -> None:
+        if self.instrumented and self._hook is not None:
+            self._hook(kind, self, self.addr_of(index), nelems * self.itemsize)
+
+    def _resolve(self, key: Union[int, slice]):
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self.count)
+            if step != 1:
+                raise SimMPIError("TrackedBuffer slices must be contiguous")
+            return start, max(0, stop - start)
+        index = int(key)
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError(f"index {key} out of range for {self!r}")
+        return index, 1
+
+    def __getitem__(self, key):
+        index, nelems = self._resolve(key)
+        self._emit("load", index, nelems)
+        if isinstance(key, slice):
+            return self.array[index:index + nelems].copy()
+        return self.array[index].item()
+
+    def __setitem__(self, key, value) -> None:
+        index, nelems = self._resolve(key)
+        self._emit("store", index, nelems)
+        if isinstance(key, slice):
+            self.array[index:index + nelems] = value
+        else:
+            self.array[index] = value
+
+    def load(self, index: int):
+        """Explicit load of one element (alias of ``buf[index]``)."""
+        return self[index]
+
+    def store(self, index: int, value) -> None:
+        """Explicit store of one element (alias of ``buf[index] = value``)."""
+        self[index] = value
+
+    def read(self, offset: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Load ``count`` elements starting at ``offset`` (copy)."""
+        count = self.count - offset if count is None else count
+        return self[offset:offset + count]
+
+    def write(self, values, offset: int = 0) -> None:
+        """Store an element sequence starting at ``offset``."""
+        values = np.asarray(values, dtype=self.array.dtype)
+        self[offset:offset + values.size] = values
+
+    # ------------------------------------------------------------------
+    # raw (runtime) accesses — no load/store events
+    # ------------------------------------------------------------------
+
+    def raw_bytes_view(self) -> np.ndarray:
+        return self.array.view(np.uint8)
+
+    def raw_read_bytes(self, byte_offset: int, nbytes: int) -> bytes:
+        if byte_offset < 0 or byte_offset + nbytes > self.nbytes:
+            raise SimMPIError(
+                f"raw read [{byte_offset}, {byte_offset + nbytes}) outside "
+                f"buffer {self.name!r} of {self.nbytes} bytes")
+        return self.raw_bytes_view()[byte_offset:byte_offset + nbytes].tobytes()
+
+    def raw_write_bytes(self, byte_offset: int, data: bytes) -> None:
+        if byte_offset < 0 or byte_offset + len(data) > self.nbytes:
+            raise SimMPIError(
+                f"raw write [{byte_offset}, {byte_offset + len(data)}) outside "
+                f"buffer {self.name!r} of {self.nbytes} bytes")
+        self.raw_bytes_view()[byte_offset:byte_offset + len(data)] = \
+            np.frombuffer(data, dtype=np.uint8)
+
+    def raw_elements(self) -> np.ndarray:
+        """Direct ndarray access for runtime-internal arithmetic."""
+        return self.array

@@ -1,0 +1,49 @@
+"""Reduction operations for collectives and MPI_Accumulate."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.util.errors import SimMPIError
+
+#: op name -> elementwise combiner over numpy arrays (accumuland, update).
+_COMBINERS: Dict[str, Callable] = {
+    "SUM": lambda a, b: a + b,
+    "PROD": lambda a, b: a * b,
+    "MIN": np.minimum,
+    "MAX": np.maximum,
+    "LAND": lambda a, b: np.logical_and(a, b).astype(a.dtype),
+    "LOR": lambda a, b: np.logical_or(a, b).astype(a.dtype),
+    "BAND": lambda a, b: a & b,
+    "BOR": lambda a, b: a | b,
+    "BXOR": lambda a, b: a ^ b,
+    "REPLACE": lambda a, b: b,
+}
+
+SUM = "SUM"
+PROD = "PROD"
+MIN = "MIN"
+MAX = "MAX"
+LAND = "LAND"
+LOR = "LOR"
+BAND = "BAND"
+BOR = "BOR"
+BXOR = "BXOR"
+REPLACE = "REPLACE"
+
+#: Ops usable with MPI_Accumulate in MPI-2.2 (predefined reductions plus
+#: MPI_REPLACE).
+ACCUMULATE_OPS = frozenset(_COMBINERS)
+
+#: Ops usable in reduce/allreduce/scan (everything except REPLACE).
+REDUCE_OPS = frozenset(op for op in _COMBINERS if op != "REPLACE")
+
+
+def combine(op: str, accumuland: np.ndarray, update: np.ndarray) -> np.ndarray:
+    try:
+        fn = _COMBINERS[op]
+    except KeyError:
+        raise SimMPIError(f"unknown reduction op {op!r}") from None
+    return fn(accumuland, update)

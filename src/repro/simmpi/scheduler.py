@@ -1,0 +1,210 @@
+"""Cooperative token-passing scheduler for simulated MPI ranks.
+
+Every rank runs in its own OS thread, but exactly one thread holds the
+*token* at any instant, so execution is a deterministic interleaving of
+per-rank steps.  Ranks hand the token back at *yield points* (every MPI
+call, plus explicit yields inside blocking waits), and the scheduler picks
+the next rank according to its policy:
+
+* ``round_robin`` — cyclic order; fully deterministic.
+* ``random`` — seeded PRNG choice; deterministic for a given seed, but lets
+  tests explore many interleavings (the analogue of rerunning a real MPI
+  job and observing different timings).
+
+Deadlock detection: the runtime bumps a *progress counter* on every state
+mutation (message deposit, lock grant, RMA delivery, collective arrival,
+rank completion).  If every live rank is blocked and a full rotation of
+token grants passes with no progress, the run is declared deadlocked and a
+:class:`~repro.util.errors.DeadlockError` lists what each rank was waiting
+for.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.util.errors import DeadlockError, SimMPIError
+
+
+class _Abort(BaseException):
+    """Internal signal: unwind a rank thread after the run was aborted."""
+
+
+class Scheduler:
+    """Token-passing scheduler over ``nranks`` cooperating threads."""
+
+    def __init__(self, nranks: int, policy: str = "round_robin", seed: int = 0,
+                 max_steps: int = 50_000_000):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        if policy not in ("round_robin", "random"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.nranks = nranks
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._current: Optional[int] = None
+        self._live: Set[int] = set(range(nranks))
+        self._blocked: Dict[int, str] = {}
+        self._progress = 0
+        #: ranks granted the token since the all-blocked stall began; a
+        #: deadlock is declared only once EVERY live rank re-evaluated its
+        #: predicate without progress (grant-counting alone would
+        #: false-positive under the random policy, which may skip a rank
+        #: for many grants)
+        self._stall_granted: Set[int] = set()
+        self._steps = 0
+        self._max_steps = max_steps
+        self._abort_exc: Optional[BaseException] = None
+        self._abort_rank: Optional[int] = None
+        self.switches = 0
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def live_ranks(self) -> Set[int]:
+        return set(self._live)
+
+    @property
+    def progress_counter(self) -> int:
+        return self._progress
+
+    def register_progress(self) -> None:
+        """Record that global state changed; resets deadlock suspicion.
+
+        Must be called (by the runtime) under the scheduler's own
+        serialization — i.e. from the token-holding thread — for any
+        mutation that could unblock another rank.
+        """
+        self._progress += 1
+        self._stall_granted.clear()
+
+    # ------------------------------------------------------------------
+    # token machinery
+    # ------------------------------------------------------------------
+
+    def _pick_next(self) -> Optional[int]:
+        candidates = sorted(self._live)
+        if not candidates:
+            return None
+        if self.policy == "random":
+            return self._rng.choice(candidates)
+        if self._current is None:
+            return candidates[0]
+        for rank in candidates:
+            if rank > self._current:
+                return rank
+        return candidates[0]
+
+    def _grant_locked(self) -> None:
+        """Pick the next rank and hand it the token.  Caller holds _cond."""
+        if self._live and self._live <= set(self._blocked):
+            # every live rank is blocked: pick among those that have not
+            # yet re-evaluated their predicate this stall; once all have,
+            # with no progress, nothing can ever unblock -> deadlock
+            unchecked = sorted(self._live - self._stall_granted)
+            if not unchecked:
+                self._current = None
+                self._abort_locked(DeadlockError(self._blocked), rank=None)
+                return
+            nxt = (self._rng.choice(unchecked) if self.policy == "random"
+                   else unchecked[0])
+            self._stall_granted.add(nxt)
+            self._current = nxt
+        else:
+            self._stall_granted.clear()
+            self._current = self._pick_next()
+        self._cond.notify_all()
+
+    def _abort_locked(self, exc: BaseException, rank: Optional[int]) -> None:
+        if self._abort_exc is None:
+            self._abort_exc = exc
+            self._abort_rank = rank
+        self._cond.notify_all()
+
+    def _wait_for_token_locked(self, rank: int) -> None:
+        while self._current != rank:
+            if self._abort_exc is not None:
+                raise _Abort()
+            self._cond.wait()
+        if self._abort_exc is not None:
+            raise _Abort()
+        self._steps += 1
+        if self._steps > self._max_steps:
+            self._abort_locked(
+                SimMPIError(f"scheduler exceeded {self._max_steps} steps; "
+                            "likely livelock"), rank)
+            raise _Abort()
+
+    def yield_point(self, rank: int) -> None:
+        """Hand the token back and wait until it is granted again."""
+        with self._cond:
+            if self._abort_exc is not None:
+                raise _Abort()
+            self.switches += 1
+            self._grant_locked()
+            self._wait_for_token_locked(rank)
+
+    def wait_until(self, rank: int, pred: Callable[[], bool], reason: str) -> None:
+        """Block ``rank`` until ``pred()`` is true (a blocking MPI call).
+
+        The predicate is re-evaluated each time the rank regains the token;
+        while false the rank is marked blocked with ``reason`` so deadlock
+        reports can explain the cycle.
+        """
+        with self._cond:
+            while not pred():
+                if self._abort_exc is not None:
+                    raise _Abort()
+                self._blocked[rank] = reason
+                self.switches += 1
+                self._grant_locked()
+                self._wait_for_token_locked(rank)
+            self._blocked.pop(rank, None)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, bodies: List[Callable[[], None]]) -> None:
+        """Run one thread per rank body and block until all complete.
+
+        Re-raises the first application exception (or the deadlock /
+        livelock error) after all threads have unwound.
+        """
+        if len(bodies) != self.nranks:
+            raise ValueError("need exactly one body per rank")
+
+        def runner(rank: int, body: Callable[[], None]) -> None:
+            try:
+                with self._cond:
+                    self._wait_for_token_locked(rank)
+                body()
+                with self._cond:
+                    self._live.discard(rank)
+                    self.register_progress()
+                    self._grant_locked()
+            except _Abort:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - must cross threads
+                with self._cond:
+                    self._live.discard(rank)
+                    self._abort_locked(exc, rank)
+
+        threads = [
+            threading.Thread(target=runner, args=(r, b), name=f"simmpi-rank-{r}",
+                             daemon=True)
+            for r, b in enumerate(bodies)
+        ]
+        for t in threads:
+            t.start()
+        with self._cond:
+            self._grant_locked()
+        for t in threads:
+            t.join()
+        if self._abort_exc is not None:
+            raise self._abort_exc

@@ -1,0 +1,18 @@
+"""Trace tooling: statistics, filtering, and differential comparison.
+
+Utilities a production deployment of MC-Checker would grow around its
+trace format: ``trace_stats`` powers the Figure-10 style event-rate
+analyses (and ``mc-checker stats``), ``trace_filter`` slices trace sets
+for bug minimization, and ``trace_diff`` aligns two runs of the same
+application to localize where their behaviours diverge.
+"""
+
+from repro.tools.trace_stats import TraceStats, compute_stats
+from repro.tools.trace_filter import filter_traces
+from repro.tools.trace_diff import TraceDiff, diff_traces
+
+__all__ = [
+    "TraceStats", "compute_stats",
+    "filter_traces",
+    "TraceDiff", "diff_traces",
+]

@@ -1,0 +1,142 @@
+"""Automatic trace minimization: shrink a failing trace set while the
+error persists.
+
+When MC-Checker flags a conflict in a large production trace, the
+diagnosis is easier on a minimal reproduction.  :func:`minimize_trace`
+performs greedy delta debugging over the *event population*:
+
+1. drop whole event-kind classes (memory events not implicated, windows
+   other than the finding's);
+2. binary-shrink the per-rank sequence window around the finding;
+3. drop unimplicated memory variables.
+
+After every candidate reduction the analyzer re-runs; a reduction is kept
+only if some finding with the same *signature* (kind, rule, both source
+locations) survives.  Output: a valid trace set directory plus the
+reduction log.
+
+Synchronization calls are never dropped — removing them could *create*
+spurious races rather than preserve the original one.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.checker import check_traces
+from repro.core.diagnostics import ConsistencyError
+from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.tracer import TraceSet
+from repro.tools.trace_filter import filter_traces
+
+
+def finding_signature(finding: ConsistencyError) -> Tuple:
+    sides = sorted([(finding.a.kind, finding.a.loc.short),
+                    (finding.b.kind, finding.b.loc.short)])
+    return (finding.kind, finding.rule, tuple(sides))
+
+
+@dataclass
+class MinimizationResult:
+    traces: TraceSet
+    original_events: int
+    final_events: int
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def reduction(self) -> float:
+        if self.original_events == 0:
+            return 0.0
+        return 1.0 - self.final_events / self.original_events
+
+    def format(self) -> str:
+        lines = [f"minimized {self.original_events} -> "
+                 f"{self.final_events} events "
+                 f"({100 * self.reduction:.0f}% reduction)"]
+        lines += [f"  - {step}" for step in self.steps]
+        return "\n".join(lines)
+
+
+def _total_events(traces: TraceSet) -> int:
+    counts = traces.event_counts()
+    return counts["call"] + counts["mem"]
+
+
+def _still_fails(traces: TraceSet, signature: Tuple) -> bool:
+    try:
+        report = check_traces(traces)
+    except Exception:  # a reduction that breaks analysis is invalid
+        return False
+    return any(finding_signature(f) == signature
+               for f in report.findings)
+
+
+def minimize_trace(traces: TraceSet, out_dir: str,
+                   finding: Optional[ConsistencyError] = None
+                   ) -> MinimizationResult:
+    """Shrink ``traces`` while preserving ``finding`` (default: the first
+    error the analyzer reports)."""
+    if finding is None:
+        report = check_traces(traces)
+        if not report.findings:
+            raise ValueError("trace set has no findings to preserve")
+        finding = report.findings[0]
+    signature = finding_signature(finding)
+
+    os.makedirs(out_dir, exist_ok=True)
+    result = MinimizationResult(
+        traces=traces, original_events=_total_events(traces),
+        final_events=_total_events(traces))
+    current = traces
+    stage = 0
+
+    def attempt(label: str, **filter_kwargs) -> bool:
+        nonlocal current, stage
+        stage += 1
+        candidate_dir = os.path.join(out_dir, f"stage{stage}")
+        candidate = filter_traces(current, candidate_dir, **filter_kwargs)
+        if _still_fails(candidate, signature):
+            current = candidate
+            result.steps.append(
+                f"{label}: kept ({_total_events(candidate)} events)")
+            return True
+        result.steps.append(f"{label}: rejected (finding lost)")
+        return False
+
+    # 1. does the finding survive without any memory events at all?
+    attempt("drop all load/store events", keep_kinds=["call"])
+
+    # 2. restrict to the implicated window (sync calls carry no window or
+    # the implicated one; RMA calls on other windows go)
+    if finding.win_id is not None:
+        attempt(f"restrict to window {finding.win_id}",
+                keep_windows=[finding.win_id])
+
+    # 3. restrict memory events to the implicated variables
+    implicated_vars = {finding.a.var, finding.b.var} - {"?"}
+    if implicated_vars and _has_mem_events(current):
+        attempt(f"restrict load/store to {sorted(implicated_vars)}",
+                keep_vars=sorted(implicated_vars))
+
+    # 4. binary-shrink the trailing sequence range (events after the
+    # finding's region are often irrelevant)
+    hi = max((events[-1].seq + 1) if (events := current.events(r)) else 0
+             for r in range(current.nranks))
+    lo_bound, probe = 0, hi // 2
+    while probe - lo_bound > 4:
+        if attempt(f"truncate events past seq {probe}",
+                   seq_range=(0, probe)):
+            hi = probe
+        else:
+            lo_bound = probe
+        probe = (lo_bound + hi) // 2
+
+    result.traces = current
+    result.final_events = _total_events(current)
+    return result
+
+
+def _has_mem_events(traces: TraceSet) -> bool:
+    return traces.event_counts()["mem"] > 0

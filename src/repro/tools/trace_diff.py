@@ -1,0 +1,145 @@
+"""Trace differencing: where do two runs of one application diverge?
+
+Two executions of the same program (different schedules, delivery
+policies, or code revisions) produce traces whose *call streams* should
+align call-for-call when the program is deterministic.  ``diff_traces``
+aligns each rank's call stream and reports:
+
+* the first divergence point per rank (differing call name or key
+  arguments), if any;
+* per-rank event-count deltas (calls, loads, stores) — the quick signal
+  for "this revision instruments more";
+* calls present in one run only (by function-name multiset).
+
+A schedule-dependent application (e.g. wildcard receives resolving
+differently) diverges legitimately; the tool localizes where.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.tracer import TraceSet
+from repro.util.errors import AnalysisError
+
+#: call arguments that identify behaviour (payload addresses vary run to
+#: run and are excluded)
+_SIGNIFICANT_ARGS = ("win", "comm", "target", "dest", "source", "tag",
+                     "root", "op", "lock_type", "origin_count",
+                     "target_disp", "target_count", "color", "key",
+                     "count")
+
+
+def _signature(event: CallEvent) -> Tuple:
+    return (event.fn,) + tuple(
+        (key, event.args[key]) for key in _SIGNIFICANT_ARGS
+        if key in event.args)
+
+
+@dataclass
+class RankDivergence:
+    rank: int
+    position: int  # index within the call stream
+    left: Optional[str]
+    right: Optional[str]
+
+    def describe(self) -> str:
+        return (f"rank {self.rank} diverges at call #{self.position}: "
+                f"{self.left or '<end>'} vs {self.right or '<end>'}")
+
+
+@dataclass
+class TraceDiff:
+    """Structured comparison of two trace sets."""
+
+    identical: bool
+    divergences: List[RankDivergence] = field(default_factory=list)
+    count_deltas: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    fn_only_left: Counter = field(default_factory=Counter)
+    fn_only_right: Counter = field(default_factory=Counter)
+
+    def format(self) -> str:
+        if self.identical:
+            return "traces are call-stream identical"
+        lines = []
+        for div in self.divergences:
+            lines.append(div.describe())
+        for rank, deltas in sorted(self.count_deltas.items()):
+            nonzero = {k: v for k, v in deltas.items() if v}
+            if nonzero:
+                lines.append(f"rank {rank} count deltas "
+                             "(right minus left): "
+                             + ", ".join(f"{k}={v:+d}"
+                                         for k, v in sorted(
+                                             nonzero.items())))
+        if self.fn_only_left:
+            lines.append("calls only in left: "
+                         + ", ".join(f"{fn} x{n}" for fn, n in
+                                     self.fn_only_left.most_common()))
+        if self.fn_only_right:
+            lines.append("calls only in right: "
+                         + ", ".join(f"{fn} x{n}" for fn, n in
+                                     self.fn_only_right.most_common()))
+        return "\n".join(lines)
+
+
+def diff_traces(left: TraceSet, right: TraceSet) -> TraceDiff:
+    """Align the call streams of two trace sets rank by rank."""
+    if left.nranks != right.nranks:
+        raise AnalysisError(
+            f"rank-count mismatch: {left.nranks} vs {right.nranks}")
+
+    diff = TraceDiff(identical=True)
+    for rank in range(left.nranks):
+        left_events = left.events(rank)
+        right_events = right.events(rank)
+        left_calls = [e for e in left_events if isinstance(e, CallEvent)]
+        right_calls = [e for e in right_events if isinstance(e, CallEvent)]
+
+        for position, (lc, rc) in enumerate(zip(left_calls, right_calls)):
+            if _signature(lc) != _signature(rc):
+                diff.identical = False
+                diff.divergences.append(RankDivergence(
+                    rank=rank, position=position,
+                    left=f"{lc.fn}@{lc.loc.short}",
+                    right=f"{rc.fn}@{rc.loc.short}"))
+                break
+        else:
+            if len(left_calls) != len(right_calls):
+                diff.identical = False
+                shorter = min(len(left_calls), len(right_calls))
+                extra = (left_calls[shorter:shorter + 1]
+                         or right_calls[shorter:shorter + 1])
+                diff.divergences.append(RankDivergence(
+                    rank=rank, position=shorter,
+                    left=(f"{left_calls[shorter].fn}"
+                          if shorter < len(left_calls) else None),
+                    right=(f"{right_calls[shorter].fn}"
+                           if shorter < len(right_calls) else None)))
+
+        def counts(events):
+            out = {"calls": 0, "loads": 0, "stores": 0}
+            for event in events:
+                if isinstance(event, CallEvent):
+                    out["calls"] += 1
+                elif event.access == "load":
+                    out["loads"] += 1
+                else:
+                    out["stores"] += 1
+            return out
+
+        lc_counts, rc_counts = counts(left_events), counts(right_events)
+        deltas = {key: rc_counts[key] - lc_counts[key] for key in lc_counts}
+        diff.count_deltas[rank] = deltas
+        if any(deltas.values()):
+            diff.identical = False
+
+        left_fns = Counter(e.fn for e in left_calls)
+        right_fns = Counter(e.fn for e in right_calls)
+        diff.fn_only_left.update(left_fns - right_fns)
+        diff.fn_only_right.update(right_fns - left_fns)
+
+    return diff

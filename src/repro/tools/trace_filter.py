@@ -1,0 +1,78 @@
+"""Trace filtering: project a trace set onto a subset of its events.
+
+Useful for bug minimization ("does the error survive with only these two
+ranks' windows?") and for building analysis inputs from huge traces.  The
+output is a *valid* trace set: headers preserved, per-rank files complete,
+sequence numbers untouched (DN-Analyzer tolerates sparse seqs), so every
+downstream tool — including MC-Checker itself — consumes filtered sets
+unchanged.
+
+Filtering is structural, not semantic: dropping synchronization events can
+of course change what the analyzer concludes, which is exactly the point
+when minimizing a reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.profiler.events import CallEvent, Event, MemEvent
+from repro.profiler.tracer import TraceReader, TraceSet, TraceWriter
+
+EventPredicate = Callable[[int, Event], bool]
+
+
+def filter_traces(traces: TraceSet, out_dir: str,
+                  predicate: Optional[EventPredicate] = None,
+                  keep_kinds: Optional[Sequence[str]] = None,
+                  keep_vars: Optional[Sequence[str]] = None,
+                  keep_windows: Optional[Sequence[int]] = None,
+                  seq_range: Optional[tuple] = None) -> TraceSet:
+    """Write a filtered copy of ``traces`` into ``out_dir``.
+
+    Selection is the conjunction of the provided criteria:
+
+    * ``predicate(rank, event)`` — arbitrary custom test;
+    * ``keep_kinds`` — event classes: ``"call"`` and/or ``"mem"``;
+    * ``keep_vars`` — memory events only for these buffer names (call
+      events are kept regardless, so synchronization structure survives);
+    * ``keep_windows`` — drop one-sided calls on other windows;
+    * ``seq_range`` — ``(lo, hi)`` half-open per-rank sequence window.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    keep_kind_set = set(keep_kinds) if keep_kinds is not None else None
+    keep_var_set = set(keep_vars) if keep_vars is not None else None
+    keep_win_set = set(keep_windows) if keep_windows is not None else None
+
+    def selected(rank: int, event: Event) -> bool:
+        if seq_range is not None:
+            lo, hi = seq_range
+            if not lo <= event.seq < hi:
+                return False
+        if isinstance(event, MemEvent):
+            if keep_kind_set is not None and "mem" not in keep_kind_set:
+                return False
+            if keep_var_set is not None and event.var not in keep_var_set:
+                return False
+        else:
+            assert isinstance(event, CallEvent)
+            if keep_kind_set is not None and "call" not in keep_kind_set:
+                return False
+            if keep_win_set is not None and "win" in event.args and \
+                    int(event.args["win"]) not in keep_win_set:
+                return False
+        if predicate is not None and not predicate(rank, event):
+            return False
+        return True
+
+    for rank in range(traces.nranks):
+        reader = traces.reader(rank)
+        writer = TraceWriter(TraceSet.rank_path(out_dir, rank), rank,
+                             reader.header.nranks,
+                             app=reader.header.app)
+        for event in reader:
+            if selected(rank, event):
+                writer.write(event)
+        writer.close()
+    return TraceSet(out_dir)

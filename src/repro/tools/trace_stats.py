@@ -1,0 +1,139 @@
+"""Per-trace statistics: event mixes, rates, and hot statements.
+
+The quantitative lens of the paper's Figure 10 ("the rate of profiling
+runtime events, especially load/store events") as a reusable API:
+per-rank and aggregate event counts by class and call category, bytes
+moved by one-sided operations, and the hottest source statements by event
+count — the first thing one inspects when profiling overhead surprises.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.profiler.events import CallEvent, MemEvent, call_category
+from repro.profiler.tracer import TraceSet
+
+
+@dataclass
+class RankStats:
+    """Event statistics of one rank."""
+
+    rank: int
+    calls: int = 0
+    loads: int = 0
+    stores: int = 0
+    load_bytes: int = 0
+    store_bytes: int = 0
+    by_category: Counter = field(default_factory=Counter)
+    by_fn: Counter = field(default_factory=Counter)
+    rma_bytes: int = 0  # bytes named by Put/Get/Accumulate signatures
+
+    @property
+    def mems(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def events(self) -> int:
+        return self.calls + self.mems
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a trace set."""
+
+    nranks: int
+    per_rank: List[RankStats]
+    hot_statements: List[Tuple[str, int]]  # (file:line, event count)
+
+    @property
+    def total_events(self) -> int:
+        return sum(r.events for r in self.per_rank)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(r.calls for r in self.per_rank)
+
+    @property
+    def total_mems(self) -> int:
+        return sum(r.mems for r in self.per_rank)
+
+    def mems_per_rank(self) -> float:
+        return self.total_mems / self.nranks
+
+    def calls_per_rank(self) -> float:
+        return self.total_calls / self.nranks
+
+    def category_mix(self) -> Dict[str, int]:
+        mix: Counter = Counter()
+        for rank_stats in self.per_rank:
+            mix.update(rank_stats.by_category)
+        return dict(mix)
+
+    def format(self, hot_limit: int = 8) -> str:
+        lines = [
+            f"trace set: {self.nranks} ranks, {self.total_events} events "
+            f"({self.total_calls} MPI calls, {self.total_mems} load/store)",
+            f"per rank: {self.calls_per_rank():.1f} calls, "
+            f"{self.mems_per_rank():.1f} load/store",
+        ]
+        mix = self.category_mix()
+        if mix:
+            parts = ", ".join(f"{cat}={count}"
+                              for cat, count in sorted(mix.items()))
+            lines.append(f"call categories: {parts}")
+        rma = sum(r.rma_bytes for r in self.per_rank)
+        moved = sum(r.load_bytes + r.store_bytes for r in self.per_rank)
+        lines.append(f"bytes: {rma} via one-sided signatures, "
+                     f"{moved} via instrumented load/store")
+        if self.hot_statements:
+            lines.append("hottest statements:")
+            for where, count in self.hot_statements[:hot_limit]:
+                lines.append(f"  {count:8d}  {where}")
+        return "\n".join(lines)
+
+
+def compute_stats(traces: TraceSet) -> TraceStats:
+    """Single pass over every rank's trace."""
+    per_rank: List[RankStats] = []
+    hot: Counter = Counter()
+    for rank in range(traces.nranks):
+        stats = RankStats(rank=rank)
+        for event in traces.reader(rank):
+            where = f"{event.loc.short} ({event.loc.function})"
+            hot[where] += 1
+            if isinstance(event, CallEvent):
+                stats.calls += 1
+                stats.by_fn[event.fn] += 1
+                try:
+                    stats.by_category[call_category(event.fn)] += 1
+                except KeyError:
+                    stats.by_category["other"] += 1
+                if event.fn in ("Put", "Get", "Accumulate", "Rput",
+                                "Rget", "Raccumulate", "Get_accumulate"):
+                    count = int(event.args.get("origin_count", 0))
+                    # primitive ids encode their size in the datamap; for
+                    # signature-level accounting use count * 8 as an upper
+                    # bound only when the dtype is unknown
+                    stats.rma_bytes += count * _dtype_size(
+                        int(event.args.get("origin_dtype", -7)))
+            else:
+                assert isinstance(event, MemEvent)
+                if event.access == "load":
+                    stats.loads += 1
+                    stats.load_bytes += event.size
+                else:
+                    stats.stores += 1
+                    stats.store_bytes += event.size
+        per_rank.append(stats)
+    return TraceStats(nranks=traces.nranks, per_rank=per_rank,
+                      hot_statements=hot.most_common())
+
+
+def _dtype_size(type_id: int) -> int:
+    from repro.simmpi.datatypes import PRIMITIVES_BY_ID
+
+    dtype = PRIMITIVES_BY_ID.get(type_id)
+    return dtype.size if dtype is not None else 0

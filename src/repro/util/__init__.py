@@ -1,0 +1,37 @@
+"""Shared low-level substrate: errors, intervals, trace records, locations.
+
+These utilities are deliberately dependency-light; every other subpackage
+(:mod:`repro.simmpi`, :mod:`repro.profiler`, :mod:`repro.core`) builds on
+them.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    SimMPIError,
+    DeadlockError,
+    LivelockError,
+    RMAUsageError,
+    TraceFormatError,
+    AnalysisError,
+)
+from repro.util.intervals import Interval, IntervalSet, datamap_intervals
+from repro.util.location import SourceLocation, capture_location
+from repro.util.records import Record, encode_record, decode_record
+
+__all__ = [
+    "ReproError",
+    "SimMPIError",
+    "DeadlockError",
+    "LivelockError",
+    "RMAUsageError",
+    "TraceFormatError",
+    "AnalysisError",
+    "Interval",
+    "IntervalSet",
+    "datamap_intervals",
+    "SourceLocation",
+    "capture_location",
+    "Record",
+    "encode_record",
+    "decode_record",
+]

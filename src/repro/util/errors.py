@@ -1,0 +1,50 @@
+"""Exception hierarchy for the MC-Checker reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimMPIError(ReproError):
+    """An error raised by the simulated MPI runtime."""
+
+
+class DeadlockError(SimMPIError):
+    """All live ranks are blocked and no progress is possible.
+
+    Carries a human-readable description of what each rank was blocked on,
+    mirroring the wait-for information a real MPI deadlock detector would
+    report.
+    """
+
+    def __init__(self, blocked: dict):
+        self.blocked = dict(blocked)
+        lines = ", ".join(f"rank {r}: {why}" for r, why in sorted(self.blocked.items()))
+        super().__init__(f"deadlock detected ({lines})")
+
+
+class LivelockError(SimMPIError):
+    """A rank exceeded its spin budget in a busy-wait loop.
+
+    Used by the buggy BT-broadcast reimplementation, whose real-world
+    symptom is an infinite ``while`` loop (paper, case study 1).
+    """
+
+
+class RMAUsageError(SimMPIError):
+    """Structurally invalid RMA usage (e.g. Put outside any epoch).
+
+    Note this is *not* a memory consistency error: the paper delegates
+    argument/usage errors to the MPI implementation or tools like Marmot
+    (section V); the simulator plays that role here.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """DN-Analyzer could not complete its analysis (malformed trace set)."""

@@ -1,0 +1,188 @@
+"""Byte-interval algebra.
+
+All overlap reasoning in MC-Checker — "do these two accesses touch the same
+memory?" — reduces to half-open byte intervals ``[start, stop)`` over a
+per-rank virtual address space.  Derived MPI datatypes lower to *data-maps*
+(lists of ``(displacement, length)`` segments, section IV-C-1c of the
+paper); applying a data-map ``count`` times at a base address yields an
+:class:`IntervalSet`, and two accesses conflict on memory iff their interval
+sets intersect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open byte range ``[start, stop)``; empty iff ``start >= stop``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(f"interval stop {self.stop} < start {self.start}")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def is_empty(self) -> bool:
+        return self.stop <= self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.stop and other.start < self.stop
+
+    def intersection(self, other: "Interval") -> "Interval":
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        return Interval(start, max(start, stop))
+
+    def contains(self, other: "Interval") -> bool:
+        return self.start <= other.start and other.stop <= self.stop
+
+    def shift(self, offset: int) -> "Interval":
+        return Interval(self.start + offset, self.stop + offset)
+
+
+class IntervalSet:
+    """A normalized (sorted, disjoint, coalesced) set of byte intervals.
+
+    Supports the operations DN-Analyzer needs: overlap test, intersection,
+    union, and total byte count.  Normalization keeps every query
+    ``O(n + m)`` by merge-walking the two sorted lists.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._ivs: List[Interval] = _normalize(intervals)
+
+    @classmethod
+    def single(cls, start: int, length: int) -> "IntervalSet":
+        return cls([Interval(start, start + length)]) if length > 0 else cls()
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "IntervalSet":
+        """Build from ``(start, length)`` pairs (a data-map at offset 0)."""
+        return cls(Interval(s, s + n) for s, n in pairs if n > 0)
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        return tuple(self._ivs)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ivs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"[{iv.start},{iv.stop})" for iv in self._ivs)
+        return f"IntervalSet({body})"
+
+    def byte_count(self) -> int:
+        return sum(len(iv) for iv in self._ivs)
+
+    def bounds(self) -> Interval:
+        """The tight covering interval (empty set -> empty interval at 0)."""
+        if not self._ivs:
+            return Interval(0, 0)
+        return Interval(self._ivs[0].start, self._ivs[-1].stop)
+
+    def shift(self, offset: int) -> "IntervalSet":
+        shifted = IntervalSet.__new__(IntervalSet)
+        shifted._ivs = [iv.shift(offset) for iv in self._ivs]
+        return shifted
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        """True iff any byte is in both sets; linear merge walk."""
+        a, b = self._ivs, other._ivs
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].overlaps(b[j]):
+                return True
+            if a[i].stop <= b[j].stop:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        a, b = self._ivs, other._ivs
+        out: List[Interval] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            cut = a[i].intersection(b[j])
+            if not cut.is_empty():
+                out.append(cut)
+            if a[i].stop <= b[j].stop:
+                i += 1
+            else:
+                j += 1
+        result = IntervalSet.__new__(IntervalSet)
+        result._ivs = out
+        return result
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(list(self._ivs) + list(other._ivs))
+
+    def contains_point(self, addr: int) -> bool:
+        lo, hi = 0, len(self._ivs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            iv = self._ivs[mid]
+            if addr < iv.start:
+                hi = mid
+            elif addr >= iv.stop:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+
+def _normalize(intervals: Iterable[Interval]) -> List[Interval]:
+    ivs = sorted(iv for iv in intervals if not iv.is_empty())
+    out: List[Interval] = []
+    for iv in ivs:
+        if out and iv.start <= out[-1].stop:
+            if iv.stop > out[-1].stop:
+                out[-1] = Interval(out[-1].start, iv.stop)
+        else:
+            out.append(iv)
+    return out
+
+
+def datamap_intervals(
+    base: int, datamap: Sequence[Tuple[int, int]], count: int, extent: int
+) -> IntervalSet:
+    """Apply a datatype data-map ``count`` times starting at ``base``.
+
+    ``datamap`` is the list of ``(displacement, length)`` segments of one
+    datatype instance and ``extent`` is the datatype extent (stride between
+    consecutive instances), exactly the representation of section IV-C-1c:
+    ``MPI_INT`` is ``[(0, 4)]`` with extent 4; two ints separated by an
+    8-byte gap are ``[(0, 4), (12, 4)]`` with extent 16.
+    """
+    if count < 0:
+        raise ValueError(f"negative count {count}")
+    ivs = []
+    for rep in range(count):
+        origin = base + rep * extent
+        for disp, length in datamap:
+            if length > 0:
+                ivs.append(Interval(origin + disp, origin + disp + length))
+    return IntervalSet(ivs)

@@ -1,0 +1,82 @@
+"""Exhaustive tests of the Table I compatibility matrix (experiment E1)."""
+
+import pytest
+
+from repro.core.compat import (
+    ACC, BOTH, ERROR, GET, KINDS, LOAD, NONOV, PUT, STORE, TABLE,
+    accumulate_exception, compat_verdict, table_entry,
+)
+
+#: The full expected matrix, row-major over (load, store, get, put, acc) —
+#: the symmetric MPI-2.2 table the paper's Table I prints.
+EXPECTED = {
+    (LOAD, LOAD): BOTH, (LOAD, STORE): BOTH, (LOAD, GET): BOTH,
+    (LOAD, PUT): NONOV, (LOAD, ACC): NONOV,
+    (STORE, STORE): BOTH, (STORE, GET): NONOV, (STORE, PUT): ERROR,
+    (STORE, ACC): ERROR,
+    (GET, GET): BOTH, (GET, PUT): NONOV, (GET, ACC): NONOV,
+    (PUT, PUT): NONOV, (PUT, ACC): NONOV,
+    (ACC, ACC): BOTH,
+}
+
+
+class TestMatrix:
+    def test_all_25_cells(self):
+        for a in KINDS:
+            for b in KINDS:
+                expected = EXPECTED.get((a, b)) or EXPECTED.get((b, a))
+                assert table_entry(a, b) == expected, (a, b)
+
+    def test_symmetry(self):
+        for a in KINDS:
+            for b in KINDS:
+                assert TABLE[(a, b)] == TABLE[(b, a)]
+
+    def test_exactly_two_error_pairs(self):
+        errors = {frozenset(k) for k, v in TABLE.items() if v == ERROR}
+        assert errors == {frozenset({STORE, PUT}), frozenset({STORE, ACC})}
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            table_entry("load", "prefetch")
+
+
+class TestVerdicts:
+    def test_both_never_conflicts(self):
+        assert compat_verdict(LOAD, LOAD, overlapping=True) is None
+        assert compat_verdict(LOAD, GET, overlapping=True) is None
+
+    def test_nonov_conflicts_only_on_overlap(self):
+        assert compat_verdict(LOAD, PUT, overlapping=True) == NONOV
+        assert compat_verdict(LOAD, PUT, overlapping=False) is None
+        assert compat_verdict(PUT, PUT, overlapping=True) == NONOV
+
+    def test_error_conflicts_regardless_of_overlap(self):
+        assert compat_verdict(STORE, PUT, overlapping=False) == ERROR
+        assert compat_verdict(STORE, ACC, overlapping=False) == ERROR
+        assert compat_verdict(ACC, STORE, overlapping=True) == ERROR
+
+    def test_acc_acc_same_op_type_permitted(self):
+        assert compat_verdict(ACC, ACC, overlapping=True,
+                              acc_same=True) is None
+
+    def test_acc_acc_different_op_conflicts_on_overlap(self):
+        assert compat_verdict(ACC, ACC, overlapping=True,
+                              acc_same=False) == NONOV
+        assert compat_verdict(ACC, ACC, overlapping=False,
+                              acc_same=False) is None
+
+
+class TestAccumulateException:
+    def test_same_op_same_base(self):
+        assert accumulate_exception("SUM", "INT", "SUM", "INT")
+
+    def test_different_op(self):
+        assert not accumulate_exception("SUM", "INT", "MAX", "INT")
+
+    def test_different_base(self):
+        assert not accumulate_exception("SUM", "INT", "SUM", "DOUBLE")
+
+    def test_missing_info_not_exempt(self):
+        assert not accumulate_exception(None, None, None, None)
+        assert not accumulate_exception("SUM", None, "SUM", None)

@@ -1,0 +1,113 @@
+"""Diagnostic-report formatting and deduplication tests."""
+
+from repro.core.diagnostics import (
+    CROSS_PROCESS, INTRA_EPOCH, SEVERITY_ERROR, SEVERITY_WARNING,
+    AccessDesc, ConsistencyError, dedupe,
+)
+from repro.util.intervals import IntervalSet
+from repro.util.location import SourceLocation
+
+
+def make_error(line_a=10, line_b=20, severity=SEVERITY_ERROR,
+               kind=INTRA_EPOCH, rule="NONOV", overlap_bytes=8):
+    a = AccessDesc(rank=0, kind="put", fn="Put", var="buf",
+                   loc=SourceLocation("app.py", line_a, "main"),
+                   intervals=IntervalSet.single(0, 16))
+    b = AccessDesc(rank=1, kind="store", fn="mem", var="buf",
+                   loc=SourceLocation("app.py", line_b, "main"),
+                   intervals=IntervalSet.single(8, 16))
+    return ConsistencyError(
+        kind=kind, severity=severity, rule=rule, win_id=0, a=a, b=b,
+        overlap=IntervalSet.single(8, overlap_bytes))
+
+
+class TestFormatting:
+    def test_error_header(self):
+        text = make_error().format()
+        assert text.startswith("ERROR: memory consistency conflict "
+                               "within an epoch")
+
+    def test_warning_header(self):
+        text = make_error(severity=SEVERITY_WARNING,
+                          kind=CROSS_PROCESS).format()
+        assert text.startswith("WARNING")
+        assert "across processes" in text
+
+    def test_both_sides_described(self):
+        text = make_error().format()
+        assert "MPI_Put of 'buf' by rank 0 at app.py:10" in text
+        assert "local store of 'buf' by rank 1 at app.py:20" in text
+
+    def test_overlap_bytes_shown(self):
+        assert "(8 bytes)" in make_error().format()
+
+    def test_no_overlap_message(self):
+        error = make_error()
+        error.overlap = IntervalSet()
+        assert "no byte overlap" in error.format()
+
+    def test_occurrence_count_shown(self):
+        error = make_error()
+        error.occurrences = 3
+        assert "seen 3 times" in error.format()
+
+
+class TestSuggestions:
+    def test_intra_origin_local_suggests_moving_access(self):
+        error = make_error(kind=INTRA_EPOCH, rule="ORIGIN")
+        error.b.fn = "mem"
+        text = error.suggestion()
+        assert "epoch-closing" in text or "Win_flush" in text
+
+    def test_intra_op_pair_suggests_epoch_split(self):
+        error = make_error(kind=INTRA_EPOCH, rule="NONOV")
+        error.b = AccessDesc(rank=1, kind="get", fn="Get", var="x",
+                             loc=SourceLocation("a.py", 3, "f"),
+                             intervals=IntervalSet.single(0, 8))
+        assert "separate epochs" in error.suggestion()
+
+    def test_exclusive_warning_mentions_order(self):
+        error = make_error(kind=CROSS_PROCESS, severity=SEVERITY_WARNING)
+        assert "order" in error.suggestion()
+
+    def test_cross_local_mentions_synchronize(self):
+        error = make_error(kind=CROSS_PROCESS)
+        error.b.fn = "mem"
+        assert "synchronize" in error.suggestion()
+
+    def test_cross_acc_pair_mentions_same_op(self):
+        a = AccessDesc(rank=0, kind="acc", fn="Accumulate", var="x",
+                       loc=SourceLocation("a.py", 1, "f"),
+                       intervals=IntervalSet.single(0, 8))
+        b = AccessDesc(rank=1, kind="acc", fn="Accumulate", var="y",
+                       loc=SourceLocation("a.py", 2, "f"),
+                       intervals=IntervalSet.single(0, 8))
+        error = ConsistencyError(kind=CROSS_PROCESS, severity=SEVERITY_ERROR,
+                                 rule="NONOV", win_id=0, a=a, b=b,
+                                 overlap=IntervalSet.single(0, 8))
+        assert "same reduction op" in error.suggestion()
+
+    def test_format_includes_suggestion(self):
+        assert "suggested fix:" in make_error().format()
+
+
+class TestDedup:
+    def test_identical_findings_collapse(self):
+        errors = [make_error(), make_error(), make_error()]
+        out = dedupe(errors)
+        assert len(out) == 1
+        assert out[0].occurrences == 3
+
+    def test_side_order_irrelevant(self):
+        e1 = make_error()
+        e2 = make_error()
+        e2.a, e2.b = e2.b, e2.a
+        assert len(dedupe([e1, e2])) == 1
+
+    def test_different_locations_kept(self):
+        out = dedupe([make_error(line_a=10), make_error(line_a=11)])
+        assert len(out) == 2
+
+    def test_different_severity_kept(self):
+        out = dedupe([make_error(), make_error(severity=SEVERITY_WARNING)])
+        assert len(out) == 2

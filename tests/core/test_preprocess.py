@@ -1,0 +1,152 @@
+"""Preprocessing tests: communicator, window, and datatype registries."""
+
+import pytest
+
+from repro.core.preprocess import preprocess
+from repro.profiler.session import profile_run
+from repro.simmpi import DOUBLE, INT
+from repro.util.errors import AnalysisError
+
+
+def run_and_preprocess(app, nranks, **kw):
+    return preprocess(profile_run(app, nranks, **kw).traces)
+
+
+class TestCommunicators:
+    def test_world_always_present(self):
+        pre = run_and_preprocess(lambda mpi: mpi.barrier(), 3)
+        assert pre.comms[0] == (0, 1, 2)
+
+    def test_comm_split_membership_and_order(self):
+        def app(mpi):
+            mpi.comm_split(color=mpi.rank % 2, key=-mpi.rank)
+
+        pre = run_and_preprocess(app, 4)
+        # two new comms; members ordered by key (negated rank) descending
+        new = [pre.comms[c] for c in sorted(pre.comms) if c != 0]
+        assert sorted(map(sorted, new)) == [[0, 2], [1, 3]]
+        for members in new:
+            assert list(members) == sorted(members, reverse=True)
+
+    def test_comm_split_undefined_color(self):
+        def app(mpi):
+            mpi.comm_split(color=-1 if mpi.rank == 0 else 5)
+
+        pre = run_and_preprocess(app, 3)
+        new = [pre.comms[c] for c in pre.comms if c != 0]
+        assert new == [(1, 2)]
+
+    def test_comm_dup_inherits_members(self):
+        def app(mpi):
+            mpi.comm_dup()
+
+        pre = run_and_preprocess(app, 3)
+        assert pre.comms[1] == (0, 1, 2)
+
+    def test_nested_split(self):
+        def app(mpi):
+            sub = mpi.comm_split(color=mpi.rank // 2, key=mpi.rank)
+            mpi.comm_split(color=0, key=-mpi.rank, comm=sub)
+
+        pre = run_and_preprocess(app, 4)
+        grand = [pre.comms[c] for c in sorted(pre.comms)][3:]
+        assert sorted(map(tuple, grand)) == [(1, 0), (3, 2)]
+
+    def test_comm_create_group(self):
+        def app(mpi):
+            group = mpi.comm_group().incl([2, 0])
+            mpi.comm_create(group)
+
+        pre = run_and_preprocess(app, 3)
+        assert pre.comms[1] == (2, 0)
+
+    def test_world_of_comm_rank(self):
+        pre = run_and_preprocess(lambda mpi: mpi.barrier(), 4)
+        assert pre.world_of_comm_rank(0, 3) == 3
+        with pytest.raises(AnalysisError):
+            pre.world_of_comm_rank(0, 4)
+        with pytest.raises(AnalysisError):
+            pre.comm_members(99)
+
+
+class TestWindows:
+    def test_window_registry(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 4, datatype=DOUBLE)
+            win = mpi.win_create(buf)
+            win.fence()
+            win.free()
+
+        pre = run_and_preprocess(app, 2)
+        info = pre.window(0)
+        assert info.comm_id == 0
+        assert info.sizes == {0: 32, 1: 32}
+        assert info.disp_units == {0: 8, 1: 8}
+        assert info.var_names == {0: "buf", 1: "buf"}
+
+    def test_exposure_intervals(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 2, datatype=INT)
+            win = mpi.win_create(buf)
+            win.fence()
+            win.free()
+
+        pre = run_and_preprocess(app, 2)
+        exposure = pre.window(0).exposure(1)
+        assert exposure.byte_count() == 8
+
+    def test_rank_without_memory(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 2, datatype=INT) if mpi.rank == 0 else None
+            win = mpi.win_create(buf)
+            win.fence()
+            win.free()
+
+        pre = run_and_preprocess(app, 2)
+        assert not pre.window(0).exposure(1)
+
+    def test_unknown_window(self):
+        pre = run_and_preprocess(lambda mpi: mpi.barrier(), 2)
+        with pytest.raises(AnalysisError):
+            pre.window(5)
+
+
+class TestDatatypes:
+    def test_primitives_preloaded(self):
+        pre = run_and_preprocess(lambda mpi: mpi.barrier(), 1)
+        assert pre.datatype(0, -4).name == "INT"
+
+    def test_derived_replay_matches_runtime(self):
+        built = {}
+
+        def app(mpi):
+            t1 = mpi.type_contiguous(3, INT)
+            t2 = mpi.type_vector(2, 1, 2, t1)
+            t3 = mpi.type_indexed([1, 2], [0, 4], INT)
+            t4 = mpi.type_struct([1, 1], [0, 16], [t2, INT])
+            if mpi.rank == 0:
+                built.update({t.type_id: t for t in (t1, t2, t3, t4)})
+
+        pre = run_and_preprocess(app, 2)
+        for type_id, runtime_type in built.items():
+            replayed = pre.datatype(0, type_id)
+            assert replayed.datamap == runtime_type.datamap
+            assert replayed.extent == runtime_type.extent
+            assert replayed.base == runtime_type.base
+
+    def test_per_rank_registries_independent(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                mpi.type_contiguous(2, INT)
+            else:
+                mpi.type_contiguous(5, DOUBLE)
+            mpi.barrier()
+
+        pre = run_and_preprocess(app, 2)
+        assert pre.datatype(0, 0).size == 8
+        assert pre.datatype(1, 0).size == 40
+
+    def test_unknown_datatype(self):
+        pre = run_and_preprocess(lambda mpi: mpi.barrier(), 1)
+        with pytest.raises(AnalysisError):
+            pre.datatype(0, 17)

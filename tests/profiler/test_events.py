@@ -1,0 +1,69 @@
+"""Event model and call-taxonomy tests (section IV-B's four categories)."""
+
+import pytest
+
+from repro.profiler.events import (
+    CATEGORY_DATATYPE, CATEGORY_ONE_SIDED, CATEGORY_SUPPORT, CATEGORY_SYNC,
+    COLLECTIVE_CALLS, CallEvent, MemEvent, call_category, decode_event,
+)
+from repro.util.errors import TraceFormatError
+from repro.util.location import SourceLocation
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("fn", ["Put", "Get", "Accumulate", "Win_fence",
+                                    "Win_lock", "Win_create", "Win_wait"])
+    def test_one_sided(self, fn):
+        assert call_category(fn) == CATEGORY_ONE_SIDED
+
+    @pytest.mark.parametrize("fn", ["Type_contiguous", "Type_vector",
+                                    "Type_indexed", "Type_struct"])
+    def test_datatype(self, fn):
+        assert call_category(fn) == CATEGORY_DATATYPE
+
+    @pytest.mark.parametrize("fn", ["Barrier", "Bcast", "Send", "Recv",
+                                    "Allreduce", "Wait"])
+    def test_sync(self, fn):
+        assert call_category(fn) == CATEGORY_SYNC
+
+    @pytest.mark.parametrize("fn", ["Comm_rank", "Group_incl", "Comm_split"])
+    def test_support(self, fn):
+        assert call_category(fn) == CATEGORY_SUPPORT
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            call_category("Win_teleport")
+
+    def test_collectives_are_sync_or_one_sided_or_support(self):
+        for fn in COLLECTIVE_CALLS:
+            assert call_category(fn) in (CATEGORY_SYNC, CATEGORY_ONE_SIDED,
+                                         CATEGORY_SUPPORT)
+
+
+class TestRoundTrip:
+    def test_call_event(self):
+        event = CallEvent(rank=2, seq=7, fn="Put",
+                          args={"win": 0, "target": 1, "group": (1, 2)},
+                          loc=SourceLocation("app.py", 12, "main"))
+        back = decode_event(2, event.encode())
+        assert isinstance(back, CallEvent)
+        assert back.fn == "Put"
+        assert back.seq == 7
+        assert back.args["win"] == 0
+        assert back.args["group"] == (1, 2)
+        assert back.loc == event.loc
+
+    def test_mem_event(self):
+        event = MemEvent(rank=1, seq=3, access="store", addr=4096, size=8,
+                         var="grid", loc=SourceLocation("a.py", 5, "f"))
+        back = decode_event(1, event.encode())
+        assert isinstance(back, MemEvent)
+        assert (back.access, back.addr, back.size, back.var) == \
+            ("store", 4096, 8, "grid")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_event(0, "Z seq=0")
+
+    def test_category_property(self):
+        assert CallEvent(0, 0, "Barrier").category == CATEGORY_SYNC

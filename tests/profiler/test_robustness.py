@@ -1,0 +1,65 @@
+"""Trace-format robustness: malformed inputs must fail loudly, not crash
+or silently mis-analyze."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiler.events import decode_event
+from repro.profiler.tracer import TraceReader, TraceSet
+from repro.util.errors import TraceFormatError
+from repro.util.records import decode_record
+
+
+class TestMalformedLines:
+    @pytest.mark.parametrize("line", [
+        "",                     # empty
+        "X seq=0",              # unknown kind
+        "C",                    # no fields at all (missing seq/fn/loc)
+        "C seq=zzz fn=$Put",    # unparseable int
+        "M seq=0 a=$load",      # missing addr/size
+        "C seq=0 fn=$Put loc=$a:b:c",  # non-numeric line number
+    ])
+    def test_raises_trace_format_error(self, line):
+        with pytest.raises((TraceFormatError, ValueError)):
+            decode_event(0, line)
+
+    def test_truncated_field(self):
+        with pytest.raises(TraceFormatError):
+            decode_record("C seq")
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               min_size=1, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_prop_fuzz_never_crashes_uncontrolled(line):
+    """Arbitrary printable garbage either decodes (if it happens to be
+    well-formed) or raises a controlled error type."""
+    try:
+        decode_event(0, line)
+    except (TraceFormatError, ValueError, KeyError):
+        pass  # controlled failure modes only
+
+
+class TestCorruptTraceFiles:
+    def test_header_with_wrong_version(self, tmp_path):
+        path = tmp_path / "trace.0.log"
+        path.write_text("H v=99 rank=0 nranks=1 app=$x\n")
+        with pytest.raises(TraceFormatError, match="version"):
+            TraceReader(str(path))
+
+    def test_body_corruption_surfaces_on_iteration(self, tmp_path):
+        path = tmp_path / "trace.0.log"
+        path.write_text("H v=1 rank=0 nranks=1 app=$x\n"
+                        "C seq=0 fn=$Barrier comm=0 loc=$a.py:1:f\n"
+                        "GARBAGE LINE HERE\n")
+        reader = TraceReader(str(path))
+        with pytest.raises((TraceFormatError, ValueError)):
+            list(reader)
+
+    def test_non_trace_files_ignored_by_traceset(self, tmp_path):
+        (tmp_path / "trace.0.log").write_text(
+            "H v=1 rank=0 nranks=1 app=$x\n")
+        (tmp_path / "notes.txt").write_text("irrelevant")
+        (tmp_path / "trace.backup").write_text("irrelevant")
+        ts = TraceSet(str(tmp_path))
+        assert ts.nranks == 1

@@ -1,0 +1,98 @@
+"""Profiled-run integration tests: scopes, locations, determinism."""
+
+import pytest
+
+from repro.apps.jacobi import jacobi
+from repro.apps.lu import lu
+from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.session import baseline_run, profile_run
+from repro.stanalyzer import InstrumentationReport
+
+
+class TestScopes:
+    def test_report_scope_instruments_relevant_only(self):
+        run = profile_run(lu, nranks=2, params=dict(n=12), scope="report")
+        vars_seen = {e.var for events in run.traces.all_events().values()
+                     for e in events if isinstance(e, MemEvent)}
+        assert "pivot" in vars_seen or "row_buf" in vars_seen
+        assert "a" not in vars_seen
+
+    def test_all_scope_instruments_everything(self):
+        run = profile_run(lu, nranks=2, params=dict(n=12), scope="all")
+        vars_seen = {e.var for events in run.traces.all_events().values()
+                     for e in events if isinstance(e, MemEvent)}
+        assert "a" in vars_seen
+
+    def test_none_scope_has_no_mem_events(self):
+        run = profile_run(lu, nranks=2, params=dict(n=12), scope="none")
+        counts = run.traces.event_counts()
+        assert counts["mem"] == 0
+        assert counts["call"] > 0
+
+    def test_all_scope_writes_more_events(self):
+        selective = profile_run(lu, nranks=2, params=dict(n=12),
+                                scope="report")
+        everything = profile_run(lu, nranks=2, params=dict(n=12),
+                                 scope="all")
+        assert everything.events_written > selective.events_written
+
+    def test_explicit_report_overrides(self):
+        report = InstrumentationReport(buffer_names={"a"})
+        run = profile_run(lu, nranks=2, params=dict(n=12), scope="report",
+                          report=report)
+        vars_seen = {e.var for events in run.traces.all_events().values()
+                     for e in events if isinstance(e, MemEvent)}
+        # "a" from the explicit report; "pivot" because window buffers are
+        # instrumented by definition (dynamic refinement at Win_create)
+        assert vars_seen == {"a", "pivot"}
+        assert "row_buf" not in vars_seen  # not in report, not a window
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            profile_run(lu, nranks=2, params=dict(n=12), scope="some")
+
+
+class TestTraceContents:
+    def test_locations_point_at_app_code(self):
+        run = profile_run(jacobi, nranks=2,
+                          params=dict(buggy=False, interior=4, iterations=1))
+        for events in run.traces.all_events().values():
+            for event in events:
+                assert "simmpi" not in event.loc.filename
+                assert "profiler" not in event.loc.filename
+
+    def test_seq_dense_per_rank(self):
+        run = profile_run(jacobi, nranks=2,
+                          params=dict(buggy=False, interior=4, iterations=1))
+        for rank, events in run.traces.all_events().items():
+            assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_app_name_in_header(self):
+        run = profile_run(lu, nranks=2, params=dict(n=12),
+                          app_name="my-lu")
+        assert run.traces.reader(0).header.app == "my-lu"
+
+    def test_results_match_baseline_semantics(self):
+        profiled = profile_run(lu, nranks=2, params=dict(n=16, verify=True))
+        assert max(profiled.results) < 1e-9  # instrumented run still correct
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        runs = [profile_run(jacobi, nranks=3,
+                            params=dict(buggy=True, interior=4,
+                                        iterations=2),
+                            seed=7, delivery="random",
+                            capture_locations=False)
+                for _ in range(2)]
+        a = [[e.encode() for e in events]
+             for events in runs[0].traces.all_events().values()]
+        b = [[e.encode() for e in events]
+             for events in runs[1].traces.all_events().values()]
+        assert a == b
+
+
+class TestBaseline:
+    def test_baseline_returns_elapsed(self):
+        elapsed = baseline_run(lu, nranks=2, params=dict(n=12))
+        assert elapsed > 0

@@ -1,0 +1,82 @@
+"""Trace file writer/reader/set tests."""
+
+import os
+
+import pytest
+
+from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.tracer import TraceReader, TraceSet, TraceWriter
+from repro.util.errors import TraceFormatError
+
+
+def write_trace(tmp_path, rank, nranks, events):
+    path = TraceSet.rank_path(str(tmp_path), rank)
+    writer = TraceWriter(path, rank, nranks, app="t")
+    for event in events:
+        writer.write(event)
+    writer.close()
+    return path
+
+
+class TestWriterReader:
+    def test_roundtrip(self, tmp_path):
+        events = [CallEvent(0, 0, "Barrier", {"comm": 0}),
+                  MemEvent(0, 1, "load", 4096, 8, "x")]
+        path = write_trace(tmp_path, 0, 1, events)
+        reader = TraceReader(path)
+        assert reader.header.rank == 0
+        assert reader.header.nranks == 1
+        assert reader.header.app == "t"
+        back = reader.events()
+        assert len(back) == 2
+        assert back[0].fn == "Barrier"
+        assert back[1].addr == 4096
+
+    def test_large_trace_buffering(self, tmp_path):
+        events = [MemEvent(0, i, "load", 4096 + i, 8, "x")
+                  for i in range(10_000)]
+        path = write_trace(tmp_path, 0, 1, events)
+        assert len(TraceReader(path).events()) == 10_000
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "trace.0.log"
+        path.write_text("C seq=0 fn=$Barrier loc=$a:1:f\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            TraceReader(str(path))
+
+    def test_events_written_counter(self, tmp_path):
+        path = TraceSet.rank_path(str(tmp_path), 0)
+        writer = TraceWriter(path, 0, 1)
+        writer.write(CallEvent(0, 0, "Barrier", {}))
+        assert writer.events_written == 1
+        writer.close()
+
+
+class TestTraceSet:
+    def test_discovers_all_ranks(self, tmp_path):
+        for rank in range(3):
+            write_trace(tmp_path, rank, 3,
+                        [CallEvent(rank, 0, "Barrier", {"comm": 0})])
+        ts = TraceSet(str(tmp_path))
+        assert ts.nranks == 3
+        assert len(ts.events(2)) == 1
+
+    def test_missing_rank_rejected(self, tmp_path):
+        write_trace(tmp_path, 0, 3, [])
+        write_trace(tmp_path, 2, 3, [])
+        with pytest.raises(TraceFormatError, match="expected traces"):
+            TraceSet(str(tmp_path))
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="no trace files"):
+            TraceSet(str(tmp_path))
+
+    def test_event_counts(self, tmp_path):
+        write_trace(tmp_path, 0, 2, [
+            CallEvent(0, 0, "Barrier", {"comm": 0}),
+            MemEvent(0, 1, "load", 0, 8, "x"),
+            MemEvent(0, 2, "store", 0, 8, "x"),
+        ])
+        write_trace(tmp_path, 1, 2, [MemEvent(1, 0, "load", 0, 4, "y")])
+        counts = TraceSet(str(tmp_path)).event_counts()
+        assert counts == {"call": 1, "mem": 3, "load": 2, "store": 1}

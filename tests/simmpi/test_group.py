@@ -1,0 +1,67 @@
+"""Group algebra tests (MPI_Group_*)."""
+
+import pytest
+
+from repro.simmpi.group import Group
+from repro.util.errors import SimMPIError
+
+
+@pytest.fixture
+def g8():
+    return Group(range(8))
+
+
+class TestBasics:
+    def test_size(self, g8):
+        assert g8.size == 8
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimMPIError):
+            Group([1, 1, 2])
+
+    def test_rank_translation(self):
+        g = Group([4, 2, 7])
+        assert g.world_of_rank(1) == 2
+        assert g.rank_of_world(7) == 2
+        assert g.rank_of_world(99) == -1
+
+    def test_world_of_rank_bounds(self, g8):
+        with pytest.raises(SimMPIError):
+            g8.world_of_rank(8)
+
+    def test_contains(self, g8):
+        assert 3 in g8
+        assert 9 not in g8
+
+    def test_equality(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert Group([1, 2]) != Group([2, 1])  # order matters
+
+
+class TestSetAlgebra:
+    def test_incl_preserves_order(self, g8):
+        assert Group([0, 1, 2, 3]).incl([3, 0]).world_ranks == (3, 0)
+
+    def test_incl_of_subgroup(self):
+        g = Group([4, 5, 6])
+        assert g.incl([2, 0]).world_ranks == (6, 4)
+
+    def test_excl(self, g8):
+        assert g8.excl([0, 7]).world_ranks == (1, 2, 3, 4, 5, 6)
+
+    def test_union_order(self):
+        a, b = Group([1, 3]), Group([3, 2])
+        assert a.union(b).world_ranks == (1, 3, 2)
+
+    def test_intersection(self):
+        a, b = Group([1, 2, 3]), Group([3, 1])
+        assert a.intersection(b).world_ranks == (1, 3)
+
+    def test_difference(self):
+        a, b = Group([1, 2, 3]), Group([2])
+        assert a.difference(b).world_ranks == (1, 3)
+
+    def test_translate_ranks(self):
+        a = Group([5, 6, 7])
+        b = Group([7, 5])
+        assert a.translate_ranks([0, 1, 2], b) == (1, -1, 0)

@@ -1,0 +1,125 @@
+"""AddressSpace and TrackedBuffer tests."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.memory import AddressSpace, TrackedBuffer
+from repro.util.errors import SimMPIError
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(rank=0)
+
+
+class TestAddressSpace:
+    def test_allocations_disjoint(self, space):
+        a = space.allocate(100)
+        b = space.allocate(50)
+        assert b >= a + 100
+
+    def test_alignment(self, space):
+        space.allocate(3)
+        b = space.allocate(8, align=64)
+        assert b % 64 == 0
+
+    def test_negative_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.allocate(-1)
+
+
+class TestTrackedBuffer:
+    def test_fill(self, space):
+        buf = TrackedBuffer(space, "b", 4, np.float64, fill=2.5)
+        assert buf.read().tolist() == [2.5] * 4
+
+    def test_scalar_load_store(self, space):
+        buf = TrackedBuffer(space, "b", 4, np.int32)
+        buf[2] = 7
+        assert buf[2] == 7
+        assert isinstance(buf[2], int)
+
+    def test_negative_index(self, space):
+        buf = TrackedBuffer(space, "b", 4, np.int32)
+        buf[-1] = 9
+        assert buf[3] == 9
+
+    def test_out_of_range(self, space):
+        buf = TrackedBuffer(space, "b", 4, np.int32)
+        with pytest.raises(IndexError):
+            buf[4]
+
+    def test_slice_load_returns_copy(self, space):
+        buf = TrackedBuffer(space, "b", 4, np.float64, fill=1.0)
+        view = buf[0:2]
+        view[0] = 99.0
+        assert buf[0] == 1.0
+
+    def test_strided_slice_rejected(self, space):
+        buf = TrackedBuffer(space, "b", 8, np.float64)
+        with pytest.raises(SimMPIError):
+            buf[0:8:2]
+
+    def test_addr_of(self, space):
+        buf = TrackedBuffer(space, "b", 4, np.float64)
+        assert buf.addr_of(2) == buf.base + 16
+
+    def test_write_read_roundtrip(self, space):
+        buf = TrackedBuffer(space, "b", 6, np.float64)
+        buf.write([1, 2, 3], offset=2)
+        assert buf.read(2, 3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_events_only_when_instrumented(self, space):
+        events = []
+        buf = TrackedBuffer(space, "b", 4, np.float64)
+        buf.set_hook(lambda kind, b, addr, size:
+                     events.append((kind, addr, size)))
+        buf[0] = 1.0
+        assert events == []  # not instrumented yet
+        buf.instrumented = True
+        buf[1] = 2.0
+        _ = buf[1]
+        assert events == [("store", buf.base + 8, 8),
+                          ("load", buf.base + 8, 8)]
+
+    def test_slice_event_size(self, space):
+        events = []
+        buf = TrackedBuffer(space, "b", 8, np.float64)
+        buf.set_hook(lambda kind, b, addr, size:
+                     events.append((kind, addr, size)))
+        buf.instrumented = True
+        buf[2:5] = [1, 2, 3]
+        assert events == [("store", buf.base + 16, 24)]
+
+    def test_raw_bytes_roundtrip(self, space):
+        buf = TrackedBuffer(space, "b", 2, np.int32)
+        buf.raw_write_bytes(4, (123).to_bytes(4, "little"))
+        assert buf.raw_read_bytes(4, 4) == (123).to_bytes(4, "little")
+        assert buf[1] == 123
+
+    def test_raw_accesses_emit_no_events(self, space):
+        events = []
+        buf = TrackedBuffer(space, "b", 2, np.int32)
+        buf.set_hook(lambda *a: events.append(a))
+        buf.instrumented = True
+        buf.raw_write_bytes(0, b"\x01\x02\x03\x04")
+        buf.raw_read_bytes(0, 4)
+        assert events == []
+
+    def test_raw_out_of_bounds(self, space):
+        buf = TrackedBuffer(space, "b", 2, np.int32)
+        with pytest.raises(SimMPIError):
+            buf.raw_read_bytes(4, 8)
+        with pytest.raises(SimMPIError):
+            buf.raw_write_bytes(-1, b"xx")
+
+    def test_load_store_aliases(self, space):
+        buf = TrackedBuffer(space, "b", 2, np.float64)
+        buf.store(0, 3.5)
+        assert buf.load(0) == 3.5
+
+    def test_len_and_nbytes(self, space):
+        buf = TrackedBuffer(space, "b", 5, np.int32)
+        assert len(buf) == 5
+        assert buf.nbytes == 20
+        assert buf.end == buf.base + 20

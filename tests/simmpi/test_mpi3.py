@@ -1,0 +1,209 @@
+"""MPI-3 RMA extension tests: lock_all, flush, atomics (paper section V)."""
+
+import pytest
+
+from repro.simmpi import DOUBLE, INT, LOCK_SHARED, run_app
+from repro.util.errors import RMAUsageError
+
+
+class TestLockAll:
+    def test_put_to_every_target(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=0)
+            src = mpi.alloc("src", 1, datatype=INT, fill=mpi.rank + 1)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            if mpi.rank == 0:
+                win.lock_all()
+                for target in range(1, mpi.size):
+                    win.put(src, target=target, origin_count=1)
+                win.unlock_all()
+            mpi.barrier()
+            out = buf[0]
+            win.free()
+            return out
+
+        assert run_app(app, nranks=4, delivery="lazy") == [0, 1, 1, 1]
+
+    def test_unlock_all_without_lock_is_noop(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT)
+            win = mpi.win_create(buf)
+            win.lock_all()
+            win.unlock_all()
+            win.unlock_all()  # nothing held: releases nothing
+            mpi.barrier()
+            win.free()
+
+        run_app(app, nranks=2)
+
+    def test_double_lock_all_rejected(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT)
+            win = mpi.win_create(buf)
+            win.lock_all()
+            win.lock_all()
+
+        with pytest.raises(RMAUsageError):
+            run_app(app, nranks=2)
+
+
+class TestFlush:
+    def test_flush_completes_pending_put(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=0)
+            src = mpi.alloc("src", 1, datatype=INT, fill=7)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            observed = None
+            if mpi.rank == 0:
+                win.lock(1, LOCK_SHARED)
+                win.put(src, target=1, origin_count=1)
+                win.flush(1)         # completes NOW, not at unlock
+                src[0] = 99          # safe: the Put already read src
+                mpi.send("flushed", dest=1)
+                mpi.recv(source=1)
+                win.unlock(1)
+            else:
+                mpi.recv(source=0)
+                observed = buf[0]    # must already be 7
+                mpi.send("seen", dest=0)
+            mpi.barrier()
+            win.free()
+            return observed
+
+        # lazy delivery would defer to unlock without the flush
+        assert run_app(app, nranks=2, delivery="lazy")[1] == 7
+
+    def test_flush_outside_epoch_rejected(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT)
+            win = mpi.win_create(buf)
+            if mpi.rank == 0:
+                win.flush(1)
+
+        with pytest.raises(RMAUsageError, match="outside a passive"):
+            run_app(app, nranks=2)
+
+    def test_flush_all(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=0)
+            src = mpi.alloc("src", 1, datatype=INT, fill=3)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            if mpi.rank == 0:
+                win.lock_all()
+                for target in range(1, mpi.size):
+                    win.put(src, target=target, origin_count=1)
+                win.flush_all()
+                checkpoint = True  # all landed here under any policy
+                win.unlock_all()
+            mpi.barrier()
+            out = buf[0]
+            win.free()
+            return out
+
+        assert run_app(app, nranks=3, delivery="lazy") == [0, 3, 3]
+
+
+class TestWinAllocate:
+    def test_allocate_exposes_and_transfers(self):
+        def app(mpi):
+            win = mpi.win_allocate("wbuf", 4, datatype=INT)
+            buf = win.local_buffer
+            win.fence()
+            if mpi.rank == 0:
+                buf.write([1, 2, 3, 4])
+                win.put(buf, target=1)
+            win.fence()
+            out = buf.read().tolist()
+            win.free()
+            return out
+
+        assert run_app(app, nranks=2, delivery="lazy")[1] == [1, 2, 3, 4]
+
+    def test_allocated_buffer_is_instrumented(self):
+        from repro.profiler.session import profile_run
+        from repro.profiler.events import MemEvent
+
+        def app(mpi):
+            win = mpi.win_allocate("wbuf", 2, datatype=INT)
+            win.fence()
+            win.local_buffer[0] = 1
+            win.fence()
+            win.free()
+
+        run = profile_run(app, nranks=2)
+        vars_seen = {e.var for events in run.traces.all_events().values()
+                     for e in events if isinstance(e, MemEvent)}
+        assert "wbuf" in vars_seen  # window buffers tracked by definition
+
+
+class TestAtomics:
+    def test_fetch_and_op_sum(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=0)
+            one = mpi.alloc("one", 1, datatype=INT, fill=1)
+            old = mpi.alloc("old", 1, datatype=INT, fill=-1)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            win.lock(0, LOCK_SHARED)
+            win.fetch_and_op(one, old, target=0, op="SUM")
+            win.unlock(0)
+            mpi.barrier()
+            total = buf[0]
+            win.free()
+            return old[0], total
+
+        results = run_app(app, nranks=4, delivery="random", seed=2)
+        olds = sorted(r[0] for r in results)
+        assert olds == [0, 1, 2, 3]          # atomic: each sees a distinct old
+        assert results[0][1] == 4            # final counter value
+
+    def test_get_accumulate_fetches_old_values(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 2, datatype=DOUBLE, fill=10.0)
+            upd = mpi.alloc("upd", 2, datatype=DOUBLE, fill=1.0)
+            res = mpi.alloc("res", 2, datatype=DOUBLE, fill=0.0)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            if mpi.rank == 1:
+                win.lock(0, LOCK_SHARED)
+                win.get_accumulate(upd, res, target=0, op="SUM")
+                win.unlock(0)
+            mpi.barrier()
+            out = buf.read().tolist()
+            win.free()
+            return res.read().tolist(), out
+
+        results = run_app(app, nranks=2, delivery="lazy")
+        assert results[1][0] == [10.0, 10.0]   # fetched pre-update values
+        assert results[0][1] == [11.0, 11.0]   # target updated
+
+    def test_compare_and_swap(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=5)
+            new = mpi.alloc("new", 1, datatype=INT, fill=9)
+            cmp_ok = mpi.alloc("cmp_ok", 1, datatype=INT, fill=5)
+            cmp_bad = mpi.alloc("cmp_bad", 1, datatype=INT, fill=0)
+            res = mpi.alloc("res", 1, datatype=INT, fill=-1)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            fetched = None
+            if mpi.rank == 1:
+                win.lock(0, LOCK_SHARED)
+                win.compare_and_swap(new, cmp_bad, res, target=0)
+                win.flush(0)
+                first = res[0]            # swap must NOT have happened
+                win.compare_and_swap(new, cmp_ok, res, target=0)
+                win.unlock(0)
+                second = res[0]           # this one succeeded
+                fetched = (first, second)
+            mpi.barrier()
+            out = buf[0]
+            win.free()
+            return fetched, out
+
+        results = run_app(app, nranks=2, delivery="eager")
+        assert results[0][1] == 9            # swapped in the end
+        assert results[1][0] == (5, 5)       # both fetches saw the old 5

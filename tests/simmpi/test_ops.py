@@ -1,0 +1,44 @@
+"""Reduction-operation table tests."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.ops import ACCUMULATE_OPS, REDUCE_OPS, combine
+from repro.util.errors import SimMPIError
+
+
+class TestCombine:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("SUM", [1, 2], [3, 4], [4, 6]),
+        ("PROD", [2, 3], [4, 5], [8, 15]),
+        ("MIN", [1, 9], [5, 2], [1, 2]),
+        ("MAX", [1, 9], [5, 2], [5, 9]),
+        ("BAND", [0b1100], [0b1010], [0b1000]),
+        ("BOR", [0b1100], [0b1010], [0b1110]),
+        ("BXOR", [0b1100], [0b1010], [0b0110]),
+        ("REPLACE", [1, 2], [8, 9], [8, 9]),
+    ])
+    def test_integer_ops(self, op, a, b, expected):
+        out = combine(op, np.array(a), np.array(b))
+        assert out.tolist() == expected
+
+    def test_land(self):
+        out = combine("LAND", np.array([1, 0, 2]), np.array([1, 1, 0]))
+        assert out.tolist() == [1, 0, 0]
+
+    def test_lor(self):
+        out = combine("LOR", np.array([0, 0, 2]), np.array([0, 1, 0]))
+        assert out.tolist() == [0, 1, 1]
+
+    def test_unknown_op(self):
+        with pytest.raises(SimMPIError):
+            combine("AVG", np.array([1]), np.array([2]))
+
+
+class TestOpSets:
+    def test_replace_only_in_accumulate(self):
+        assert "REPLACE" in ACCUMULATE_OPS
+        assert "REPLACE" not in REDUCE_OPS
+
+    def test_reduce_ops_subset_of_accumulate(self):
+        assert REDUCE_OPS < ACCUMULATE_OPS

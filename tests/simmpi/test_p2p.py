@@ -1,0 +1,159 @@
+"""Point-to-point semantics: matching, wildcards, ordering, nonblocking."""
+
+import pytest
+
+from repro.simmpi import ANY_SOURCE, ANY_TAG, INT, run_app
+from repro.util.errors import DeadlockError
+
+
+class TestBlockingSendRecv:
+    def test_buffer_payload(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 3, datatype=INT)
+            if mpi.rank == 0:
+                buf.write([1, 2, 3])
+                mpi.send(buf, dest=1)
+            else:
+                mpi.recv(buf, source=0)
+            return buf.read().tolist()
+
+        assert run_app(app, nranks=2) == [[1, 2, 3], [1, 2, 3]]
+
+    def test_object_payload(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                mpi.send({"k": 1}, dest=1, tag=7)
+                return None
+            payload, status = mpi.recv(source=0, tag=7)
+            return payload, status.source, status.tag
+
+        assert run_app(app, nranks=2)[1] == ({"k": 1}, 0, 7)
+
+    def test_tag_selectivity(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                mpi.send("a", dest=1, tag=1)
+                mpi.send("b", dest=1, tag=2)
+            else:
+                second, _ = mpi.recv(source=0, tag=2)
+                first, _ = mpi.recv(source=0, tag=1)
+                return first, second
+            return None
+
+        assert run_app(app, nranks=2)[1] == ("a", "b")
+
+    def test_fifo_per_channel(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                for i in range(5):
+                    mpi.send(i, dest=1, tag=0)
+            else:
+                return [mpi.recv(source=0, tag=0)[0] for _ in range(5)]
+            return None
+
+        assert run_app(app, nranks=2)[1] == [0, 1, 2, 3, 4]
+
+    def test_any_source_any_tag(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                got = []
+                for _ in range(2):
+                    payload, status = mpi.recv(source=ANY_SOURCE,
+                                               tag=ANY_TAG)
+                    got.append((payload, status.source))
+                return sorted(got)
+            mpi.send(f"from{mpi.rank}", dest=0, tag=mpi.rank)
+            return None
+
+        assert run_app(app, nranks=3)[0] == [("from1", 1), ("from2", 2)]
+
+    def test_recv_blocks_until_send(self):
+        order = []
+
+        def app(mpi):
+            if mpi.rank == 0:
+                payload, _ = mpi.recv(source=1)
+                order.append("recv-done")
+            else:
+                for _ in range(3):
+                    mpi.world.scheduler.yield_point(mpi.rank)
+                order.append("sending")
+                mpi.send("x", dest=0)
+
+        run_app(app, nranks=2)
+        assert order == ["sending", "recv-done"]
+
+    def test_wrong_tag_deadlocks(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                mpi.send("x", dest=1, tag=1)
+                mpi.barrier()
+            else:
+                mpi.recv(source=0, tag=2)
+                mpi.barrier()
+
+        with pytest.raises(DeadlockError):
+            run_app(app, nranks=2)
+
+
+class TestSendRecvCombined:
+    def test_ring_exchange(self):
+        def app(mpi):
+            right = (mpi.rank + 1) % mpi.size
+            left = (mpi.rank - 1) % mpi.size
+            payload, _ = mpi.sendrecv(mpi.rank, dest=right, source=left)
+            return payload
+
+        assert run_app(app, nranks=4) == [3, 0, 1, 2]
+
+
+class TestNonblocking:
+    def test_isend_wait(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                req = mpi.isend("hello", dest=1)
+                mpi.wait(req)
+                return None
+            payload, _ = mpi.recv(source=0)
+            return payload
+
+        assert run_app(app, nranks=2)[1] == "hello"
+
+    def test_irecv_wait(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 2, datatype=INT)
+            if mpi.rank == 0:
+                buf.write([5, 6])
+                mpi.send(buf, dest=1)
+            else:
+                req = mpi.irecv(buf, source=0)
+                status = mpi.wait(req)
+                return buf.read().tolist(), status.source
+            return None
+
+        assert run_app(app, nranks=2)[1] == ([5, 6], 0)
+
+    def test_waitall(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                reqs = [mpi.isend(i, dest=1, tag=i) for i in range(3)]
+                mpi.waitall(reqs)
+                return None
+            reqs = [mpi.irecv(source=0, tag=i) for i in range(3)]
+            mpi.waitall(reqs)
+            return [r.status.source for r in reqs]
+
+        assert run_app(app, nranks=2)[1] == [0, 0, 0]
+
+    def test_irecv_posted_before_send(self):
+        def app(mpi):
+            if mpi.rank == 1:
+                req = mpi.irecv(source=0, tag=4)
+                mpi.barrier()
+                status = mpi.wait(req)
+                return req._payload is not None and status.tag == 4
+            mpi.barrier()
+            mpi.send("late", dest=1, tag=4)
+            return None
+
+        assert run_app(app, nranks=2)[1] is True

@@ -1,0 +1,123 @@
+"""Delivery-engine semantics and fault injection: the nonblocking gap."""
+
+import pytest
+
+from repro.simmpi import INT, run_app
+from repro.simmpi.faults import AdversarialDelivery, force_lazy_ops
+from repro.simmpi.rma import DeliveryEngine, EAGER, LAZY, RANDOM, RMAOp
+from repro.simmpi.runtime import World
+from repro.util.errors import SimMPIError
+
+
+def _stale_read_app(mpi):
+    """Returns what rank 1 received: 1 if the Put read its origin at issue,
+    99 if at epoch close (after the corrupting store)."""
+    buf = mpi.alloc("buf", 1, datatype=INT, fill=0)
+    win = mpi.win_create(buf)
+    win.fence()
+    if mpi.rank == 0:
+        buf[0] = 1
+        win.put(buf, target=1, origin_count=1)
+        buf[0] = 99
+    win.fence()
+    out = buf[0]
+    win.free()
+    return out
+
+
+class TestPolicies:
+    def test_eager_reads_at_issue(self):
+        assert run_app(_stale_read_app, nranks=2, delivery="eager")[1] == 1
+
+    def test_lazy_reads_at_close(self):
+        assert run_app(_stale_read_app, nranks=2, delivery="lazy")[1] == 99
+
+    def test_random_is_one_of_the_two(self):
+        outcomes = {
+            run_app(_stale_read_app, nranks=2, delivery="random",
+                    seed=seed)[1]
+            for seed in range(10)
+        }
+        assert outcomes <= {1, 99}
+        assert len(outcomes) == 2  # both timings explored across seeds
+
+    def test_random_reproducible(self):
+        a = run_app(_stale_read_app, nranks=2, delivery="random", seed=4)
+        b = run_app(_stale_read_app, nranks=2, delivery="random", seed=4)
+        assert a == b
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimMPIError):
+            DeliveryEngine(policy="psychic")
+
+
+class TestFaultInjection:
+    def test_force_lazy_single_op(self):
+        world = World(2, delivery="eager")
+        force_lazy_ops(world, [(0, 0, 0)])  # win 0, origin 0, first op
+        results = world.run(_stale_read_app)
+        assert results[1] == 99  # the eager policy was overridden
+
+    def test_adversarial_alternates(self):
+        engine = AdversarialDelivery(phase=0)
+        ops = [RMAOp(kind="put", win_id=0, origin_world=0, target_world=1,
+                     origin_buf=None, origin_offset=0, origin_count=1,
+                     origin_dtype=None, target_disp=0, target_count=1,
+                     target_dtype=None, seq=i) for i in range(4)]
+        decisions = [engine.deliver_eagerly(op) for op in ops]
+        assert decisions == [True, False, True, False]
+
+    def test_adversarial_phase_flips(self):
+        engine = AdversarialDelivery(phase=1)
+        op = RMAOp(kind="put", win_id=0, origin_world=0, target_world=1,
+                   origin_buf=None, origin_offset=0, origin_count=1,
+                   origin_dtype=None, target_disp=0, target_count=1,
+                   target_dtype=None, seq=0)
+        assert engine.deliver_eagerly(op) is False
+
+    def test_adversarial_in_world(self):
+        world = World(2, delivery="eager")
+        world.delivery = AdversarialDelivery(phase=1)  # first op lazy
+        results = world.run(_stale_read_app)
+        assert results[1] == 99
+
+
+class TestOrderingWithinFlush:
+    def test_pending_ops_apply_in_issue_order(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=0)
+            one = mpi.alloc("one", 1, datatype=INT, fill=1)
+            two = mpi.alloc("two", 1, datatype=INT, fill=2)
+            win = mpi.win_create(buf)
+            win.fence()
+            if mpi.rank == 0:
+                win.put(one, target=1, origin_count=1)
+                win.put(two, target=1, origin_count=1)
+            win.fence()
+            out = buf[0]
+            win.free()
+            return out
+
+        # both pending at the fence: later issue wins (issue-order apply)
+        assert run_app(app, nranks=2, delivery="lazy")[1] == 2
+
+
+class TestGetLazy:
+    def test_lazy_get_origin_filled_at_close(self):
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT, fill=7 * (mpi.rank + 1))
+            dst = mpi.alloc("dst", 1, datatype=INT, fill=0)
+            win = mpi.win_create(buf)
+            win.fence()
+            inside = None
+            if mpi.rank == 0:
+                win.get(dst, target=1, origin_count=1)
+                inside = dst[0]  # before the close: still stale
+            win.fence()
+            after = dst[0] if mpi.rank == 0 else None
+            win.free()
+            return inside, after
+
+        inside, after = run_app(app, nranks=2, delivery="lazy")[0]
+        assert inside == 0  # the BT-broadcast hang in miniature
+        assert after == 14

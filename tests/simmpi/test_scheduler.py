@@ -1,0 +1,159 @@
+"""Scheduler tests: determinism, blocking, deadlock detection, abort."""
+
+import pytest
+
+from repro.simmpi import run_app
+from repro.simmpi.scheduler import Scheduler
+from repro.util.errors import DeadlockError, SimMPIError
+
+
+def _interleaving_app(mpi, log):
+    for i in range(3):
+        mpi.barrier()
+        log.append((mpi.rank, i))
+    return mpi.rank
+
+
+class TestDeterminism:
+    def test_round_robin_reproducible(self):
+        logs = []
+        for _ in range(2):
+            log = []
+            run_app(_interleaving_app, nranks=4, params={"log": log})
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_random_policy_reproducible_same_seed(self):
+        logs = []
+        for _ in range(2):
+            log = []
+            run_app(_interleaving_app, nranks=4, params={"log": log},
+                    sched_policy="random", seed=99)
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_random_policy_seed_changes_interleaving(self):
+        logs = []
+        for seed in (1, 2, 3, 4, 5):
+            log = []
+            run_app(lambda mpi, log: log.append(mpi.rank) or mpi.barrier(),
+                    nranks=6, params={"log": log},
+                    sched_policy="random", seed=seed)
+            logs.append(tuple(log))
+        assert len(set(logs)) > 1  # at least two distinct interleavings
+
+
+class TestValidation:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(2, policy="fifo")
+
+    def test_body_count_mismatch(self):
+        sched = Scheduler(2)
+        with pytest.raises(ValueError):
+            sched.start([lambda: None])
+
+
+class TestNoFalseDeadlocks:
+    """Regression: the detector must re-schedule EVERY blocked rank before
+    declaring deadlock — under the random policy a rank can be skipped for
+    many grants while its predicate is already satisfiable."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_barrier_storm_never_false_positives(self, seed):
+        def app(mpi):
+            for _ in range(5):
+                mpi.barrier()
+            if mpi.rank == 0:
+                for peer in range(1, mpi.size):
+                    mpi.recv(source=peer, tag=1)
+            else:
+                mpi.send("x", dest=0, tag=1)
+            mpi.barrier()
+
+        run_app(app, nranks=4, sched_policy="random", seed=seed)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lock_contention_never_false_positives(self, seed):
+        from repro.simmpi import INT, LOCK_EXCLUSIVE
+
+        def app(mpi):
+            buf = mpi.alloc("buf", 1, datatype=INT)
+            win = mpi.win_create(buf)
+            mpi.barrier()
+            win.lock(0, LOCK_EXCLUSIVE)
+            win.unlock(0)
+            mpi.barrier()
+            win.free()
+
+        run_app(app, nranks=5, sched_policy="random", seed=seed)
+
+
+class TestDeadlock:
+    def test_recv_cycle_detected(self):
+        def cycle(mpi):
+            mpi.recv(source=(mpi.rank + 1) % mpi.size, tag=0)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_app(cycle, nranks=3)
+        assert "Recv" in str(excinfo.value)
+        assert set(excinfo.value.blocked) == {0, 1, 2}
+
+    def test_partial_barrier_detected(self):
+        def half_barrier(mpi):
+            if mpi.rank != 0:
+                mpi.barrier()
+
+        with pytest.raises(DeadlockError):
+            run_app(half_barrier, nranks=3)
+
+    def test_self_recv_detected(self):
+        def lonely(mpi):
+            mpi.recv(source=mpi.rank, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_app(lonely, nranks=1)
+
+
+class TestAbort:
+    def test_app_exception_propagates(self):
+        def boom(mpi):
+            if mpi.rank == 1:
+                raise RuntimeError("kaboom")
+            mpi.barrier()
+
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_app(boom, nranks=3)
+
+    def test_livelock_guard_trips(self):
+        def spin(mpi):
+            while True:
+                mpi.world.scheduler.yield_point(mpi.rank)
+
+        from repro.simmpi.runtime import World
+        world = World(2, max_steps=10_000)
+        with pytest.raises(SimMPIError, match="livelock"):
+            world.run(spin)
+
+
+class TestProgress:
+    def test_all_ranks_complete(self):
+        results = run_app(lambda mpi: mpi.rank * 2, nranks=5)
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_switch_count_grows_with_calls(self):
+        from repro.simmpi.runtime import World
+
+        def chatty(mpi):
+            for _ in range(10):
+                mpi.barrier()
+
+        w1 = World(2)
+        w1.run(chatty)
+        w2 = World(2)
+        w2.run(lambda mpi: mpi.barrier())
+        assert w1.scheduler.switches > w2.scheduler.switches

@@ -1,0 +1,230 @@
+"""ST-Analyzer taint-analysis tests (section IV-A)."""
+
+import textwrap
+
+from repro.stanalyzer import analyze_source
+
+
+def analyze(src):
+    return analyze_source(textwrap.dedent(src))
+
+
+class TestSeeds:
+    def test_window_buffer_is_relevant(self):
+        rep = analyze("""
+            def main(mpi):
+                grid = mpi.alloc("grid", 16)
+                win = mpi.win_create(grid)
+        """)
+        assert rep.is_relevant("main", "grid")
+        assert rep.buffer_names == {"grid"}
+
+    def test_put_origin_is_relevant(self):
+        rep = analyze("""
+            def main(mpi, win):
+                tmp = mpi.alloc("tmp", 4)
+                win.put(tmp, target=1)
+        """)
+        assert rep.is_relevant("main", "tmp")
+        assert "tmp" in rep.buffer_names
+
+    def test_get_and_accumulate_origins(self):
+        rep = analyze("""
+            def main(mpi, win):
+                a = mpi.alloc("a", 4)
+                b = mpi.alloc("b", 4)
+                win.get(a, target=1)
+                win.accumulate(b, target=1, op="SUM")
+        """)
+        assert rep.buffer_names == {"a", "b"}
+
+    def test_keyword_origin_buf(self):
+        rep = analyze("""
+            def main(mpi, win):
+                x = mpi.alloc("x", 4)
+                win.put(origin_buf=x, target=1)
+        """)
+        assert "x" in rep.buffer_names
+
+    def test_irrelevant_buffer_excluded(self):
+        rep = analyze("""
+            def main(mpi, win):
+                used = mpi.alloc("used", 4)
+                scratch = mpi.alloc("scratch", 4)
+                win.put(used, target=1)
+        """)
+        assert "scratch" not in rep.buffer_names
+        assert not rep.is_relevant("main", "scratch")
+
+
+class TestPropagation:
+    def test_through_assignment(self):
+        rep = analyze("""
+            def main(mpi, win):
+                a = mpi.alloc("a", 4)
+                alias = a
+                win.put(alias, target=1)
+        """)
+        assert "a" in rep.buffer_names
+
+    def test_assignment_is_symmetric(self):
+        # label flows against assignment direction too (aliasing)
+        rep = analyze("""
+            def main(mpi, win):
+                a = mpi.alloc("a", 4)
+                win.put(a, target=1)
+                b = a
+        """)
+        assert rep.is_relevant("main", "b")
+
+    def test_through_call_argument(self):
+        rep = analyze("""
+            def helper(dst):
+                dst[0] = 1
+
+            def main(mpi, win):
+                grid = mpi.alloc("grid", 4)
+                win.win_create(grid)
+                helper(grid)
+        """)
+        assert rep.is_relevant("helper", "dst")
+
+    def test_rma_inside_callee_taints_caller(self):
+        rep = analyze("""
+            def sender(win, buf):
+                win.put(buf, target=1)
+
+            def main(mpi, win):
+                data = mpi.alloc("data", 4)
+                sender(win, data)
+        """)
+        assert "data" in rep.buffer_names
+
+    def test_through_return_value(self):
+        rep = analyze("""
+            def make(mpi):
+                buf = mpi.alloc("buf", 4)
+                return buf
+
+            def main(mpi, win):
+                mine = make(mpi)
+                win.put(mine, target=1)
+        """)
+        assert "buf" in rep.buffer_names
+
+    def test_through_keyword_call_argument(self):
+        rep = analyze("""
+            def helper(win, dst=None):
+                win.get(dst, target=0)
+
+            def main(mpi, win):
+                out = mpi.alloc("out", 4)
+                helper(win, dst=out)
+        """)
+        assert "out" in rep.buffer_names
+
+    def test_through_function_alias(self):
+        rep = analyze("""
+            def reader(win, out):
+                win.get(out, target=0)
+
+            def writer(win, out):
+                win.put(out, target=0)
+
+            def main(mpi, win, flag):
+                buf = mpi.alloc("buf", 4)
+                fn = reader if flag else writer
+                fn(win, buf)
+        """)
+        assert "buf" in rep.buffer_names
+
+    def test_tuple_assignment(self):
+        rep = analyze("""
+            def main(mpi, win):
+                a = mpi.alloc("a", 4)
+                b = mpi.alloc("b", 4)
+                x, y = a, b
+                win.put(x, target=1)
+        """)
+        assert "a" in rep.buffer_names
+        assert "b" not in rep.buffer_names
+
+    def test_transitive_chain(self):
+        rep = analyze("""
+            def main(mpi, win):
+                a = mpi.alloc("a", 4)
+                b = a
+                c = b
+                win.put(c, target=1)
+        """)
+        assert "a" in rep.buffer_names
+
+
+class TestConservativeness:
+    def test_branch_insensitive(self):
+        # only one branch passes the buffer to put, but both aliases are
+        # marked — "insensitive to branch and loop" (section IV-A)
+        rep = analyze("""
+            def main(mpi, win, cond):
+                a = mpi.alloc("a", 4)
+                if cond:
+                    alias = a
+                else:
+                    alias = mpi.alloc("other", 4)
+                win.put(alias, target=1)
+        """)
+        assert {"a", "other"} <= rep.buffer_names
+
+    def test_scope_separation(self):
+        # same variable name in an unrelated function is NOT marked
+        rep = analyze("""
+            def main(mpi, win):
+                buf = mpi.alloc("buf", 4)
+                win.put(buf, target=1)
+
+            def unrelated(mpi):
+                buf = mpi.alloc("unrelated_buf", 4)
+                return buf
+        """)
+        assert "unrelated_buf" not in rep.buffer_names
+
+
+class TestReportShape:
+    def test_seeds_recorded(self):
+        rep = analyze("""
+            def main(mpi, win):
+                a = mpi.alloc("a", 4)
+                win.put(a, target=1)
+        """)
+        assert ("main", "a") in rep.seeds
+
+    def test_alloc_sites_include_irrelevant(self):
+        rep = analyze("""
+            def main(mpi):
+                a = mpi.alloc("a", 4)
+        """)
+        assert [(s[0], s[1], s[2]) for s in rep.alloc_sites] == \
+            [("main", "a", "a")]
+
+    def test_summary_mentions_buffers(self):
+        rep = analyze("""
+            def main(mpi, win):
+                z = mpi.alloc("zeta", 4)
+                win.put(z, target=1)
+        """)
+        assert "zeta" in rep.summary()
+
+
+class TestRealApps:
+    def test_emulate_module(self):
+        from repro.apps import emulate
+        from repro.stanalyzer import analyze_module
+        rep = analyze_module(emulate)
+        assert {"page", "out", "src"} <= rep.buffer_names
+
+    def test_lu_excludes_local_block(self):
+        from repro.apps import lu
+        from repro.stanalyzer import analyze_module
+        rep = analyze_module(lu)
+        assert {"pivot", "row_buf"} <= rep.buffer_names
+        assert "a" not in rep.buffer_names  # never an RMA argument

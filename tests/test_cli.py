@@ -1,0 +1,157 @@
+"""CLI tests (mc-checker ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStaticCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NONOV" in out and "ERROR" in out
+
+    def test_apps_listing(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "emulate" in out and "LU" in out
+
+    def test_stanalyze_syntax_error(self, tmp_path, capsys):
+        src = tmp_path / "broken.py"
+        src.write_text("def main(:\n")
+        assert main(["stanalyze", str(src)]) == 2
+        assert "does not parse" in capsys.readouterr().out
+
+    def test_stanalyze(self, tmp_path, capsys):
+        src = tmp_path / "app.py"
+        src.write_text(
+            "def main(mpi, win):\n"
+            "    x = mpi.alloc('x', 4)\n"
+            "    win.put(x, target=1)\n")
+        assert main(["stanalyze", str(src)]) == 0
+        assert "x" in capsys.readouterr().out
+
+
+class TestRunCheck:
+    def test_run_writes_traces(self, tmp_path, capsys):
+        assert main(["run", "emulate", "--ranks", "2",
+                     "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "MPI calls" in out
+        assert (tmp_path / "trace.0.log").exists()
+
+    def test_check_finds_bug(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["check", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "ERROR" in out
+
+    def test_run_check_fixed_clean(self, tmp_path, capsys):
+        rc = main(["run-check", "emulate", "--ranks", "2", "--fixed",
+                   "--trace-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_param_override(self, tmp_path, capsys):
+        rc = main(["run-check", "jacobi", "--ranks", "2",
+                   "--param", "iterations=1", "--param", "interior=4",
+                   "--trace-dir", str(tmp_path)])
+        assert rc == 1  # still buggy by default
+
+    def test_dotted_path_app(self, tmp_path, capsys):
+        rc = main(["run-check", "repro.apps.lu:lu", "--ranks", "2",
+                   "--param", "n=10", "--trace-dir", str(tmp_path)])
+        assert rc == 0
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "no-such-app"])
+
+    def test_naive_inter_flag(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["check", str(tmp_path), "--naive-inter"]) == 1
+
+    def test_streaming_flag(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["check", str(tmp_path), "--streaming"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "streaming" in out and "peak buffered" in out
+
+    def test_stats_command(self, tmp_path, capsys):
+        main(["run", "LU", "--ranks", "2", "--param", "n=10",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 ranks" in out and "hottest statements" in out
+
+    def test_diff_command(self, tmp_path, capsys):
+        for sub in ("a", "b"):
+            main(["run", "LU", "--ranks", "2", "--param", "n=10",
+                  "--delivery", "eager",
+                  "--trace-dir", str(tmp_path / sub)])
+        capsys.readouterr()
+        rc = main(["diff", str(tmp_path / "a"), str(tmp_path / "b")])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_minimize_command(self, tmp_path, capsys):
+        main(["run", "jacobi", "--ranks", "3",
+              "--trace-dir", str(tmp_path / "t")])
+        capsys.readouterr()
+        rc = main(["minimize", str(tmp_path / "t"),
+                   str(tmp_path / "min")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reduction" in out and "minimized traces:" in out
+
+    def test_minimize_clean_trace(self, tmp_path, capsys):
+        main(["run", "LU", "--ranks", "2", "--param", "n=10",
+              "--trace-dir", str(tmp_path / "t")])
+        capsys.readouterr()
+        assert main(["minimize", str(tmp_path / "t"),
+                     str(tmp_path / "min")]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        import json as json_mod
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["check", str(tmp_path), "--json"])
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["errors"]
+        first = payload["errors"][0]
+        assert {"kind", "severity", "rule", "a", "b", "suggestion",
+                "overlap_bytes"} <= set(first)
+        assert first["a"]["line"] > 0
+        assert payload["stats"]["nranks"] == 2
+
+    def test_dag_ascii_and_dot(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["dag", str(tmp_path)]) == 0
+        ascii_out = capsys.readouterr().out
+        assert "Win_create" in ascii_out
+        assert main(["dag", str(tmp_path), "--format", "dot"]) == 0
+        dot_out = capsys.readouterr().out
+        assert dot_out.startswith("digraph")
+        assert "cluster_rank0" in dot_out
+        assert dot_out.rstrip().endswith("}")
+
+    def test_memory_model_flag(self, tmp_path, capsys):
+        main(["run", "repro.apps.lu:lu", "--ranks", "2",
+              "--param", "n=10", "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["check", str(tmp_path),
+                     "--memory-model", "unified"]) == 0

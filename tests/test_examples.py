@@ -1,0 +1,45 @@
+"""Every example script must run to completion (they double as the
+user-facing documentation, so a broken example is a broken deliverable)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("bug_hunt.py", ["--ranks-cap", "4"]),
+    ("halo_exchange.py", []),
+    ("custom_checker.py", []),
+    ("mpi3_atomics.py", []),
+    ("global_arrays.py", []),
+    ("trace_tools.py", []),
+    # overhead_study.py is the slow one: exercised by the benchmarks and
+    # excluded here to keep the unit suite fast
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES,
+                         ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip()  # every example narrates what it shows
+
+
+def test_examples_list_is_complete():
+    on_disk = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    covered = {name for name, _ in EXAMPLES} | {"overhead_study.py"}
+    assert on_disk == covered, (
+        f"examples drifted: on disk {sorted(on_disk)}, "
+        f"covered {sorted(covered)}")

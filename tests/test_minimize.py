@@ -1,0 +1,62 @@
+"""Trace-minimization tests."""
+
+import pytest
+
+from repro.apps.jacobi import jacobi
+from repro.apps.lu import lu
+from repro.core import check_traces
+from repro.profiler.session import profile_run
+from repro.tools.minimize import finding_signature, minimize_trace
+
+
+@pytest.fixture()
+def buggy_traces(tmp_path):
+    return profile_run(
+        jacobi, 3, params=dict(buggy=True, interior=8, iterations=4),
+        trace_dir=str(tmp_path / "orig"), delivery="eager").traces
+
+
+class TestMinimize:
+    def test_reduces_and_preserves_finding(self, buggy_traces, tmp_path):
+        original = check_traces(buggy_traces)
+        target = original.findings[0]
+        result = minimize_trace(buggy_traces, str(tmp_path / "min"),
+                                finding=target)
+        assert result.final_events < result.original_events
+        assert result.reduction > 0.3  # meaningful shrinkage
+
+        # the minimized set still produces the same finding signature
+        minimized_report = check_traces(result.traces)
+        signatures = {finding_signature(f)
+                      for f in minimized_report.findings}
+        assert finding_signature(target) in signatures
+
+    def test_default_finding_is_first(self, buggy_traces, tmp_path):
+        result = minimize_trace(buggy_traces, str(tmp_path / "min"))
+        assert result.steps
+        assert "kept" in result.format() or "rejected" in result.format()
+
+    def test_clean_trace_rejected(self, tmp_path):
+        traces = profile_run(lu, 2, params=dict(n=10),
+                             trace_dir=str(tmp_path / "clean")).traces
+        with pytest.raises(ValueError, match="no findings"):
+            minimize_trace(traces, str(tmp_path / "min"))
+
+    def test_minimized_set_is_loadable(self, buggy_traces, tmp_path):
+        from repro.profiler.tracer import TraceSet
+
+        result = minimize_trace(buggy_traces, str(tmp_path / "min"))
+        reloaded = TraceSet(result.traces.directory)
+        assert reloaded.nranks == 3
+
+    def test_intra_epoch_finding_minimizes(self, tmp_path):
+        from repro.apps.pingpong import pingpong
+
+        traces = profile_run(pingpong, 2,
+                             params=dict(buggy=True, iterations=6),
+                             trace_dir=str(tmp_path / "pp"),
+                             delivery="eager").traces
+        result = minimize_trace(traces, str(tmp_path / "min"))
+        assert result.final_events <= result.original_events
+        report = check_traces(result.traces)
+        assert report.has_errors

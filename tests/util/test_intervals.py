@@ -1,0 +1,208 @@
+"""Unit + property tests for the byte-interval algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import Interval, IntervalSet, datamap_intervals
+
+
+# ----------------------------------------------------------------------
+# Interval basics
+# ----------------------------------------------------------------------
+
+class TestInterval:
+    def test_length(self):
+        assert len(Interval(3, 10)) == 7
+
+    def test_empty(self):
+        assert Interval(5, 5).is_empty()
+        assert not Interval(5, 6).is_empty()
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10, 3)
+
+    def test_overlap_positive(self):
+        assert Interval(0, 10).overlaps(Interval(9, 20))
+
+    def test_overlap_negative_adjacent(self):
+        # half-open: [0,10) and [10,20) share no byte
+        assert not Interval(0, 10).overlaps(Interval(10, 20))
+
+    def test_overlap_contained(self):
+        assert Interval(0, 100).overlaps(Interval(40, 41))
+
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Interval(0, 5).intersection(Interval(7, 9)).is_empty()
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 8))
+        assert not Interval(0, 10).contains(Interval(2, 12))
+
+    def test_shift(self):
+        assert Interval(1, 4).shift(10) == Interval(11, 14)
+
+
+# ----------------------------------------------------------------------
+# IntervalSet
+# ----------------------------------------------------------------------
+
+class TestIntervalSet:
+    def test_normalization_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_normalization_merges_overlap(self):
+        s = IntervalSet([Interval(0, 7), Interval(3, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_normalization_keeps_gaps(self):
+        s = IntervalSet([Interval(0, 3), Interval(5, 8)])
+        assert len(s) == 2
+
+    def test_empty_intervals_dropped(self):
+        assert not IntervalSet([Interval(4, 4)])
+
+    def test_single_constructor(self):
+        assert IntervalSet.single(10, 4).intervals == (Interval(10, 14),)
+
+    def test_single_zero_length_is_empty(self):
+        assert not IntervalSet.single(10, 0)
+
+    def test_byte_count(self):
+        s = IntervalSet([Interval(0, 3), Interval(10, 14)])
+        assert s.byte_count() == 7
+
+    def test_bounds(self):
+        s = IntervalSet([Interval(2, 3), Interval(10, 14)])
+        assert s.bounds() == Interval(2, 14)
+
+    def test_overlaps_true(self):
+        a = IntervalSet([Interval(0, 4), Interval(10, 14)])
+        b = IntervalSet([Interval(12, 20)])
+        assert a.overlaps(b)
+
+    def test_overlaps_false_interleaved(self):
+        a = IntervalSet([Interval(0, 4), Interval(10, 14)])
+        b = IntervalSet([Interval(4, 10), Interval(14, 20)])
+        assert not a.overlaps(b)
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 10)])
+        b = IntervalSet([Interval(2, 4), Interval(8, 12)])
+        assert a.intersection(b).intervals == (Interval(2, 4), Interval(8, 10))
+
+    def test_union(self):
+        a = IntervalSet([Interval(0, 4)])
+        b = IntervalSet([Interval(2, 8)])
+        assert a.union(b).intervals == (Interval(0, 8),)
+
+    def test_contains_point(self):
+        s = IntervalSet([Interval(0, 4), Interval(10, 14)])
+        assert s.contains_point(0)
+        assert s.contains_point(11)
+        assert not s.contains_point(4)
+        assert not s.contains_point(9)
+
+    def test_shift(self):
+        s = IntervalSet([Interval(0, 4)]).shift(100)
+        assert s.intervals == (Interval(100, 104),)
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 5), Interval(5, 10)])
+        b = IntervalSet([Interval(0, 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+# ----------------------------------------------------------------------
+# data-map application
+# ----------------------------------------------------------------------
+
+class TestDatamapIntervals:
+    def test_mpi_int_datamap(self):
+        # the paper's example: MPI_INT is {(0, 4)}
+        s = datamap_intervals(100, [(0, 4)], count=1, extent=4)
+        assert s.intervals == (Interval(100, 104),)
+
+    def test_two_ints_with_gap(self):
+        # the paper's example: two MPI_INTs separated by an 8-byte gap
+        s = datamap_intervals(0, [(0, 4), (12, 4)], count=1, extent=16)
+        assert s.intervals == (Interval(0, 4), Interval(12, 16))
+
+    def test_count_replication(self):
+        s = datamap_intervals(0, [(0, 4)], count=3, extent=8)
+        assert s.intervals == (Interval(0, 4), Interval(8, 12),
+                               Interval(16, 20))
+
+    def test_contiguous_count_coalesces(self):
+        s = datamap_intervals(0, [(0, 4)], count=3, extent=4)
+        assert s.intervals == (Interval(0, 12),)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            datamap_intervals(0, [(0, 4)], count=-1, extent=4)
+
+
+# ----------------------------------------------------------------------
+# property-based
+# ----------------------------------------------------------------------
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 50)).map(
+        lambda p: Interval(p[0], p[0] + p[1])),
+    max_size=12)
+
+
+@given(intervals_strategy)
+def test_prop_normalized_sorted_disjoint(ivs):
+    s = IntervalSet(ivs)
+    for a, b in zip(s.intervals, s.intervals[1:]):
+        assert a.stop < b.start  # strictly disjoint with a gap
+
+
+@given(intervals_strategy)
+def test_prop_byte_count_equals_point_membership(ivs):
+    s = IntervalSet(ivs)
+    member_count = sum(1 for p in range(600) if s.contains_point(p))
+    assert member_count == s.byte_count()
+
+
+@given(intervals_strategy, intervals_strategy)
+def test_prop_overlap_symmetric_and_consistent(ivs_a, ivs_b):
+    a, b = IntervalSet(ivs_a), IntervalSet(ivs_b)
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlaps(b) == bool(a.intersection(b))
+
+
+@given(intervals_strategy, intervals_strategy)
+def test_prop_intersection_subset_of_both(ivs_a, ivs_b):
+    a, b = IntervalSet(ivs_a), IntervalSet(ivs_b)
+    inter = a.intersection(b)
+    for p in range(600):
+        if inter.contains_point(p):
+            assert a.contains_point(p) and b.contains_point(p)
+        elif a.contains_point(p) and b.contains_point(p):
+            raise AssertionError(f"point {p} missing from intersection")
+
+
+@given(intervals_strategy, intervals_strategy)
+def test_prop_union_is_pointwise_or(ivs_a, ivs_b):
+    a, b = IntervalSet(ivs_a), IntervalSet(ivs_b)
+    u = a.union(b)
+    for p in range(600):
+        assert u.contains_point(p) == (a.contains_point(p)
+                                       or b.contains_point(p))
+
+
+@given(st.integers(0, 100), st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 10)), max_size=4),
+    st.integers(0, 5), st.integers(1, 64))
+def test_prop_datamap_byte_count(base, datamap, count, extent):
+    s = datamap_intervals(base, datamap, count, extent)
+    # bytes covered never exceeds count * sum(lengths); equality holds when
+    # segments don't self-overlap across replications
+    assert s.byte_count() <= count * sum(n for _d, n in datamap)

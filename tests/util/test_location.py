@@ -1,0 +1,38 @@
+"""Tests for source-location capture and encoding."""
+
+from repro.util.location import SourceLocation, UNKNOWN_LOCATION, capture_location
+
+
+class TestSourceLocation:
+    def test_encode_decode_roundtrip(self):
+        loc = SourceLocation("/a/b/app.py", 42, "main")
+        assert SourceLocation.decode(loc.encode()) == loc
+
+    def test_decode_with_colons_in_path(self):
+        loc = SourceLocation("/a:b/app.py", 7, "f")
+        assert SourceLocation.decode(loc.encode()) == loc
+
+    def test_short_form(self):
+        assert SourceLocation("/x/y/app.py", 12, "f").short == "app.py:12"
+
+    def test_ordering(self):
+        a = SourceLocation("a.py", 1, "f")
+        b = SourceLocation("a.py", 2, "f")
+        assert a < b
+
+
+class TestCaptureLocation:
+    def test_captures_this_test(self):
+        loc = capture_location()
+        assert loc.filename.endswith("test_location.py")
+        assert loc.function == "test_captures_this_test"
+
+    def test_unknown_constant(self):
+        assert UNKNOWN_LOCATION.lineno == 0
+
+    def test_skips_runtime_frames(self):
+        # simulate a call through a runtime-owned file by checking the
+        # fragment logic indirectly: capture from here is never attributed
+        # to threading.py
+        loc = capture_location()
+        assert "/threading.py" not in loc.filename

@@ -1,0 +1,127 @@
+"""Round-trip and robustness tests for the trace record codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.errors import TraceFormatError
+from repro.util.records import (
+    Record, decode_record, decode_value, encode_record, encode_value,
+    escape, unescape,
+)
+
+
+class TestEscaping:
+    def test_plain_passthrough(self):
+        assert escape("hello") == "hello"
+
+    def test_space(self):
+        assert escape("a b") == "a%20b"
+
+    def test_equals(self):
+        assert escape("a=b") == "a%3Db"
+
+    def test_percent_first(self):
+        assert unescape(escape("100% a=b")) == "100% a=b"
+
+    def test_newline(self):
+        assert unescape(escape("a\nb")) == "a\nb"
+
+
+class TestValues:
+    def test_int_roundtrip(self):
+        assert decode_value(encode_value(42)) == 42
+
+    def test_negative_int(self):
+        assert decode_value(encode_value(-7)) == -7
+
+    def test_string_roundtrip(self):
+        assert decode_value(encode_value("Win_create")) == "Win_create"
+
+    def test_string_with_spaces(self):
+        assert decode_value(encode_value("a b=c")) == "a b=c"
+
+    def test_numeric_looking_string_stays_string(self):
+        assert decode_value(encode_value("123x")) == "123x"
+
+    def test_empty_list(self):
+        assert decode_value(encode_value([])) == ()
+
+    def test_int_list(self):
+        assert decode_value(encode_value([1, 2, 3])) == (1, 2, 3)
+
+    def test_bool_encodes_as_int(self):
+        assert decode_value(encode_value(True)) == 1
+
+    def test_garbage_value_raises(self):
+        with pytest.raises(TraceFormatError):
+            decode_value("not-an-int")
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        line = encode_record("C", {"seq": 3, "fn": "Put", "targets": [1, 2]})
+        rec = decode_record(line)
+        assert rec.kind == "C"
+        assert rec.get_int("seq") == 3
+        assert rec.get_str("fn") == "Put"
+        assert rec.get_ints("targets") == (1, 2)
+
+    def test_none_fields_skipped(self):
+        line = encode_record("C", {"a": 1, "b": None})
+        assert "b=" not in line
+
+    def test_missing_field_raises(self):
+        rec = decode_record("C seq=1")
+        with pytest.raises(TraceFormatError):
+            rec.get_int("nope")
+
+    def test_missing_field_default(self):
+        rec = decode_record("C seq=1")
+        assert rec.get_str("app", "x") == "x"
+
+    def test_empty_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            decode_record("")
+
+    def test_malformed_field_raises(self):
+        with pytest.raises(TraceFormatError):
+            decode_record("C noequals")
+
+    def test_get_ints_of_scalar(self):
+        rec = decode_record("C x=5")
+        assert rec.get_ints("x") == (5,)
+
+
+field_values = st.one_of(
+    st.integers(-2**40, 2**40),
+    st.text(alphabet="ab %=\n|xyz0", max_size=10),
+    st.lists(st.integers(-1000, 1000), max_size=4),
+)
+
+
+@given(st.dictionaries(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "eps", "zeta"]),
+    field_values, max_size=5))
+def test_prop_record_roundtrip(fields):
+    line = encode_record("C", fields)
+    rec = decode_record(line)
+    assert rec.kind == "C"
+    for key, value in fields.items():
+        decoded = rec.fields[key]
+        if isinstance(value, list):
+            assert decoded == tuple(value)
+        else:
+            assert decoded == value
+
+
+@given(st.text(max_size=50))
+def test_prop_escape_roundtrip(text):
+    assert unescape(escape(text)) == text
+
+
+@given(st.text(max_size=50))
+def test_prop_escaped_has_no_separators(text):
+    escaped = escape(text)
+    assert " " not in escaped
+    assert "=" not in escaped
+    assert "\n" not in escaped
