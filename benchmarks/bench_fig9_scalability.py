@@ -37,7 +37,9 @@ def test_fig9_rank_sweep(record, scale, benchmark):
         _ROWS.append((nranks, overhead))
         record("fig9_scalability",
                f"ranks={nranks:<4d} native={native:7.3f}s "
-               f"profiled={prof:7.3f}s overhead={overhead:6.1f}%")
+               f"profiled={prof:7.3f}s overhead={overhead:6.1f}%",
+               ranks=nranks, native_s=native, profiled_s=prof,
+               overhead_pct=overhead)
 
     # the headline timing benchmark: profiled LU at the largest scale
     largest = _sweep_points(scale)[-1]

@@ -14,6 +14,7 @@ the curves' shape.  Set ``MCCHECKER_BENCH_SCALE=paper`` for the full-size
 (slow) configuration.
 """
 
+import json
 import os
 import statistics
 import time
@@ -36,18 +37,39 @@ def bench_scale():
 
 
 class _Recorder:
+    """Writes each artifact twice: human-readable ``.txt`` rows and a
+    machine-readable ``.json`` document (``{"artifact", "scale",
+    "rows": [...]}``) so the BENCH trajectory can be diffed across PRs.
+    Callers may attach structured fields to a row
+    (``record(artifact, text, native=0.12, overhead_pct=31.0)``)."""
+
     def __init__(self):
         os.makedirs(RESULTS_DIR, exist_ok=True)
         self._started = set()
+        self._rows = {}
 
     def path(self, artifact):
         return os.path.join(RESULTS_DIR, f"{artifact}.txt")
 
-    def row(self, artifact, text):
+    def json_path(self, artifact):
+        return os.path.join(RESULTS_DIR, f"{artifact}.json")
+
+    def row(self, artifact, text, **fields):
         mode = "a" if artifact in self._started else "w"
         self._started.add(artifact)
         with open(self.path(artifact), mode, encoding="utf-8") as fh:
             fh.write(text + "\n")
+        rows = self._rows.setdefault(artifact, [])
+        entry = {"text": text}
+        entry.update(fields)
+        rows.append(entry)
+        with open(self.json_path(artifact), "w", encoding="utf-8") as fh:
+            json.dump({
+                "artifact": artifact,
+                "scale": os.environ.get("MCCHECKER_BENCH_SCALE", "quick"),
+                "rows": rows,
+            }, fh, indent=2)
+            fh.write("\n")
         print(f"[{artifact}] {text}")
 
 
@@ -56,7 +78,9 @@ _RECORDER = _Recorder()
 
 @pytest.fixture(scope="session")
 def record():
-    """record(artifact, row_text): persist one row of a paper artifact."""
+    """record(artifact, row_text, **fields): persist one artifact row
+    (text goes to ``results/<artifact>.txt``; text plus the structured
+    fields to ``results/<artifact>.json``)."""
     return _RECORDER.row
 
 

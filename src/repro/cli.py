@@ -8,23 +8,36 @@ Subcommands mirror the paper's workflow (Figure 5):
   application under the Profiler, writing per-rank traces;
 * ``mc-checker check <trace-dir>`` — run DN-Analyzer offline over traces;
 * ``mc-checker run-check <app>`` — both steps in one go;
+* ``mc-checker stats <trace-dir>`` — per-rank and per-phase summary;
 * ``mc-checker table1`` — print the compatibility matrix;
 * ``mc-checker apps`` — list the bundled applications.
 
 ``<app>`` is either a bundled bug-case name (``emulate``, ``BT-broadcast``,
 ``lockopts``, ``ping-pong``, ``jacobi``), a bundled overhead app name, or a
 dotted path ``package.module:function``.
+
+Observability (``repro.obs``) is wired in uniformly: every subcommand
+accepts ``--log-level`` (all human-readable output goes through the
+structured logger, so ``--log-level quiet`` leaves only exit codes), and
+the profiling/analysis subcommands accept ``--metrics-out FILE`` (a
+Prometheus exposition dump) and ``--chrome-trace FILE`` (a Chrome
+``trace_event`` file for ``chrome://tracing``/Perfetto).  Passing either
+export flag — or setting ``MCCHECKER_OBS=1`` — enables the recorder.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.core.checker import check_traces
 from repro.core.compat import KINDS, TABLE
+from repro.obs.export import write_chrome_trace, write_metrics
+from repro.obs.logging import LOG_LEVEL_CHOICES
 from repro.profiler.session import profile_run
 from repro.profiler.tracer import TraceSet
 from repro.stanalyzer import analyze_source
@@ -44,6 +57,22 @@ def _resolve_app(name: str) -> Tuple[Callable, Dict]:
     if ":" in name:
         return _resolve(name), {}
     raise SystemExit(f"unknown application {name!r}; see `mc-checker apps`")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser,
+                  exports: bool = False) -> None:
+    parser.add_argument("--log-level", default="info",
+                        choices=LOG_LEVEL_CHOICES,
+                        help="verbosity of human-readable output "
+                             "(quiet silences everything)")
+    if exports:
+        parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                            help="write a Prometheus-exposition metrics "
+                                 "dump (enables observability)")
+        parser.add_argument("--chrome-trace", default=None, metavar="FILE",
+                            help="write a Chrome trace_event span file for "
+                                 "chrome://tracing / Perfetto (enables "
+                                 "observability)")
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -79,6 +108,7 @@ def _parse_params(raw_params, defaults: Dict) -> Dict:
 
 
 def _do_run(args) -> Optional[str]:
+    log = obs.get_logger()
     app, defaults = _resolve_app(args.app)
     params = _parse_params(args.param, defaults)
     if args.fixed and "buggy" in params:
@@ -88,14 +118,39 @@ def _do_run(args) -> Optional[str]:
                       delivery=args.delivery, sched_policy=args.sched,
                       seed=args.seed, app_name=args.app)
     counts = run.traces.event_counts()
-    print(f"ran {args.app!r} on {args.ranks} ranks in {run.elapsed:.3f}s")
-    print(f"traces: {run.traces.directory}")
-    print(f"events: {counts['call']} MPI calls, {counts['load']} loads, "
-          f"{counts['store']} stores")
+    log.info(f"ran {args.app!r} on {args.ranks} ranks in "
+             f"{run.elapsed:.3f}s")
+    log.info(f"traces: {run.traces.directory}")
+    log.info(f"events: {counts['call']} MPI calls, {counts['load']} loads, "
+             f"{counts['store']} stores")
     return run.traces.directory
 
 
-def main(argv=None) -> int:
+def _per_rank_table(stats) -> str:
+    """Per-rank event/byte table of a :class:`~repro.tools.TraceStats`."""
+    lines = ["per-rank summary:",
+             f"  {'rank':>4s} {'calls':>8s} {'loads':>8s} {'stores':>8s} "
+             f"{'rma_bytes':>10s} {'ls_bytes':>10s}"]
+    for r in stats.per_rank:
+        lines.append(
+            f"  {r.rank:4d} {r.calls:8d} {r.loads:8d} {r.stores:8d} "
+            f"{r.rma_bytes:10d} {r.load_bytes + r.store_bytes:10d}")
+    return "\n".join(lines)
+
+
+def _phase_table(report) -> str:
+    """Per-phase timing table of a :class:`~repro.core.CheckReport`."""
+    timings = report.stats.phase_seconds
+    lines = ["analyzer phases:"]
+    for phase, seconds in timings.items():
+        lines.append(f"  {phase:12s} {seconds:9.4f}s")
+    lines.append(f"  {'total':12s} {report.stats.total_seconds:9.4f}s")
+    lines.append(f"findings: {len(report.errors)} error(s), "
+                 f"{len(report.warnings)} warning(s)")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mc-checker",
         description="Detect memory consistency errors in (simulated) MPI "
@@ -104,6 +159,7 @@ def main(argv=None) -> int:
 
     p_run = sub.add_parser("run", help="profile an application run")
     _add_run_args(p_run)
+    _add_obs_args(p_run, exports=True)
 
     p_check = sub.add_parser("check", help="analyze an existing trace set")
     p_check.add_argument("trace_dir")
@@ -117,40 +173,81 @@ def main(argv=None) -> int:
                          help="MPI RMA memory model for Table-I verdicts")
     p_check.add_argument("--json", action="store_true",
                          help="emit the report as JSON (for CI tooling)")
+    _add_obs_args(p_check, exports=True)
 
     p_rc = sub.add_parser("run-check", help="profile and analyze in one go")
     _add_run_args(p_rc)
+    _add_obs_args(p_rc, exports=True)
 
     p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
     p_st.add_argument("source_file")
+    _add_obs_args(p_st)
 
     p_dag = sub.add_parser(
         "dag", help="render a trace set's data-access DAG (Figure 4)")
     p_dag.add_argument("trace_dir")
     p_dag.add_argument("--format", default="ascii",
                        choices=("ascii", "dot"))
+    _add_obs_args(p_dag)
 
     p_stats = sub.add_parser(
-        "stats", help="event statistics of a trace set (Figure-10 lens)")
+        "stats", help="per-rank / per-phase statistics of a trace set "
+                      "(Figure-10 lens)")
     p_stats.add_argument("trace_dir")
     p_stats.add_argument("--hot", type=int, default=8,
                          help="number of hottest statements to list")
+    p_stats.add_argument("--no-phases", action="store_true",
+                         help="skip the DN-Analyzer per-phase timing table")
+    _add_obs_args(p_stats, exports=True)
 
     p_diff = sub.add_parser(
         "diff", help="align two trace sets of the same application")
     p_diff.add_argument("left_dir")
     p_diff.add_argument("right_dir")
+    _add_obs_args(p_diff)
 
     p_min = sub.add_parser(
         "minimize", help="shrink a failing trace set while the first "
                          "finding persists")
     p_min.add_argument("trace_dir")
     p_min.add_argument("out_dir")
+    _add_obs_args(p_min)
 
-    sub.add_parser("table1", help="print the RMA compatibility matrix")
-    sub.add_parser("apps", help="list bundled applications")
+    p_t1 = sub.add_parser("table1", help="print the RMA compatibility matrix")
+    _add_obs_args(p_t1)
+    p_apps = sub.add_parser("apps", help="list bundled applications")
+    _add_obs_args(p_apps)
 
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
+
+    metrics_out = getattr(args, "metrics_out", None)
+    chrome_trace = getattr(args, "chrome_trace", None)
+    enabled = bool(metrics_out or chrome_trace
+                   or os.environ.get("MCCHECKER_OBS"))
+    obs.configure(enabled=enabled,
+                  log_level=getattr(args, "log_level", "info"))
+    try:
+        return _dispatch(args)
+    finally:
+        recorder = obs.get_recorder()
+        log = obs.get_logger()
+        if metrics_out:
+            write_metrics(recorder, metrics_out)
+            log.info(f"metrics: {metrics_out}")
+        if chrome_trace:
+            write_chrome_trace(recorder, chrome_trace)
+            log.info(f"chrome trace: {chrome_trace} "
+                     "(open in chrome://tracing or ui.perfetto.dev)")
+        obs.reset()
+
+
+def _dispatch(args) -> int:
+    log = obs.get_logger()
 
     if args.command == "run":
         _do_run(args)
@@ -172,20 +269,21 @@ def main(argv=None) -> int:
             findings, checker = check_streaming(traces,
                                                 memory_model=memory_model)
             errors = [f for f in findings if f.severity == "error"]
-            print(f"MC-Checker (streaming): {len(errors)} error(s), "
-                  f"{len(findings) - len(errors)} warning(s); peak "
-                  f"buffered load/store events: "
-                  f"{checker.peak_buffered_mems}")
+            log.info(f"MC-Checker (streaming): {len(errors)} error(s), "
+                     f"{len(findings) - len(errors)} warning(s); peak "
+                     f"buffered load/store events: "
+                     f"{checker.peak_buffered_mems}")
             for finding in findings:
-                print()
-                print(finding.format())
+                log.info("")
+                log.info(finding.format())
             return 1 if errors else 0
         report = check_traces(traces, naive_inter=naive,
                               memory_model=memory_model)
         if getattr(args, "json", False):
+            # machine output: always printed verbatim, bypassing log level
             print(json.dumps(report.to_dict(), indent=2))
         else:
-            print(report.format())
+            log.info(report.format())
         return 1 if report.has_errors else 0
 
     if args.command == "dag":
@@ -198,20 +296,29 @@ def main(argv=None) -> int:
         matches = match_synchronization(pre)
         dag = build_dag(pre, matches, EpochIndex(pre))
         render = render_dot if args.format == "dot" else render_ascii
-        print(render(dag))
+        log.info(render(dag))
         return 0
 
     if args.command == "stats":
         from repro.tools import compute_stats
-        print(compute_stats(TraceSet(args.trace_dir)).format(
-            hot_limit=args.hot))
+        traces = TraceSet(args.trace_dir)
+        stats = compute_stats(traces)
+        log.info(stats.format(hot_limit=args.hot))
+        log.info(_per_rank_table(stats))
+        if not args.no_phases:
+            try:
+                report = check_traces(traces)
+            except Exception as exc:  # noqa: BLE001 - stats must not die
+                log.warning(f"analyzer phases unavailable: {exc}")
+            else:
+                log.info(_phase_table(report))
         return 0
 
     if args.command == "diff":
         from repro.tools import diff_traces
         diff = diff_traces(TraceSet(args.left_dir),
                            TraceSet(args.right_dir))
-        print(diff.format())
+        log.info(diff.format())
         return 0 if diff.identical else 1
 
     if args.command == "minimize":
@@ -219,10 +326,10 @@ def main(argv=None) -> int:
         try:
             result = minimize_trace(TraceSet(args.trace_dir), args.out_dir)
         except ValueError as exc:
-            print(f"minimize: {exc}")
+            log.error(f"minimize: {exc}")
             return 2
-        print(result.format())
-        print(f"minimized traces: {result.traces.directory}")
+        log.info(result.format())
+        log.info(f"minimized traces: {result.traces.directory}")
         return 0
 
     if args.command == "stanalyze":
@@ -231,31 +338,31 @@ def main(argv=None) -> int:
         try:
             report = analyze_source(source, filename=args.source_file)
         except SyntaxError as exc:
-            print(f"stanalyze: {args.source_file} does not parse: {exc}")
+            log.error(f"stanalyze: {args.source_file} does not parse: {exc}")
             return 2
-        print(report.summary())
+        log.info(report.summary())
         return 0
 
     if args.command == "table1":
         width = max(len(k) for k in KINDS) + 2
-        print("".ljust(width) + "".join(k.ljust(width) for k in KINDS))
+        log.info("".ljust(width) + "".join(k.ljust(width) for k in KINDS))
         for a in KINDS:
             row = [TABLE[(a, b)] for b in KINDS]
-            print(a.ljust(width) + "".join(v.ljust(width) for v in row))
-        print("\n(acc/acc: BOTH only for the same op and basic datatype)")
+            log.info(a.ljust(width) + "".join(v.ljust(width) for v in row))
+        log.info("\n(acc/acc: BOTH only for the same op and basic datatype)")
         return 0
 
     if args.command == "apps":
         from repro.apps.registry import (
             BUG_CASES, EXTRA_CASES, OVERHEAD_APPS,
         )
-        print("bug-study applications (Table II + extras):")
+        log.info("bug-study applications (Table II + extras):")
         for case in BUG_CASES + EXTRA_CASES:
-            print(f"  {case.name:20s} {case.nranks:3d} ranks  "
-                  f"{case.error_location:17s} {case.failure_symptom}")
-        print("overhead applications (Figure 8):")
+            log.info(f"  {case.name:20s} {case.nranks:3d} ranks  "
+                     f"{case.error_location:17s} {case.failure_symptom}")
+        log.info("overhead applications (Figure 8):")
         for app in OVERHEAD_APPS:
-            print(f"  {app.name:20s} {app.nranks:3d} ranks")
+            log.info(f"  {app.name:20s} {app.nranks:3d} ranks")
         return 0
 
     return 0  # pragma: no cover

@@ -15,10 +15,10 @@ Two entry points:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
 from repro.core.clocks import ConcurrencyOracle
 from repro.core.diagnostics import (
     SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, dedupe,
@@ -115,15 +115,29 @@ class MCChecker:
         self.model = None
         self.regions: Optional[RegionIndex] = None
 
+    #: pipeline phases in execution order (span names are
+    #: ``analyzer.<phase>``; keys of ``CheckStats.phase_seconds``)
+    PHASES = ("preprocess", "matching", "clocks", "epochs", "model",
+              "regions", "intra", "inter")
+
     def run(self) -> CheckReport:
+        with obs.span("analyzer.run",
+                      memory_model=self.memory_model) as run_span:
+            report = self._run_phases()
+        self._publish_obs(report, run_span.duration)
+        return report
+
+    def _run_phases(self) -> CheckReport:
         stats = CheckStats()
         timings = stats.phase_seconds
+        rec = obs.get_recorder()
 
-        def timed(name: str, fn: Callable[[], Any]) -> Any:
-            start = time.perf_counter()
-            result = fn()
-            timings[name] = timings.get(name, 0.0) + \
-                (time.perf_counter() - start)
+        def timed(name: str, fn: Callable[[], Any], **attrs) -> Any:
+            # one obs span per phase; the duration folds back into
+            # CheckStats.phase_seconds whether or not it was recorded
+            with rec.span(f"analyzer.{name}", **attrs) as sp:
+                result = fn()
+            timings[name] = timings.get(name, 0.0) + sp.duration
             return result
 
         self.pre = timed("preprocess", lambda: preprocess(self.traces))
@@ -132,7 +146,8 @@ class MCChecker:
         stats.events = sum(len(events) for events in pre.events.values())
 
         self.matches = timed("matching",
-                             lambda: match_synchronization(pre))
+                             lambda: match_synchronization(pre),
+                             nranks=pre.nranks, events=stats.events)
         stats.sync_matches = len(self.matches)
 
         self.oracle = timed("clocks",
@@ -155,12 +170,40 @@ class MCChecker:
                     else detect_cross_process)
         findings += timed("inter", lambda: inter_fn(
             pre, self.model, self.regions, self.oracle, self.epoch_index,
-            memory_model=self.memory_model))
+            memory_model=self.memory_model), naive=self.naive_inter)
 
         findings = dedupe(findings)
         errors = [f for f in findings if f.severity == SEVERITY_ERROR]
         warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
         return CheckReport(errors=errors, warnings=warnings, stats=stats)
+
+    def _publish_obs(self, report: CheckReport, elapsed: float) -> None:
+        rec = obs.get_recorder()
+        if not rec.enabled:
+            return
+        stats = report.stats
+        rec.count("analyzer_events_total", stats.events,
+                  help="Trace events consumed by DN-Analyzer")
+        rec.count("analyzer_rma_ops_total", stats.rma_ops,
+                  help="RMA operations lifted into the access model")
+        rec.count("analyzer_local_accesses_total", stats.local_accesses,
+                  help="Local accesses lifted into the access model")
+        rec.count("analyzer_findings_total", len(report.errors),
+                  severity="error", help="Deduplicated findings")
+        rec.count("analyzer_findings_total", len(report.warnings),
+                  severity="warning", help="Deduplicated findings")
+        rec.gauge("analyzer_regions", stats.regions,
+                  help="Concurrent regions of the last analysis")
+        rec.gauge("analyzer_epochs", stats.epochs,
+                  help="Epochs of the last analysis")
+        rec.gauge("analyzer_sync_matches", stats.sync_matches,
+                  help="Synchronization matches of the last analysis")
+        for phase, seconds in stats.phase_seconds.items():
+            rec.observe("analyzer_phase_seconds", seconds, phase=phase,
+                        help="DN-Analyzer per-phase wall-clock seconds")
+        if elapsed > 0:
+            rec.gauge("analyzer_events_per_second", stats.events / elapsed,
+                      help="Events analyzed per second, last analysis")
 
 
 def check_traces(traces: TraceSet, naive_inter: bool = False,

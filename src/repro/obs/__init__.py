@@ -1,0 +1,102 @@
+"""``repro.obs`` — unified tracing, metrics, and logging.
+
+The measurement substrate behind the paper's own evaluation figures:
+structured spans (Figure 9's per-phase analyzer timings), a metrics
+registry (Figure 8's overhead counters, Figure 10's event rates), and a
+leveled structured logger shared by every CLI subcommand.  Exporters in
+:mod:`repro.obs.export` serialize one run's worth of observation as
+Prometheus text, Chrome ``trace_event`` JSON (open it in
+``chrome://tracing`` or Perfetto), or JSON-lines.
+
+Observability is *disabled by default*: the module-global recorder is a
+:class:`~repro.obs.recorder.NullRecorder`, whose spans still time
+themselves (pipeline code folds durations into its own statistics) but
+which stores nothing and turns every metric call into a no-op.
+:func:`configure` swaps in a storing :class:`~repro.obs.recorder.Recorder`
+once at startup — instrumented layers read :func:`get_recorder` /
+:func:`is_enabled` at construction time, so the hot paths never branch
+per event.
+
+    from repro import obs
+
+    obs.configure(enabled=True, log_level="debug")
+    with obs.span("analyzer.matching", nranks=4) as sp:
+        ...
+    obs.count("analyzer_events_total", 1234)
+    obs.observe("profiler_flush_seconds", 0.003, rank="0")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.logging import LEVELS, LOG_LEVEL_CHOICES, ObsLogger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+)
+from repro.obs.recorder import NullRecorder, Recorder
+from repro.obs.spans import Span, SpanRecord, SpanTracker
+
+__all__ = [
+    "configure", "reset", "get_recorder", "get_logger", "is_enabled",
+    "span", "count", "gauge", "observe",
+    "NullRecorder", "Recorder",
+    "Span", "SpanRecord", "SpanTracker",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "ObsLogger", "LEVELS", "LOG_LEVEL_CHOICES",
+]
+
+
+class _State:
+    __slots__ = ("recorder",)
+
+    def __init__(self):
+        self.recorder = NullRecorder()
+
+
+_STATE = _State()
+
+
+def configure(enabled: bool = False, log_level: str = "info") -> NullRecorder:
+    """Select the process-wide recorder (called once at startup)."""
+    cls = Recorder if enabled else NullRecorder
+    _STATE.recorder = cls(log_level=log_level)
+    return _STATE.recorder
+
+
+def reset() -> None:
+    """Back to the default disabled recorder (test isolation)."""
+    _STATE.recorder = NullRecorder()
+
+
+def get_recorder() -> NullRecorder:
+    return _STATE.recorder
+
+
+def get_logger() -> ObsLogger:
+    return _STATE.recorder.logger
+
+
+def is_enabled() -> bool:
+    return _STATE.recorder.enabled
+
+
+# -- convenience forwarding to the active recorder ----------------------
+
+
+def span(name: str, **attrs) -> Span:
+    return _STATE.recorder.span(name, **attrs)
+
+
+def count(name: str, n: float = 1, help: str = "", **labels) -> None:
+    _STATE.recorder.count(name, n, help=help, **labels)
+
+
+def gauge(name: str, value: float, help: str = "", **labels) -> None:
+    _STATE.recorder.gauge(name, value, help=help, **labels)
+
+
+def observe(name: str, value: float, help: str = "",
+            buckets: Optional[Sequence[float]] = None, **labels) -> None:
+    _STATE.recorder.observe(name, value, help=help, buckets=buckets,
+                            **labels)

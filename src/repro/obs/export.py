@@ -1,0 +1,163 @@
+"""Exporters: Prometheus text, Chrome ``trace_event`` JSON, JSON-lines.
+
+* :func:`prometheus_text` renders the metrics registry in the Prometheus
+  exposition format (``# HELP``/``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` series for histograms) — pointable at a pushgateway
+  or diffable in CI;
+* :func:`chrome_trace` renders the span log as a Chrome ``trace_event``
+  document (``"X"`` complete events, microsecond timestamps relative to
+  the recorder's epoch) that loads directly in ``chrome://tracing`` and
+  Perfetto;
+* :func:`jsonl_lines` emits one JSON object per span and per metric
+  sample, the format log pipelines ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import NullRecorder
+
+# ----------------------------------------------------------------------
+# Prometheus exposition format
+# ----------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric family in the exposition text format."""
+    lines: List[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_render_labels(labels)} "
+                    f"{_format_value(value)}")
+        elif isinstance(metric, Histogram):
+            for labels, (bucket_counts, count, total) in metric.samples():
+                cumulative = 0
+                for bound, n in zip(metric.buckets, bucket_counts):
+                    cumulative += n
+                    bucket_labels = dict(labels, le=repr(bound))
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_render_labels(bucket_labels)} {cumulative}")
+                inf_labels = dict(labels, le="+Inf")
+                lines.append(f"{metric.name}_bucket"
+                             f"{_render_labels(inf_labels)} {count}")
+                lines.append(f"{metric.name}_sum{_render_labels(labels)} "
+                             f"{repr(float(total))}")
+                lines.append(f"{metric.name}_count{_render_labels(labels)} "
+                             f"{count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _open_out(path: str):
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, "w", encoding="utf-8")
+
+
+def write_metrics(recorder: NullRecorder, path: str) -> None:
+    with _open_out(path) as fh:
+        fh.write(prometheus_text(recorder.registry))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event format (chrome://tracing, Perfetto)
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(recorder: NullRecorder,
+                 process_name: str = "mc-checker") -> dict:
+    """Span log as a Chrome ``trace_event`` JSON document."""
+    records = recorder.spans.records()
+    tids: Dict[str, int] = {}
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for record in records:
+        if record.thread not in tids:
+            tid = tids[record.thread] = len(tids)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": record.thread},
+            })
+    for record in records:
+        events.append({
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": (record.start - recorder.epoch) * 1e6,
+            "dur": record.duration * 1e6,
+            "pid": 0,
+            "tid": tids[record.thread],
+            "args": {k: str(v) for k, v in record.attrs.items()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder: NullRecorder, path: str,
+                       process_name: str = "mc-checker") -> None:
+    with _open_out(path) as fh:
+        json.dump(chrome_trace(recorder, process_name=process_name), fh)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+
+
+def jsonl_lines(recorder: NullRecorder) -> Iterator[str]:
+    """One JSON object per span, then per metric sample."""
+    for record in recorder.spans.records():
+        yield json.dumps(record.to_dict(), default=str)
+    for metric in recorder.registry:
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                yield json.dumps({
+                    "type": metric.kind, "name": metric.name,
+                    "labels": labels, "value": value,
+                })
+        elif isinstance(metric, Histogram):
+            for labels, (bucket_counts, count, total) in metric.samples():
+                yield json.dumps({
+                    "type": "histogram", "name": metric.name,
+                    "labels": labels, "count": count, "sum": total,
+                    "buckets": [
+                        {"le": bound, "count": n}
+                        for bound, n in zip(metric.buckets, bucket_counts)
+                    ],
+                })
+
+
+def write_jsonl(recorder: NullRecorder, path: str) -> None:
+    with _open_out(path) as fh:
+        for line in jsonl_lines(recorder):
+            fh.write(line + "\n")

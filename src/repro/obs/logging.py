@@ -1,0 +1,74 @@
+"""Leveled structured logger shared by every ``mc-checker`` subcommand.
+
+Human-facing output goes through :class:`ObsLogger` so ``--log-level``
+applies uniformly: the default ``info`` threshold prints exactly what the
+CLI always printed, ``quiet`` silences everything, and ``debug`` opens up
+the pipeline's internal chatter.  Messages may carry structured fields,
+rendered as ``key=value`` suffixes (or as JSON lines in ``json_mode``,
+for log shippers).  The output stream is resolved at emit time so pytest
+``capsys``/redirection see every line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional, TextIO
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "quiet": 100}
+LOG_LEVEL_CHOICES = tuple(LEVELS)
+
+
+def level_value(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}")
+
+
+class ObsLogger:
+    """Structured, leveled logger writing plain lines by default."""
+
+    def __init__(self, level: str = "info", stream: Optional[TextIO] = None,
+                 json_mode: bool = False):
+        self._threshold = level_value(level)
+        self.level = level
+        self._stream = stream
+        self.json_mode = json_mode
+
+    def set_level(self, level: str) -> None:
+        self._threshold = level_value(level)
+        self.level = level
+
+    def enabled_for(self, level: str) -> bool:
+        return level_value(level) >= self._threshold
+
+    def _out(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stdout
+
+    def log(self, level: str, msg: str, **fields) -> None:
+        if not self.enabled_for(level):
+            return
+        if self.json_mode:
+            payload = {"level": level, "msg": msg}
+            payload.update(fields)
+            line = json.dumps(payload, default=str)
+        else:
+            line = msg
+            if fields:
+                suffix = " ".join(f"{k}={v}" for k, v in fields.items())
+                line = f"{msg} {suffix}" if msg else suffix
+        print(line, file=self._out())
+
+    def debug(self, msg: str, **fields) -> None:
+        self.log("debug", msg, **fields)
+
+    def info(self, msg: str, **fields) -> None:
+        self.log("info", msg, **fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        self.log("warning", msg, **fields)
+
+    def error(self, msg: str, **fields) -> None:
+        self.log("error", msg, **fields)

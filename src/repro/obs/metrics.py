@@ -1,0 +1,217 @@
+"""Metric primitives: counters, gauges, and fixed-bucket histograms.
+
+The registry is the single mutable store behind ``repro.obs``'s metric
+API.  All three metric kinds are labelled: every ``inc``/``set``/
+``observe`` accepts keyword labels, and each distinct label combination
+is an independent series (the Prometheus data model).  Histograms use
+fixed upper bounds chosen for sub-second pipeline latencies; percentiles
+are estimated from the cumulative bucket counts the way a Prometheus
+``histogram_quantile`` would, so they are cheap and allocation-free at
+observation time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default latency buckets (seconds): 100us .. 10s, roughly exponential
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named, labelled family of series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], float]]:
+        """Yield ``(labels, value)`` per series (exporter interface)."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count, one series per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1, **labels) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + n
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield dict(key), self._values[key]
+
+
+class Gauge(Metric):
+    """Last-write-wins value, one series per label combination."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def value(self, **labels) -> Optional[float]:
+        return self._values.get(_label_key(labels))
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield dict(key), self._values[key]
+
+
+class _HistSeries:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, nbuckets: int):
+        self.bucket_counts = [0] * nbuckets
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution; the upper bounds are set at creation."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        if not buckets:
+            raise ValueError(f"histogram {name}: needs at least one bucket")
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self._series: Dict[LabelKey, _HistSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistSeries(len(self.buckets))
+            series.count += 1
+            series.sum += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    break
+            # values above the largest bound land only in +Inf (count)
+
+    def _merged(self, labels: Dict[str, object]) -> Optional[_HistSeries]:
+        if labels:
+            return self._series.get(_label_key(labels))
+        if not self._series:
+            return None
+        merged = _HistSeries(len(self.buckets))
+        for series in self._series.values():
+            merged.count += series.count
+            merged.sum += series.sum
+            for i, n in enumerate(series.bucket_counts):
+                merged.bucket_counts[i] += n
+        return merged
+
+    def count(self, **labels) -> int:
+        series = self._merged(labels)
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._merged(labels)
+        return series.sum if series else 0.0
+
+    def percentile(self, p: float, **labels) -> Optional[float]:
+        """Upper bound of the bucket holding the ``p``-th percentile.
+
+        ``p`` in [0, 100].  With no labels the estimate is over every
+        series merged.  Returns ``None`` for an empty histogram; values
+        beyond the largest bucket report the largest bound.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        series = self._merged(labels)
+        if series is None or series.count == 0:
+            return None
+        target = (p / 100.0) * series.count
+        cumulative = 0
+        for i, n in enumerate(series.bucket_counts):
+            cumulative += n
+            if cumulative >= target and cumulative > 0:
+                return self.buckets[i]
+        return self.buckets[-1]
+
+    def samples(self):
+        """Per-series ``(labels, (bucket_counts, count, sum))``."""
+        for key in sorted(self._series):
+            series = self._series[key]
+            yield dict(key), (list(series.bucket_counts), series.count,
+                              series.sum)
+
+
+class MetricsRegistry:
+    """Get-or-create store for every metric family of one recorder."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help=help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {cls.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if buckets is None:
+            buckets = DEFAULT_BUCKETS
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,68 @@
+"""The recorder: one object owning spans, metrics, and the logger.
+
+Two implementations share one interface.  :class:`NullRecorder` is the
+default: spans still time themselves (callers rely on durations) but
+nothing is stored, and every metric call is a single no-op method — the
+near-zero-cost-when-disabled property the Figure-8 overhead numbers
+depend on.  :class:`Recorder` stores everything for export.  Selection
+happens once, at :func:`configure` time; instrumented code grabs the
+active recorder with :func:`get_recorder` (cheap module-global read).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.obs.logging import ObsLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanTracker
+
+
+class NullRecorder:
+    """Disabled observability: timing-only spans, no storage, no export."""
+
+    enabled = False
+
+    def __init__(self, log_level: str = "info"):
+        self.logger = ObsLogger(level=log_level)
+        self.registry = MetricsRegistry()   # stays empty; uniform interface
+        self.spans = SpanTracker()          # stays empty; uniform interface
+        self.epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(name, attrs or None, None)
+
+    def count(self, name: str, n: float = 1, help: str = "",
+              **labels) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, help: str = "",
+              **labels) -> None:
+        pass
+
+    def observe(self, name: str, value: float, help: str = "",
+                buckets: Optional[Sequence[float]] = None, **labels) -> None:
+        pass
+
+
+class Recorder(NullRecorder):
+    """Enabled observability: everything is stored for the exporters."""
+
+    enabled = True
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(name, attrs or None, self.spans)
+
+    def count(self, name: str, n: float = 1, help: str = "",
+              **labels) -> None:
+        self.registry.counter(name, help).inc(n, **labels)
+
+    def gauge(self, name: str, value: float, help: str = "",
+              **labels) -> None:
+        self.registry.gauge(name, help).set(value, **labels)
+
+    def observe(self, name: str, value: float, help: str = "",
+                buckets: Optional[Sequence[float]] = None, **labels) -> None:
+        self.registry.histogram(name, help, buckets=buckets).observe(
+            value, **labels)

@@ -1,0 +1,118 @@
+"""Structured spans: context-manager tracing with nesting and attributes.
+
+A :class:`Span` always *times* itself (two ``perf_counter`` calls) so
+callers can fold ``span.duration`` into their own statistics even when
+observability is disabled; it only *records* — appends a
+:class:`SpanRecord` with thread identity and nesting depth to the
+tracker — when one is attached.  That split is what lets
+``MCChecker.run`` keep populating ``CheckStats.phase_seconds``
+unconditionally while the export machinery stays a no-op by default.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, ready for export."""
+
+    name: str
+    start: float        # perf_counter timestamp at entry
+    duration: float     # seconds
+    thread: str         # recording thread's name
+    depth: int          # nesting depth within that thread (0 = root)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span", "name": self.name, "start": self.start,
+            "duration": self.duration, "thread": self.thread,
+            "depth": self.depth, "attrs": dict(self.attrs),
+        }
+
+
+class SpanTracker:
+    """Thread-safe sink of finished spans plus per-thread nesting stacks."""
+
+    def __init__(self):
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def _push(self) -> int:
+        depth = self._depth()
+        self._local.depth = depth + 1
+        return depth
+
+    def _pop(self) -> None:
+        self._local.depth = max(0, self._depth() - 1)
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        """Snapshot, ordered by start time (children after parents)."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: (r.start, -r.duration))
+
+    def by_name(self, name: str) -> List[SpanRecord]:
+        return [r for r in self.records() if r.name == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class Span:
+    """Context manager measuring one named unit of work.
+
+    ``tracker=None`` is the disabled form: entry/exit still stamp
+    ``start``/``duration`` but nothing is stored or published.
+    """
+
+    __slots__ = ("name", "attrs", "tracker", "start", "duration", "_depth")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None,
+                 tracker: Optional[SpanTracker] = None):
+        self.name = name
+        self.attrs = attrs or {}
+        self.tracker = tracker
+        self.start = 0.0
+        self.duration = 0.0
+        self._depth = 0
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach an attribute discovered mid-span (recorded at exit)."""
+        if not self.attrs:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        if self.tracker is not None:
+            self._depth = self.tracker._push()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self.start
+        if self.tracker is not None:
+            self.tracker._pop()
+            if exc_type is not None:
+                self.set_attr("error", exc_type.__name__)
+            self.tracker.add(SpanRecord(
+                name=self.name, start=self.start, duration=self.duration,
+                thread=threading.current_thread().name, depth=self._depth,
+                attrs=dict(self.attrs)))

@@ -93,3 +93,13 @@ class ProfilerHook(EventHook):
     @property
     def events_written(self) -> int:
         return sum(w.events_written for w in self._writers)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(w.bytes_written for w in self._writers)
+
+    def events_by_rank(self) -> List[int]:
+        return [w.events_written for w in self._writers]
+
+    def bytes_by_rank(self) -> List[int]:
+        return [w.bytes_written for w in self._writers]

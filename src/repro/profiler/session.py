@@ -4,16 +4,23 @@
 produces the instrumentation report, the Profiler hook is attached to a
 fresh simulated world, the application runs, and the resulting
 :class:`~repro.profiler.tracer.TraceSet` is handed back for DN-Analyzer.
+
+Timing goes through :mod:`repro.obs` spans — ``profiler.run`` wraps the
+instrumented execution (its duration is ``ProfiledRun.elapsed``),
+``profiler.baseline`` the native arm of the Figure-8 comparison — and,
+when observability is enabled, each run publishes profiler throughput
+metrics (events/bytes per rank, events per second) plus the simulated
+world's scheduler totals.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
-import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
 from repro.profiler.interpose import (
     SCOPE_ALL, SCOPE_NONE, SCOPE_REPORT, ProfilerHook,
 )
@@ -32,6 +39,22 @@ class ProfiledRun:
     world_stats: Dict[str, int]
     elapsed: float
     events_written: int
+
+
+def _publish_profiler_metrics(hook: ProfilerHook, elapsed: float) -> None:
+    rec = obs.get_recorder()
+    if not rec.enabled:
+        return
+    for rank, events in enumerate(hook.events_by_rank()):
+        rec.count("profiler_events_written_total", events, rank=rank,
+                  help="Trace events written, per rank")
+    for rank, nbytes in enumerate(hook.bytes_by_rank()):
+        rec.count("profiler_bytes_written_total", nbytes, rank=rank,
+                  help="Trace bytes written, per rank")
+    if elapsed > 0:
+        rec.gauge("profiler_events_per_second",
+                  hook.events_written / elapsed,
+                  help="Aggregate trace-event write rate of the last run")
 
 
 def profile_run(app: Callable, nranks: int,
@@ -63,18 +86,20 @@ def profile_run(app: Callable, nranks: int,
     world = World(nranks, sched_policy=sched_policy, seed=seed,
                   delivery=delivery)
     world.hooks.append(hook)
-    start = time.perf_counter()
-    try:
-        results = world.run(app, params)
-    finally:
-        hook.close()
-    elapsed = time.perf_counter() - start
+    span = obs.span("profiler.run", app=app_name, ranks=nranks, scope=scope)
+    with span:
+        try:
+            results = world.run(app, params)
+        finally:
+            hook.close()
+    world.publish_obs()
+    _publish_profiler_metrics(hook, span.duration)
     return ProfiledRun(
         traces=TraceSet(trace_dir),
         results=results,
         report=report,
         world_stats=dict(world.stats),
-        elapsed=elapsed,
+        elapsed=span.duration,
         events_written=hook.events_written,
     )
 
@@ -90,6 +115,9 @@ def baseline_run(app: Callable, nranks: int,
     """
     world = World(nranks, sched_policy=sched_policy, seed=seed,
                   delivery=delivery)
-    start = time.perf_counter()
-    world.run(app, params)
-    return time.perf_counter() - start
+    span = obs.span("profiler.baseline",
+                    app=getattr(app, "__name__", "app"), ranks=nranks)
+    with span:
+        world.run(app, params)
+    world.publish_obs()
+    return span.duration

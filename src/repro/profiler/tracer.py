@@ -9,9 +9,11 @@ each process").
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.profiler.events import CallEvent, Event, MemEvent, decode_event
 from repro.util.errors import TraceFormatError
 from repro.util.records import decode_record, encode_record
@@ -32,6 +34,11 @@ class TraceWriter:
         ]
         self._fh = open(path, "w", encoding="utf-8")
         self.events_written = 0
+        self.bytes_written = 0
+        # recorder captured once at construction: the per-event write path
+        # never re-checks global state, and the disabled drain is exactly
+        # the seed code plus one length bookkeeping add
+        self._obs = obs.get_recorder() if obs.is_enabled() else None
 
     def write(self, event: Event) -> None:
         self._buffer.append(event.encode())
@@ -40,9 +47,19 @@ class TraceWriter:
             self._drain()
 
     def _drain(self) -> None:
-        if self._buffer:
-            self._fh.write("\n".join(self._buffer) + "\n")
-            self._buffer.clear()
+        if not self._buffer:
+            return
+        chunk = "\n".join(self._buffer) + "\n"
+        if self._obs is not None:
+            start = time.perf_counter()
+            self._fh.write(chunk)
+            self._obs.observe(
+                "profiler_flush_seconds", time.perf_counter() - start,
+                help="Trace-buffer flush latency", rank=self.rank)
+        else:
+            self._fh.write(chunk)
+        self.bytes_written += len(chunk)
+        self._buffer.clear()
 
     def close(self) -> None:
         self._drain()

@@ -92,6 +92,7 @@ class World:
         self._next_win_id = 0
         self.hooks: List[EventHook] = []
         self.stats: Dict[str, int] = {}
+        self._obs_published: Dict[str, int] = {}
         self.contexts: List["MPIContext"] = [
             MPIContext(self, rank) for rank in range(nranks)
         ]
@@ -110,6 +111,50 @@ class World:
 
     def bump_stat(self, key: str, n: int = 1) -> None:
         self.stats[key] = self.stats.get(key, 0) + n
+
+    def publish_obs(self) -> None:
+        """Publish one run's scheduler/runtime totals to ``repro.obs``.
+
+        Deliberately a post-run summary rather than per-event metric
+        calls: the simulator's hot paths stay untouched, so the
+        "without Profiler" arm of the Figure-8 experiment is not
+        polluted.  No-op (and re-invocable) when observability is off.
+        """
+        from repro import obs
+        from repro.profiler.events import RMA_COMM_CALLS
+
+        rec = obs.get_recorder()
+        if not rec.enabled:
+            return
+        sched = self.scheduler
+        rec.gauge("simmpi_context_switches", sched.switches,
+                  help="Scheduler yield points taken during the run")
+        rec.gauge("simmpi_token_grants", sched.token_grants,
+                  help="Token grants issued by the scheduler")
+        token_times = sched.token_seconds()
+        if token_times is not None:
+            for rank, seconds in enumerate(token_times):
+                rec.gauge("simmpi_rank_run_seconds", seconds,
+                          help="Per-rank token-hold (execution) seconds",
+                          rank=rank)
+        for key in sorted(self.stats):
+            # counters must only grow: publish the delta since the last
+            # publish so repeated calls on one world stay correct
+            n = self.stats[key] - self._obs_published.get(key, 0)
+            self._obs_published[key] = self.stats[key]
+            if n == 0:
+                continue
+            if key.startswith("call:"):
+                fn = key[len("call:"):]
+                rec.count("simmpi_calls_total", n, fn=fn,
+                          help="MPI calls executed, by function")
+                if fn in RMA_COMM_CALLS:
+                    rec.count("simmpi_rma_ops_total", n, kind=fn,
+                              help="One-sided communication ops, by kind")
+            elif key.startswith("mem:"):
+                rec.count("simmpi_mem_accesses_total", n,
+                          kind=key[len("mem:"):],
+                          help="Instrumented load/store accesses")
 
     def run(self, app: Callable, params: Optional[Dict[str, Any]] = None
             ) -> List[Any]:

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Set
 
+from repro import obs
 from repro.util.errors import DeadlockError, SimMPIError
 
 
@@ -60,6 +62,13 @@ class Scheduler:
         self._abort_exc: Optional[BaseException] = None
         self._abort_rank: Optional[int] = None
         self.switches = 0
+        self.token_grants = 0
+        # per-rank token-hold accounting exists only when observability is
+        # on (decided once, here): the disabled hot path stays two integer
+        # increments per switch
+        self._token_times: Optional[List[float]] = (
+            [0.0] * nranks if obs.is_enabled() else None)
+        self._hold_start = 0.0
 
     # ------------------------------------------------------------------
     # state inspection
@@ -72,6 +81,11 @@ class Scheduler:
     @property
     def progress_counter(self) -> int:
         return self._progress
+
+    def token_seconds(self) -> Optional[List[float]]:
+        """Per-rank token-hold seconds; ``None`` when observability is off."""
+        return list(self._token_times) if self._token_times is not None \
+            else None
 
     def register_progress(self) -> None:
         """Record that global state changed; resets deadlock suspicion.
@@ -115,9 +129,12 @@ class Scheduler:
                    else unchecked[0])
             self._stall_granted.add(nxt)
             self._current = nxt
+            self.token_grants += 1
         else:
             self._stall_granted.clear()
             self._current = self._pick_next()
+            if self._current is not None:
+                self.token_grants += 1
         self._cond.notify_all()
 
     def _abort_locked(self, exc: BaseException, rank: Optional[int]) -> None:
@@ -139,6 +156,13 @@ class Scheduler:
                 SimMPIError(f"scheduler exceeded {self._max_steps} steps; "
                             "likely livelock"), rank)
             raise _Abort()
+        if self._token_times is not None:
+            self._hold_start = time.perf_counter()
+
+    def _note_release_locked(self, rank: int) -> None:
+        """Charge the ending token-hold interval to ``rank`` (obs only)."""
+        if self._token_times is not None:
+            self._token_times[rank] += time.perf_counter() - self._hold_start
 
     def yield_point(self, rank: int) -> None:
         """Hand the token back and wait until it is granted again."""
@@ -146,6 +170,7 @@ class Scheduler:
             if self._abort_exc is not None:
                 raise _Abort()
             self.switches += 1
+            self._note_release_locked(rank)
             self._grant_locked()
             self._wait_for_token_locked(rank)
 
@@ -162,6 +187,7 @@ class Scheduler:
                     raise _Abort()
                 self._blocked[rank] = reason
                 self.switches += 1
+                self._note_release_locked(rank)
                 self._grant_locked()
                 self._wait_for_token_locked(rank)
             self._blocked.pop(rank, None)
@@ -187,6 +213,7 @@ class Scheduler:
                 with self._cond:
                     self._live.discard(rank)
                     self.register_progress()
+                    self._note_release_locked(rank)
                     self._grant_locked()
             except _Abort:
                 pass

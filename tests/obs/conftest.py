@@ -1,0 +1,12 @@
+"""Observability tests share one invariant: the global recorder is
+restored to the disabled default after every test."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    obs.reset()

@@ -1,0 +1,135 @@
+"""Exporter tests: Prometheus text, Chrome trace_event, JSON-lines."""
+
+import json
+import re
+
+from repro.obs.export import (
+    chrome_trace, jsonl_lines, prometheus_text, write_chrome_trace,
+    write_jsonl, write_metrics,
+)
+from repro.obs.recorder import Recorder
+
+#: one exposition-format sample line: name, optional labels, value
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' [0-9eE+.\-]+$')
+
+
+def populated_recorder():
+    rec = Recorder()
+    rec.count("calls_total", 3, fn="Put", help="MPI calls")
+    rec.count("calls_total", 1, fn="Get", help="MPI calls")
+    rec.gauge("rank_seconds", 0.25, rank="0", help="per-rank time")
+    rec.observe("flush_seconds", 0.002, help="flush latency")
+    rec.observe("flush_seconds", 0.2)
+    with rec.span("profiler.run", app="lu"):
+        with rec.span("analyzer.matching"):
+            pass
+    return rec
+
+
+class TestPrometheus:
+    def test_every_line_valid_exposition(self):
+        text = prometheus_text(populated_recorder().registry)
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ",
+                                line), line
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_counter_series(self):
+        text = prometheus_text(populated_recorder().registry)
+        assert '# TYPE calls_total counter' in text
+        assert 'calls_total{fn="Put"} 3' in text
+        assert 'calls_total{fn="Get"} 1' in text
+        assert '# HELP calls_total MPI calls' in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = prometheus_text(populated_recorder().registry)
+        assert '# TYPE flush_seconds histogram' in text
+        assert 'flush_seconds_bucket{le="+Inf"} 2' in text
+        assert 'flush_seconds_count 2' in text
+        # cumulative: every bucket value is <= the next
+        values = [int(m.group(1)) for m in re.finditer(
+            r'flush_seconds_bucket\{le="[^"]*"\} (\d+)', text)]
+        assert values == sorted(values)
+
+    def test_label_escaping(self):
+        rec = Recorder()
+        rec.count("odd_total", 1, path='a"b\\c\nd')
+        text = prometheus_text(rec.registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(Recorder().registry) == ""
+
+    def test_write_metrics(self, tmp_path):
+        out = tmp_path / "m.prom"
+        write_metrics(populated_recorder(), str(out))
+        assert "calls_total" in out.read_text()
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = chrome_trace(populated_recorder())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == \
+            {"profiler.run", "analyzer.matching"}
+        for event in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(event)
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_metadata_names_process_and_threads(self):
+        doc = chrome_trace(populated_recorder(), process_name="mc")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name"
+                   and e["args"]["name"] == "mc" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_category_from_span_prefix(self):
+        doc = chrome_trace(populated_recorder())
+        cats = {e["name"]: e["cat"] for e in doc["traceEvents"]
+                if e["ph"] == "X"}
+        assert cats["profiler.run"] == "profiler"
+        assert cats["analyzer.matching"] == "analyzer"
+
+    def test_args_stringified(self):
+        doc = chrome_trace(populated_recorder())
+        run_event, = [e for e in doc["traceEvents"]
+                      if e.get("name") == "profiler.run"]
+        assert run_event["args"] == {"app": "lu"}
+
+    def test_write_is_valid_json(self, tmp_path):
+        out = tmp_path / "t.json"
+        write_chrome_trace(populated_recorder(), str(out))
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        lines = list(jsonl_lines(populated_recorder()))
+        payloads = [json.loads(line) for line in lines]
+        kinds = {p["type"] for p in payloads}
+        assert kinds == {"span", "counter", "gauge", "histogram"}
+
+    def test_histogram_line_carries_buckets(self):
+        payloads = [json.loads(line)
+                    for line in jsonl_lines(populated_recorder())]
+        hist, = [p for p in payloads if p["type"] == "histogram"]
+        assert hist["count"] == 2
+        assert any(b["count"] for b in hist["buckets"])
+
+    def test_write_jsonl(self, tmp_path):
+        out = tmp_path / "o.jsonl"
+        write_jsonl(populated_recorder(), str(out))
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)

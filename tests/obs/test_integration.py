@@ -1,0 +1,207 @@
+"""End-to-end observability: instrumented pipeline layers and CLI exports."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.apps.emulate import emulate
+from repro.apps.lu import lu
+from repro.cli import main
+from repro.core.checker import MCChecker, check_traces
+from repro.profiler.session import baseline_run, profile_run
+
+
+@pytest.fixture
+def enabled():
+    rec = obs.configure(enabled=True)
+    yield rec
+    obs.reset()
+
+
+class TestPipelineSpans:
+    def test_analyzer_phases_all_spanned(self, enabled, tmp_path):
+        run = profile_run(lu, 2, params=dict(n=10),
+                          trace_dir=str(tmp_path))
+        check_traces(run.traces)
+        names = {r.name for r in enabled.spans.records()}
+        for phase in MCChecker.PHASES:
+            assert f"analyzer.{phase}" in names
+        assert "analyzer.run" in names
+        assert "profiler.run" in names
+
+    def test_phase_seconds_match_span_durations(self, enabled, tmp_path):
+        run = profile_run(lu, 2, params=dict(n=10),
+                          trace_dir=str(tmp_path))
+        report = check_traces(run.traces)
+        for phase in MCChecker.PHASES:
+            span, = enabled.spans.by_name(f"analyzer.{phase}")
+            assert report.stats.phase_seconds[phase] == \
+                pytest.approx(span.duration)
+
+    def test_phase_seconds_populated_when_disabled(self, tmp_path):
+        assert not obs.is_enabled()
+        run = profile_run(lu, 2, params=dict(n=10),
+                          trace_dir=str(tmp_path))
+        report = check_traces(run.traces)
+        assert set(report.stats.phase_seconds) == set(MCChecker.PHASES)
+        assert report.stats.total_seconds > 0
+
+    def test_profiled_run_elapsed_equals_span(self, enabled, tmp_path):
+        run = profile_run(lu, 2, params=dict(n=10),
+                          trace_dir=str(tmp_path))
+        span, = enabled.spans.by_name("profiler.run")
+        assert run.elapsed == span.duration
+
+    def test_baseline_run_spanned(self, enabled):
+        elapsed = baseline_run(lu, 2, params=dict(n=10))
+        span, = enabled.spans.by_name("profiler.baseline")
+        assert elapsed == span.duration
+
+
+class TestPipelineMetrics:
+    def test_scheduler_and_profiler_counters(self, enabled, tmp_path):
+        profile_run(lu, 2, params=dict(n=10), trace_dir=str(tmp_path))
+        reg = enabled.registry
+        assert reg.get("simmpi_context_switches").value() > 0
+        assert reg.get("simmpi_token_grants").value() > 0
+        assert reg.get("simmpi_calls_total").total > 0
+        assert reg.get("simmpi_rma_ops_total").total > 0
+        assert reg.get("profiler_events_written_total").total > 0
+        assert reg.get("profiler_bytes_written_total").total > 0
+        assert reg.get("profiler_flush_seconds").count() > 0
+        assert reg.get("profiler_events_per_second").value() > 0
+
+    def test_per_rank_run_time_gauges(self, enabled, tmp_path):
+        profile_run(lu, 3, params=dict(n=10), trace_dir=str(tmp_path))
+        gauge = enabled.registry.get("simmpi_rank_run_seconds")
+        for rank in range(3):
+            assert gauge.value(rank=str(rank)) > 0
+
+    def test_rma_ops_by_kind(self, enabled, tmp_path):
+        profile_run(lu, 2, params=dict(n=10), trace_dir=str(tmp_path))
+        counter = enabled.registry.get("simmpi_rma_ops_total")
+        kinds = {labels["kind"] for labels, _v in counter.samples()}
+        assert kinds & {"Put", "Get", "Accumulate"}
+
+    def test_analyzer_metrics(self, enabled, tmp_path):
+        run = profile_run(emulate, 2, trace_dir=str(tmp_path),
+                          params=dict(buggy=True))
+        report = check_traces(run.traces)
+        reg = enabled.registry
+        assert reg.get("analyzer_events_total").value() == \
+            report.stats.events
+        assert reg.get("analyzer_findings_total").value(
+            severity="error") == len(report.errors)
+        assert reg.get("analyzer_phase_seconds").count() == \
+            len(MCChecker.PHASES)
+
+    def test_scheduler_timing_off_when_disabled(self):
+        assert not obs.is_enabled()
+        from repro.simmpi.runtime import World
+        world = World(2)
+        world.run(lambda mpi: mpi.barrier())
+        assert world.scheduler.token_seconds() is None
+        world.publish_obs()  # must be a no-op, not an error
+
+
+class TestCliExports:
+    def test_run_check_writes_both_exports(self, tmp_path, capsys):
+        metrics = tmp_path / "m.prom"
+        trace = tmp_path / "t.json"
+        rc = main(["run-check", "emulate", "--ranks", "4",
+                   "--trace-dir", str(tmp_path / "traces"),
+                   "--metrics-out", str(metrics),
+                   "--chrome-trace", str(trace)])
+        assert rc == 1  # emulate is buggy
+        capsys.readouterr()
+
+        text = metrics.read_text()
+        assert "# TYPE simmpi_calls_total counter" in text
+        assert "# TYPE profiler_events_written_total counter" in text
+        assert "# TYPE analyzer_events_total counter" in text
+
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        for phase in MCChecker.PHASES:
+            assert f"analyzer.{phase}" in names
+        assert "profiler.run" in names
+
+    def test_check_metrics_only(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path / "traces")])
+        capsys.readouterr()
+        metrics = tmp_path / "m.prom"
+        rc = main(["check", str(tmp_path / "traces"),
+                   "--metrics-out", str(metrics)])
+        assert rc == 1
+        assert "analyzer_events_total" in metrics.read_text()
+
+    def test_exports_reset_recorder_after_main(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path / "traces"),
+              "--metrics-out", str(tmp_path / "m.prom")])
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+    def test_no_flags_stays_disabled(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("MCCHECKER_OBS", raising=False)
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path / "traces")])
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+
+class TestCliLogLevel:
+    def test_quiet_silences_table1(self, capsys):
+        assert main(["table1", "--log-level", "quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_silences_apps(self, capsys):
+        assert main(["apps", "--log-level", "quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_default_level_prints(self, capsys):
+        assert main(["table1"]) == 0
+        assert "NONOV" in capsys.readouterr().out
+
+    def test_quiet_check_keeps_exit_code(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path), "--log-level", "quiet"])
+        assert capsys.readouterr().out == ""
+        rc = main(["check", str(tmp_path), "--log-level", "quiet"])
+        assert rc == 1
+        assert capsys.readouterr().out == ""
+
+    def test_json_output_bypasses_quiet(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2", "--trace-dir",
+              str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["check", str(tmp_path), "--json",
+                   "--log-level", "quiet"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"]
+
+
+class TestCliStats:
+    def test_stats_per_rank_and_phase_tables(self, tmp_path, capsys):
+        main(["run", "LU", "--ranks", "2", "--param", "n=10",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank summary:" in out
+        assert "analyzer phases:" in out
+        for phase in MCChecker.PHASES:
+            assert phase in out
+        assert "total" in out
+
+    def test_stats_no_phases_flag(self, tmp_path, capsys):
+        main(["run", "LU", "--ranks", "2", "--param", "n=10",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path), "--no-phases"]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank summary:" in out
+        assert "analyzer phases:" not in out

@@ -1,0 +1,86 @@
+"""Structured logger tests: thresholds, fields, JSON mode."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import LEVELS, ObsLogger, level_value
+
+
+def make_logger(**kwargs):
+    stream = io.StringIO()
+    return ObsLogger(stream=stream, **kwargs), stream
+
+
+class TestLevels:
+    def test_default_info_threshold(self):
+        log, stream = make_logger()
+        log.debug("hidden")
+        log.info("shown")
+        assert stream.getvalue() == "shown\n"
+
+    def test_error_always_above_info(self):
+        log, stream = make_logger()
+        log.error("bad")
+        assert "bad" in stream.getvalue()
+
+    def test_quiet_silences_everything(self):
+        log, stream = make_logger(level="quiet")
+        log.error("bad")
+        log.info("info")
+        assert stream.getvalue() == ""
+
+    def test_debug_opens_up(self):
+        log, stream = make_logger(level="debug")
+        log.debug("chatter")
+        assert "chatter" in stream.getvalue()
+
+    def test_set_level(self):
+        log, stream = make_logger()
+        log.set_level("error")
+        log.warning("hidden")
+        log.error("shown")
+        assert stream.getvalue() == "shown\n"
+
+    def test_enabled_for(self):
+        log, _ = make_logger(level="warning")
+        assert log.enabled_for("error")
+        assert not log.enabled_for("info")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            ObsLogger(level="verbose")
+        log, _ = make_logger()
+        with pytest.raises(ValueError):
+            log.log("loud", "x")
+
+    def test_level_ordering(self):
+        assert (level_value("debug") < level_value("info")
+                < level_value("warning") < level_value("error")
+                < level_value("quiet"))
+        assert set(LEVELS) == {"debug", "info", "warning", "error", "quiet"}
+
+
+class TestStructure:
+    def test_fields_appended(self):
+        log, stream = make_logger()
+        log.info("ran", app="lu", ranks=4)
+        assert stream.getvalue() == "ran app=lu ranks=4\n"
+
+    def test_fields_only(self):
+        log, stream = make_logger()
+        log.info("", events=7)
+        assert stream.getvalue() == "events=7\n"
+
+    def test_json_mode(self):
+        log, stream = make_logger(json_mode=True)
+        log.warning("slow flush", rank=2, seconds=0.5)
+        payload = json.loads(stream.getvalue())
+        assert payload == {"level": "warning", "msg": "slow flush",
+                           "rank": 2, "seconds": 0.5}
+
+    def test_default_stream_is_stdout(self, capsys):
+        log = ObsLogger()
+        log.info("to stdout")
+        assert capsys.readouterr().out == "to stdout\n"

@@ -1,0 +1,148 @@
+"""Metric primitive tests: counters, gauges, histograms, registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labelled_series_independent(self):
+        c = Counter("calls_total")
+        c.inc(2, fn="Put")
+        c.inc(3, fn="Get")
+        assert c.value(fn="Put") == 2
+        assert c.value(fn="Get") == 3
+        assert c.value(fn="Accumulate") == 0
+        assert c.total == 5
+
+    def test_label_order_irrelevant(self):
+        c = Counter("x")
+        c.inc(1, a="1", b="2")
+        c.inc(1, b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_samples_sorted(self):
+        c = Counter("x")
+        c.inc(1, k="b")
+        c.inc(1, k="a")
+        labels = [lbl for lbl, _v in c.samples()]
+        assert labels == [{"k": "a"}, {"k": "b"}]
+
+    def test_concurrent_increments(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(7)
+        assert g.value() == 7
+
+    def test_missing_series_is_none(self):
+        assert Gauge("depth").value(rank="0") is None
+
+    def test_labelled(self):
+        g = Gauge("rank_seconds")
+        g.set(0.5, rank="0")
+        g.set(0.7, rank="1")
+        assert g.value(rank="0") == 0.5
+        assert g.value(rank="1") == 0.7
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+
+    def test_overflow_beyond_largest_bucket(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(50.0)
+        assert h.count() == 1
+        # only the +Inf (implicit) bucket holds it
+        (_labels, (bucket_counts, count, _total)), = h.samples()
+        assert bucket_counts == [0, 0]
+        assert count == 1
+
+    def test_percentile_estimation(self):
+        h = Histogram("lat", buckets=(1, 2, 4, 8))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.percentile(25) == 1
+        assert h.percentile(75) == 2
+        assert h.percentile(100) == 4
+
+    def test_percentile_empty_is_none(self):
+        assert Histogram("lat").percentile(50) is None
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(150)
+
+    def test_percentile_merges_label_series(self):
+        h = Histogram("lat", buckets=(1, 10))
+        h.observe(0.5, rank="0")
+        h.observe(5.0, rank="1")
+        assert h.count() == 2
+        assert h.count(rank="0") == 1
+        assert h.percentile(100) == 10
+        assert h.percentile(100, rank="0") == 1
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_iteration_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert [m.name for m in reg] == ["a", "b"]
+
+    def test_get_missing(self):
+        assert MetricsRegistry().get("nope") is None

@@ -1,0 +1,140 @@
+"""Span and recorder tests: timing, nesting, enable/disable selection."""
+
+import threading
+
+from repro import obs
+from repro.obs.recorder import NullRecorder, Recorder
+from repro.obs.spans import Span, SpanTracker
+
+
+class TestSpanTiming:
+    def test_duration_always_measured(self):
+        span = Span("work")  # no tracker: the disabled form
+        with span:
+            pass
+        assert span.duration >= 0
+        assert span.start > 0
+
+    def test_null_recorder_spans_time_but_do_not_record(self):
+        rec = NullRecorder()
+        with rec.span("phase") as sp:
+            pass
+        assert sp.duration >= 0
+        assert len(rec.spans) == 0
+
+    def test_recording_span(self):
+        rec = Recorder()
+        with rec.span("phase", nranks=4):
+            pass
+        records = rec.spans.records()
+        assert len(records) == 1
+        assert records[0].name == "phase"
+        assert records[0].attrs == {"nranks": 4}
+        assert records[0].duration >= 0
+
+
+class TestNesting:
+    def test_depth_tracks_nesting(self):
+        tracker = SpanTracker()
+        with Span("outer", tracker=tracker):
+            with Span("inner", tracker=tracker):
+                pass
+        by_name = {r.name: r for r in tracker.records()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_depth_resets_between_roots(self):
+        tracker = SpanTracker()
+        with Span("a", tracker=tracker):
+            pass
+        with Span("b", tracker=tracker):
+            pass
+        assert all(r.depth == 0 for r in tracker.records())
+
+    def test_threads_have_independent_stacks(self):
+        tracker = SpanTracker()
+
+        def worker(name):
+            with Span(name, tracker=tracker):
+                pass
+
+        with Span("main-outer", tracker=tracker):
+            t = threading.Thread(target=worker, args=("thread-span",))
+            t.start()
+            t.join()
+        by_name = {r.name: r for r in tracker.records()}
+        # the other thread's span is a root of its own stack
+        assert by_name["thread-span"].depth == 0
+        assert by_name["thread-span"].thread != by_name["main-outer"].thread
+
+
+class TestSpanRecordDetails:
+    def test_error_attr_on_exception(self):
+        tracker = SpanTracker()
+        try:
+            with Span("failing", tracker=tracker):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        record, = tracker.records()
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_set_attr_mid_span(self):
+        tracker = SpanTracker()
+        with Span("work", tracker=tracker) as sp:
+            sp.set_attr("items", 42)
+        record, = tracker.records()
+        assert record.attrs["items"] == 42
+
+    def test_records_ordered_by_start(self):
+        tracker = SpanTracker()
+        with Span("first", tracker=tracker):
+            pass
+        with Span("second", tracker=tracker):
+            pass
+        assert [r.name for r in tracker.records()] == ["first", "second"]
+
+    def test_by_name_and_to_dict(self):
+        tracker = SpanTracker()
+        with Span("x", {"k": "v"}, tracker=tracker):
+            pass
+        record, = tracker.by_name("x")
+        payload = record.to_dict()
+        assert payload["type"] == "span"
+        assert payload["attrs"] == {"k": "v"}
+        assert payload["duration"] == record.duration
+
+
+class TestGlobalSelection:
+    def test_default_recorder_disabled(self):
+        obs.reset()
+        assert not obs.is_enabled()
+        assert isinstance(obs.get_recorder(), NullRecorder)
+        assert not isinstance(obs.get_recorder(), Recorder)
+
+    def test_configure_enables(self):
+        obs.configure(enabled=True)
+        assert obs.is_enabled()
+        with obs.span("x"):
+            pass
+        obs.count("hits_total", 3)
+        rec = obs.get_recorder()
+        assert len(rec.spans) == 1
+        assert rec.registry.get("hits_total").value() == 3
+
+    def test_disabled_module_functions_are_noops(self):
+        obs.configure(enabled=False)
+        with obs.span("x") as sp:
+            pass
+        obs.count("hits_total")
+        obs.gauge("depth", 1)
+        obs.observe("lat", 0.1)
+        assert sp.duration >= 0
+        rec = obs.get_recorder()
+        assert len(rec.spans) == 0
+        assert len(rec.registry) == 0
+
+    def test_reset_restores_null(self):
+        obs.configure(enabled=True)
+        obs.reset()
+        assert not obs.is_enabled()

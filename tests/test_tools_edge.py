@@ -1,0 +1,199 @@
+"""Edge-case unit tests for repro.tools: empty and single-rank trace sets.
+
+Unlike test_tools.py, which drives the tools with traces produced by full
+profiled runs, these tests build trace sets by hand via TraceWriter so the
+degenerate shapes — header-only files, one rank, mismatched rank counts —
+are exercised directly.
+"""
+
+import os
+
+import pytest
+
+from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.tracer import TraceSet, TraceWriter
+from repro.tools import compute_stats, diff_traces, filter_traces
+from repro.util.errors import AnalysisError
+from repro.util.location import SourceLocation
+
+LOC = SourceLocation("app.py", 10, "main")
+
+
+def write_trace_set(directory, events_by_rank, app="hand"):
+    """Materialize a trace set from {rank: [events]} (possibly empty lists)."""
+    nranks = len(events_by_rank)
+    os.makedirs(str(directory), exist_ok=True)
+    for rank in range(nranks):
+        writer = TraceWriter(TraceSet.rank_path(str(directory), rank),
+                             rank, nranks, app=app)
+        for event in events_by_rank[rank]:
+            writer.write(event)
+        writer.close()
+    return TraceSet(str(directory))
+
+
+def empty_set(directory, nranks):
+    return write_trace_set(directory, {r: [] for r in range(nranks)})
+
+
+def call(rank, seq, fn, **args):
+    return CallEvent(rank=rank, seq=seq, fn=fn, args=args, loc=LOC)
+
+
+def mem(rank, seq, access, var="buf", size=8, addr=0):
+    return MemEvent(rank=rank, seq=seq, access=access, addr=addr,
+                    size=size, var=var, loc=LOC)
+
+
+class TestStatsEdge:
+    def test_empty_trace_set(self, tmp_path):
+        stats = compute_stats(empty_set(tmp_path, 2))
+        assert stats.nranks == 2
+        assert stats.total_events == 0
+        assert stats.total_calls == 0
+        assert stats.total_mems == 0
+        assert stats.hot_statements == []
+        assert stats.category_mix() == {}
+        assert stats.mems_per_rank() == 0.0
+
+    def test_empty_format_does_not_crash(self, tmp_path):
+        text = compute_stats(empty_set(tmp_path, 1)).format()
+        assert "1 ranks, 0 events" in text
+        assert "hottest statements" not in text
+
+    def test_single_rank(self, tmp_path):
+        traces = write_trace_set(tmp_path, {0: [
+            call(0, 0, "Barrier"),
+            mem(0, 1, "load", size=16),
+            mem(0, 2, "store", size=4),
+        ]})
+        stats = compute_stats(traces)
+        assert stats.nranks == 1
+        assert stats.total_calls == 1
+        assert stats.total_mems == 2
+        rank0 = stats.per_rank[0]
+        assert rank0.loads == 1 and rank0.load_bytes == 16
+        assert rank0.stores == 1 and rank0.store_bytes == 4
+        assert stats.calls_per_rank() == 1.0
+        assert stats.category_mix() == {"sync": 1}
+
+    def test_unknown_call_lands_in_other(self, tmp_path):
+        traces = write_trace_set(tmp_path, {0: [
+            call(0, 0, "Totally_made_up"),
+        ]})
+        stats = compute_stats(traces)
+        assert stats.per_rank[0].by_category["other"] == 1
+
+    def test_rma_bytes_unknown_dtype_is_zero(self, tmp_path):
+        traces = write_trace_set(tmp_path, {0: [
+            call(0, 0, "Put", origin_count=4, origin_dtype=-999),
+        ]})
+        assert compute_stats(traces).per_rank[0].rma_bytes == 0
+
+
+class TestDiffEdge:
+    def test_empty_vs_empty_identical(self, tmp_path):
+        left = empty_set(tmp_path / "l", 2)
+        right = empty_set(tmp_path / "r", 2)
+        diff = diff_traces(left, right)
+        assert diff.identical
+        assert diff.divergences == []
+        assert diff.format() == "traces are call-stream identical"
+
+    def test_empty_vs_nonempty(self, tmp_path):
+        left = empty_set(tmp_path / "l", 1)
+        right = write_trace_set(tmp_path / "r",
+                                {0: [call(0, 0, "Barrier")]})
+        diff = diff_traces(left, right)
+        assert not diff.identical
+        div, = diff.divergences
+        assert div.rank == 0 and div.position == 0
+        assert div.left is None and div.right == "Barrier"
+        assert diff.count_deltas[0]["calls"] == 1
+        assert diff.fn_only_right == {"Barrier": 1}
+
+    def test_single_rank_arg_divergence(self, tmp_path):
+        left = write_trace_set(tmp_path / "l", {0: [
+            call(0, 0, "Barrier"), call(0, 1, "Put", target=1),
+        ]})
+        right = write_trace_set(tmp_path / "r", {0: [
+            call(0, 0, "Barrier"), call(0, 1, "Put", target=2),
+        ]})
+        diff = diff_traces(left, right)
+        assert not diff.identical
+        div, = diff.divergences
+        assert div.position == 1
+        assert "Put" in div.left and "Put" in div.right
+
+    def test_mem_only_delta_without_call_divergence(self, tmp_path):
+        left = write_trace_set(tmp_path / "l", {0: [
+            call(0, 0, "Barrier"),
+        ]})
+        right = write_trace_set(tmp_path / "r", {0: [
+            call(0, 0, "Barrier"), mem(0, 1, "load"),
+        ]})
+        diff = diff_traces(left, right)
+        assert not diff.identical
+        assert diff.divergences == []  # call streams align
+        assert diff.count_deltas[0] == {"calls": 0, "loads": 1,
+                                        "stores": 0}
+
+    def test_rank_count_mismatch_raises(self, tmp_path):
+        left = empty_set(tmp_path / "l", 1)
+        right = empty_set(tmp_path / "r", 2)
+        with pytest.raises(AnalysisError):
+            diff_traces(left, right)
+
+
+class TestFilterEdge:
+    def test_filter_empty_set_yields_valid_empty_set(self, tmp_path):
+        traces = empty_set(tmp_path / "src", 2)
+        filtered = filter_traces(traces, str(tmp_path / "out"))
+        assert filtered.nranks == 2
+        counts = filtered.event_counts()
+        assert counts["call"] == 0 and counts["mem"] == 0
+        # still diffable and statable
+        assert diff_traces(traces, filtered).identical
+        assert compute_stats(filtered).total_events == 0
+
+    def test_single_rank_roundtrip_preserves_events(self, tmp_path):
+        traces = write_trace_set(tmp_path / "src", {0: [
+            call(0, 0, "Win_fence", win=0),
+            mem(0, 1, "store", var="x"),
+            mem(0, 2, "load", var="y"),
+        ]})
+        filtered = filter_traces(traces, str(tmp_path / "out"))
+        assert diff_traces(traces, filtered).identical
+        events = filtered.events(0)
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert filtered.reader(0).header.app == "hand"
+
+    def test_drop_everything_with_predicate(self, tmp_path):
+        traces = write_trace_set(tmp_path / "src", {0: [
+            call(0, 0, "Barrier"), mem(0, 1, "load"),
+        ]})
+        filtered = filter_traces(traces, str(tmp_path / "out"),
+                                 predicate=lambda rank, event: False)
+        counts = filtered.event_counts()
+        assert counts["call"] == 0 and counts["mem"] == 0
+
+    def test_keep_vars_on_single_rank(self, tmp_path):
+        traces = write_trace_set(tmp_path / "src", {0: [
+            call(0, 0, "Barrier"),
+            mem(0, 1, "load", var="keep"),
+            mem(0, 2, "store", var="drop"),
+        ]})
+        filtered = filter_traces(traces, str(tmp_path / "out"),
+                                 keep_vars=["keep"])
+        events = filtered.events(0)
+        assert len(events) == 2  # the call survives, one mem dropped
+        assert {e.var for e in events if isinstance(e, MemEvent)} == \
+            {"keep"}
+
+    def test_seq_range_half_open(self, tmp_path):
+        traces = write_trace_set(tmp_path / "src", {0: [
+            mem(0, 0, "load"), mem(0, 1, "load"), mem(0, 2, "load"),
+        ]})
+        filtered = filter_traces(traces, str(tmp_path / "out"),
+                                 seq_range=(1, 2))
+        assert [e.seq for e in filtered.events(0)] == [1]
