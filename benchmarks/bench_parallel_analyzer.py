@@ -1,0 +1,184 @@
+"""Perf harness for the region-sharded parallel DN-Analyzer.
+
+Measures end-to-end ``check_traces`` wall-clock at several ``--jobs``
+levels over one profiled run of the LU workload (>= 16 simulated ranks in
+the full configuration), verifies that every parallel report is
+byte-identical to the serial one, and writes a machine-readable
+``BENCH_parallel.json`` (per-jobs median seconds, speedup vs serial, and
+the per-phase breakdown from ``CheckStats.phase_seconds``).
+
+Two entry points:
+
+* ``python benchmarks/bench_parallel_analyzer.py`` — the full
+  configuration; writes ``BENCH_parallel.json`` at the repo root.
+* ``python benchmarks/bench_parallel_analyzer.py --smoke`` — a small
+  configuration for CI; same measurements and identity checks, but the
+  artifact goes to ``benchmarks/results/`` so a quick run never
+  overwrites the committed full-size result.
+
+The speedup gate (>= 1.5x at jobs=4) only applies when the machine
+actually has >= 4 CPUs: on fewer cores the worker processes time-slice a
+single core and wall-clock can only go up, so the gate is recorded as
+skipped rather than failed.  ``cpu_count`` is embedded in the artifact so
+numbers from different machines are never compared blind.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.apps.lu import lu
+from repro.core.checker import check_traces
+from repro.profiler.session import profile_run
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_parallel_smoke.json")
+
+SPEEDUP_GATE = 1.5
+GATE_JOBS = 4
+
+CONFIGS = {
+    "full": dict(nranks=16, n=192, jobs=(1, 2, 4), reps=3),
+    "smoke": dict(nranks=4, n=48, jobs=(1, 2), reps=1),
+}
+
+
+def canonical(report):
+    """Byte-comparable report form, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def measure(traces, jobs, reps):
+    """Median end-to-end seconds over ``reps`` runs, with the canonical
+    report and the phase breakdown of the median-timed run."""
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        report = check_traces(traces, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        samples.append((elapsed, report))
+    samples.sort(key=lambda s: s[0])
+    median_elapsed = statistics.median(s[0] for s in samples)
+    median_report = samples[len(samples) // 2][1]
+    return median_elapsed, median_report
+
+
+def run_bench(mode, out_path):
+    cfg = CONFIGS[mode]
+    cpus = os.cpu_count() or 1
+    print(f"[bench_parallel] mode={mode} nranks={cfg['nranks']} "
+          f"n={cfg['n']} jobs={cfg['jobs']} reps={cfg['reps']} cpus={cpus}")
+
+    run = profile_run(lu, cfg["nranks"], params=dict(n=cfg["n"]),
+                      scope="report", delivery="eager")
+
+    runs = []
+    serial_seconds = None
+    serial_canonical = None
+    identical = True
+    for jobs in cfg["jobs"]:
+        seconds, report = measure(run.traces, jobs, cfg["reps"])
+        if jobs == 1:
+            serial_seconds = seconds
+            serial_canonical = canonical(report)
+            speedup = 1.0
+        else:
+            speedup = serial_seconds / seconds
+            if canonical(report) != serial_canonical:
+                identical = False
+                print(f"[bench_parallel] FAIL: jobs={jobs} report "
+                      "diverged from serial", file=sys.stderr)
+        runs.append({
+            "jobs": jobs,
+            "seconds": round(seconds, 4),
+            "speedup": round(speedup, 3),
+            "phase_seconds": {k: round(v, 4)
+                              for k, v in
+                              report.stats.phase_seconds.items()},
+        })
+        print(f"[bench_parallel] jobs={jobs}: {seconds:.2f}s "
+              f"(speedup {speedup:.2f}x, "
+              f"{report.stats.events} events, "
+              f"{len(report.findings)} findings)")
+
+    gate_run = next((r for r in runs if r["jobs"] == GATE_JOBS), None)
+    gate_applies = cpus >= GATE_JOBS and gate_run is not None
+    gate = {
+        "required_speedup": SPEEDUP_GATE,
+        "at_jobs": GATE_JOBS,
+        "applies": gate_applies,
+        "passed": (gate_run["speedup"] >= SPEEDUP_GATE
+                   if gate_applies else None),
+    }
+    if not gate_applies:
+        reason = (f"machine has {cpus} cpu(s)" if cpus < GATE_JOBS
+                  else f"jobs={GATE_JOBS} not in sweep")
+        gate["skipped_because"] = reason
+        print(f"[bench_parallel] speedup gate skipped: {reason}")
+    elif gate["passed"]:
+        print(f"[bench_parallel] speedup gate passed: "
+              f"{gate_run['speedup']:.2f}x >= {SPEEDUP_GATE}x")
+    else:
+        print(f"[bench_parallel] FAIL: speedup gate "
+              f"{gate_run['speedup']:.2f}x < {SPEEDUP_GATE}x",
+              file=sys.stderr)
+
+    payload = {
+        "benchmark": "parallel_analyzer",
+        "mode": mode,
+        "workload": {"app": "lu", "nranks": cfg["nranks"],
+                     "n": cfg["n"], "reps": cfg["reps"]},
+        "machine": {"cpu_count": cpus},
+        "identical_reports": identical,
+        "speedup_gate": gate,
+        "runs": runs,
+    }
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench_parallel] wrote {out_path}")
+
+    ok = identical and gate["passed"] is not False
+    return payload, ok
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI configuration (artifact goes to "
+                         "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--out", default=None,
+                    help="artifact path (default: BENCH_parallel.json at "
+                         "the repo root, or benchmarks/results/ with "
+                         "--smoke)")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    _payload, ok = run_bench(mode, out_path)
+    return 0 if ok else 1
+
+
+def test_parallel_bench_smoke(record, benchmark):
+    """pytest entry point: the smoke configuration as a benchmark-suite
+    row (``pytest benchmarks/bench_parallel_analyzer.py``)."""
+    payload, ok = benchmark.pedantic(
+        lambda: run_bench("smoke", SMOKE_OUT), rounds=1, iterations=1)
+    assert ok, "parallel report diverged from serial (or gate failed)"
+    for run in payload["runs"]:
+        record("parallel_analyzer",
+               f"jobs={run['jobs']:<2d} seconds={run['seconds']:7.2f} "
+               f"speedup={run['speedup']:5.2f}x",
+               **{k: run[k] for k in ("jobs", "seconds", "speedup")})
+
+
+if __name__ == "__main__":
+    sys.exit(main())

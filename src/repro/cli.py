@@ -59,6 +59,13 @@ def _resolve_app(name: str) -> Tuple[Callable, Dict]:
     raise SystemExit(f"unknown application {name!r}; see `mc-checker apps`")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sharded analyzer "
+                             "(1 = serial, -1 = one per CPU); findings "
+                             "are identical at any job count")
+
+
 def _add_obs_args(parser: argparse.ArgumentParser,
                   exports: bool = False) -> None:
     parser.add_argument("--log-level", default="info",
@@ -173,10 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="MPI RMA memory model for Table-I verdicts")
     p_check.add_argument("--json", action="store_true",
                          help="emit the report as JSON (for CI tooling)")
+    _add_jobs_arg(p_check)
     _add_obs_args(p_check, exports=True)
 
     p_rc = sub.add_parser("run-check", help="profile and analyze in one go")
     _add_run_args(p_rc)
+    _add_jobs_arg(p_rc)
     _add_obs_args(p_rc, exports=True)
 
     p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
@@ -198,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of hottest statements to list")
     p_stats.add_argument("--no-phases", action="store_true",
                          help="skip the DN-Analyzer per-phase timing table")
+    _add_jobs_arg(p_stats)
     _add_obs_args(p_stats, exports=True)
 
     p_diff = sub.add_parser(
@@ -278,7 +288,7 @@ def _dispatch(args) -> int:
                 log.info(finding.format())
             return 1 if errors else 0
         report = check_traces(traces, naive_inter=naive,
-                              memory_model=memory_model)
+                              memory_model=memory_model, jobs=args.jobs)
         if getattr(args, "json", False):
             # machine output: always printed verbatim, bypassing log level
             print(json.dumps(report.to_dict(), indent=2))
@@ -307,7 +317,7 @@ def _dispatch(args) -> int:
         log.info(_per_rank_table(stats))
         if not args.no_phases:
             try:
-                report = check_traces(traces)
+                report = check_traces(traces, jobs=args.jobs)
             except Exception as exc:  # noqa: BLE001 - stats must not die
                 log.warning(f"analyzer phases unavailable: {exc}")
             else:

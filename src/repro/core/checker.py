@@ -28,6 +28,7 @@ from repro.core.inter import detect_cross_process, detect_cross_process_naive
 from repro.core.intra import detect_intra_epoch
 from repro.core.matching import match_synchronization
 from repro.core.model import build_access_model
+from repro.core.parallel import ParallelEngine, resolve_jobs
 from repro.core.preprocess import PreprocessedTrace, preprocess
 from repro.core.regions import RegionIndex
 from repro.profiler.tracer import TraceSet
@@ -103,10 +104,11 @@ class MCChecker:
     """Configurable DN-Analyzer pipeline over one trace set."""
 
     def __init__(self, traces: TraceSet, naive_inter: bool = False,
-                 memory_model: str = "separate"):
+                 memory_model: str = "separate", jobs: int = 1):
         self.traces = traces
         self.naive_inter = naive_inter
         self.memory_model = memory_model
+        self.jobs = resolve_jobs(jobs)
         # populated by run(); kept public for tests and the CLI
         self.pre: Optional[PreprocessedTrace] = None
         self.matches = None
@@ -140,10 +142,22 @@ class MCChecker:
             timings[name] = timings.get(name, 0.0) + sp.duration
             return result
 
-        self.pre = timed("preprocess", lambda: preprocess(self.traces))
+        engine: Optional[ParallelEngine] = None
+        if self.jobs > 1:
+            engine = ParallelEngine(self.traces, jobs=self.jobs,
+                                    memory_model=self.memory_model)
+
+        if engine is not None:
+            self.pre = timed("preprocess", engine.preprocess,
+                             jobs=self.jobs)
+        else:
+            self.pre = timed("preprocess", lambda: preprocess(self.traces))
         pre = self.pre
         stats.nranks = pre.nranks
-        stats.events = sum(len(events) for events in pre.events.values())
+        # the parallel preprocess keeps only call events in the parent;
+        # the scan shards carry the full per-rank event totals
+        stats.events = (engine.total_events if engine is not None else
+                        sum(len(events) for events in pre.events.values()))
 
         self.matches = timed("matching",
                              lambda: match_synchronization(pre),
@@ -155,8 +169,15 @@ class MCChecker:
         self.epoch_index = timed("epochs", lambda: EpochIndex(pre))
         stats.epochs = len(self.epoch_index.epochs)
 
-        self.model = timed("model",
-                           lambda: build_access_model(pre, self.epoch_index))
+        if engine is not None:
+            self.model = timed(
+                "model",
+                lambda: engine.build_model(pre, self.epoch_index),
+                jobs=self.jobs)
+        else:
+            self.model = timed(
+                "model",
+                lambda: build_access_model(pre, self.epoch_index))
         stats.rma_ops = len(self.model.ops)
         stats.local_accesses = len(self.model.local)
 
@@ -164,13 +185,26 @@ class MCChecker:
                              lambda: RegionIndex(pre, self.matches))
         stats.regions = len(self.regions)
 
-        findings = timed("intra", lambda: detect_intra_epoch(
-            self.model, self.epoch_index, memory_model=self.memory_model))
-        inter_fn = (detect_cross_process_naive if self.naive_inter
-                    else detect_cross_process)
-        findings += timed("inter", lambda: inter_fn(
-            pre, self.model, self.regions, self.oracle, self.epoch_index,
-            memory_model=self.memory_model), naive=self.naive_inter)
+        if engine is not None:
+            findings = timed("intra", lambda: engine.detect_intra(
+                self.model, self.epoch_index), jobs=self.jobs)
+        else:
+            findings = timed("intra", lambda: detect_intra_epoch(
+                self.model, self.epoch_index,
+                memory_model=self.memory_model))
+        if engine is not None and not self.naive_inter:
+            findings += timed("inter", lambda: engine.detect_inter(
+                pre, self.model, self.regions, self.oracle,
+                self.epoch_index), jobs=self.jobs)
+        else:
+            # the combinatorial strawman stays serial: it exists for the
+            # ablation benchmark, not for throughput
+            inter_fn = (detect_cross_process_naive if self.naive_inter
+                        else detect_cross_process)
+            findings += timed("inter", lambda: inter_fn(
+                pre, self.model, self.regions, self.oracle,
+                self.epoch_index, memory_model=self.memory_model),
+                naive=self.naive_inter)
 
         findings = dedupe(findings)
         errors = [f for f in findings if f.severity == SEVERITY_ERROR]
@@ -207,10 +241,11 @@ class MCChecker:
 
 
 def check_traces(traces: TraceSet, naive_inter: bool = False,
-                 memory_model: str = "separate") -> CheckReport:
+                 memory_model: str = "separate",
+                 jobs: int = 1) -> CheckReport:
     """Analyze an existing trace set."""
     return MCChecker(traces, naive_inter=naive_inter,
-                     memory_model=memory_model).run()
+                     memory_model=memory_model, jobs=jobs).run()
 
 
 def check_app(app: Callable, nranks: int,

@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
 from repro.core.matching import KIND_COLLECTIVE, SyncMatch
 from repro.core.preprocess import PreprocessedTrace
 from repro.util.errors import AnalysisError
@@ -170,10 +172,92 @@ class ConcurrencyOracle:
         self._collective_units = collective_units
         self._nb_inits = nb_inits
         self._clocks = clocks
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Derive the per-rank numpy lookup tables the batched queries use.
+
+        For each rank's sorted sync positions: the owning unit id, whether
+        that unit is a collective (its join is invisible at the member call
+        itself), and the nearest at-or-before position that is *not* a
+        nonblocking-collective initiation (whose join only lands at the
+        Wait).  These tables make one ``ordered_batch`` call a handful of
+        ``searchsorted``/fancy-index passes instead of a Python loop.
+        """
+        self._sync_np: List[np.ndarray] = []
+        self._unit_at: List[np.ndarray] = []
+        self._coll_at: List[np.ndarray] = []
+        self._nb_skip: List[np.ndarray] = []
+        for rank, seqs in enumerate(self.sync_seqs):
+            n = len(seqs)
+            self._sync_np.append(np.asarray(seqs, dtype=np.int64)
+                                 if n else _EMPTY_I64)
+            units = np.fromiter((self._unit_of[(rank, s)] for s in seqs),
+                                dtype=np.int64, count=n)
+            self._unit_at.append(units)
+            coll = np.fromiter(
+                (self._unit_of[(rank, s)] in self._collective_units
+                 for s in seqs), dtype=bool, count=n)
+            self._coll_at.append(coll)
+            skip = np.empty(n, dtype=np.int64)
+            last = -1
+            for j, s in enumerate(seqs):
+                if (rank, s) not in self._nb_inits:
+                    last = j
+                skip[j] = last
+            self._nb_skip.append(skip)
+
+    # ------------------------------------------------------------------
+    # serialization (the compact worker-shippable form)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Compact picklable state: sync positions, the unit map, and the
+        unit-clock matrix.  The derived numpy tables are rebuilt on load."""
+        return {
+            "nranks": self.nranks,
+            "sync_seqs": self.sync_seqs,
+            "unit_of": self._unit_of,
+            "collective_units": self._collective_units,
+            "nb_inits": self._nb_inits,
+            "clocks": self._clocks,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.nranks = state["nranks"]
+        self.sync_seqs = state["sync_seqs"]
+        self._unit_of = state["unit_of"]
+        self._collective_units = state["collective_units"]
+        self._nb_inits = state["nb_inits"]
+        self._clocks = state["clocks"]
+        self._finalize()
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+
+    def _visible_unit(self, b_rank: int, b_seq: int) -> int:
+        """The unit whose clock is visible at ``(b_rank, b_seq)``, or -1.
+
+        The last sync at ``b_rank`` at-or-before ``b_seq``.  If that sync
+        *is* a collective member call, the collective's join becomes
+        visible only after it (its call vertex only feeds the synthetic
+        sync node), so step back to the previous sync; a directed
+        destination (recv, start, wait) does receive its incoming edge at
+        the call itself.  Nonblocking-collective initiations carry no
+        incoming knowledge (the join lands at their Wait), so step past
+        them too.
+        """
+        b_syncs = self.sync_seqs[b_rank]
+        j = bisect_right(b_syncs, b_seq) - 1
+        if j >= 0 and b_syncs[j] == b_seq and \
+                self._unit_of[(b_rank, b_seq)] in self._collective_units:
+            j -= 1
+        while j >= 0 and (b_rank, b_syncs[j]) in self._nb_inits:
+            j -= 1
+        if j < 0:
+            return -1  # b's rank has not synchronized yet
+        return self._unit_of[(b_rank, b_syncs[j])]
 
     def happens_before(self, a_rank: int, a_seq: int, b_rank: int,
                        b_seq: int) -> bool:
@@ -186,23 +270,9 @@ class ConcurrencyOracle:
         i = bisect_left(a_syncs, a_seq)
         if i >= len(a_syncs):
             return False  # a's rank never synchronizes again
-        # last sync at b_rank at-or-before b.  If b *is* a collective
-        # member call, the collective's join becomes visible only after it
-        # (its call vertex only feeds the synthetic sync node), so step
-        # back to the previous sync; a directed destination (recv, start,
-        # wait) does receive its incoming edge at the call itself.
-        b_syncs = self.sync_seqs[b_rank]
-        j = bisect_right(b_syncs, b_seq) - 1
-        if j >= 0 and b_syncs[j] == b_seq and \
-                self._unit_of[(b_rank, b_seq)] in self._collective_units:
-            j -= 1
-        # a nonblocking-collective initiation carries no incoming
-        # knowledge (the join lands at its Wait): step past them
-        while j >= 0 and (b_rank, b_syncs[j]) in self._nb_inits:
-            j -= 1
-        if j < 0:
-            return False  # b's rank has not synchronized yet
-        b_unit = self._unit_of[(b_rank, b_syncs[j])]
+        b_unit = self._visible_unit(b_rank, b_seq)
+        if b_unit < 0:
+            return False
         return bool(self._clocks[b_unit][a_rank] >= i + 1)
 
     def ordered(self, a: Span, b: Span) -> bool:
@@ -216,3 +286,89 @@ class ConcurrencyOracle:
 
     def concurrent(self, a: Span, b: Span) -> bool:
         return not self.ordered(a, b)
+
+    # ------------------------------------------------------------------
+    # batched queries
+    # ------------------------------------------------------------------
+
+    def _hb_many_to_one(self, a_ranks: np.ndarray, a_seqs: np.ndarray,
+                        b_rank: int, b_seq: int) -> np.ndarray:
+        """Vectorized ``happens_before(a_ranks[k], a_seqs[k], b, b)``;
+        callers guarantee ``a_ranks[k] != b_rank``."""
+        out = np.zeros(len(a_ranks), dtype=bool)
+        b_unit = self._visible_unit(b_rank, b_seq)
+        if b_unit < 0:
+            return out
+        row = self._clocks[b_unit]
+        for r in np.unique(a_ranks):
+            m = a_ranks == r
+            sync = self._sync_np[r]
+            i = np.searchsorted(sync, a_seqs[m], side="left")
+            out[m] = (i < len(sync)) & (row[r] >= i + 1)
+        return out
+
+    def _hb_one_to_many(self, a_rank: int, a_seq: int, b_ranks: np.ndarray,
+                        b_seqs: np.ndarray) -> np.ndarray:
+        """Vectorized ``happens_before(a, a, b_ranks[k], b_seqs[k])``;
+        callers guarantee ``b_ranks[k] != a_rank``."""
+        out = np.zeros(len(b_ranks), dtype=bool)
+        a_syncs = self.sync_seqs[a_rank]
+        i = bisect_left(a_syncs, a_seq)
+        if i >= len(a_syncs):
+            return out
+        for r in np.unique(b_ranks):
+            m = b_ranks == r
+            sync = self._sync_np[r]
+            if not len(sync):
+                continue
+            seqs = b_seqs[m]
+            # the vectorized form of _visible_unit
+            j = np.searchsorted(sync, seqs, side="right") - 1
+            j_safe = np.maximum(j, 0)
+            exact_coll = (j >= 0) & (sync[j_safe] == seqs) \
+                & self._coll_at[r][j_safe]
+            j = np.where(exact_coll, j - 1, j)
+            j_safe = np.maximum(j, 0)
+            j = np.where(j >= 0, self._nb_skip[r][j_safe], -1)
+            valid = j >= 0
+            res = np.zeros(len(seqs), dtype=bool)
+            if valid.any():
+                units = self._unit_at[r][j[valid]]
+                res[valid] = self._clocks[units, a_rank] >= i + 1
+            out[m] = res
+        return out
+
+    def ordered_batch(self, ranks: Sequence[int], starts: Sequence[int],
+                      ends: Sequence[int], b: Span) -> np.ndarray:
+        """Vectorized :meth:`ordered` of many spans against one.
+
+        ``ranks``/``starts``/``ends`` are parallel arrays describing spans
+        ``Span(ranks[k], starts[k], ends[k])``; the result is a boolean
+        mask with ``mask[k] == ordered(spans[k], b)``.  One call replaces
+        the per-pair Python queries of a detection inner loop.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        out = np.empty(len(ranks), dtype=bool)
+        same = ranks == b.rank
+        if same.any():
+            out[same] = (ends[same] <= b.start_seq) \
+                | (b.end_seq <= starts[same])
+        diff = ~same
+        if diff.any():
+            out[diff] = self._hb_many_to_one(
+                ranks[diff], ends[diff], b.rank, b.start_seq) \
+                | self._hb_one_to_many(
+                    b.rank, b.end_seq, ranks[diff], starts[diff])
+        return out
+
+    def ordered_spans(self, spans: Sequence[Span], b: Span) -> np.ndarray:
+        """:meth:`ordered_batch` convenience over :class:`Span` objects."""
+        n = len(spans)
+        ranks = np.fromiter((s.rank for s in spans), dtype=np.int64, count=n)
+        starts = np.fromiter((s.start_seq for s in spans), dtype=np.int64,
+                             count=n)
+        ends = np.fromiter((s.end_seq for s in spans), dtype=np.int64,
+                           count=n)
+        return self.ordered_batch(ranks, starts, ends, b)

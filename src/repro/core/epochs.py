@@ -20,7 +20,7 @@ closing call (its *span*).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.preprocess import PreprocessedTrace
 from repro.profiler.events import CallEvent
@@ -78,9 +78,16 @@ class Epoch:
 
 
 class EpochIndex:
-    """All epochs of a preprocessed trace, with lookup by op issue point."""
+    """All epochs of a preprocessed trace, with lookup by op issue point.
 
-    def __init__(self, pre: PreprocessedTrace):
+    Epoch recognition is a per-rank scan, so a worker holding only one
+    rank's events can build the index for just that rank by passing
+    ``ranks`` — the result matches the corresponding slice of a full
+    build exactly.
+    """
+
+    def __init__(self, pre: PreprocessedTrace,
+                 ranks: Optional[Sequence[int]] = None):
         self.epochs: List[Epoch] = []
         # (rank, win) -> epochs at that rank/window, in open order
         self._by_rank_win: Dict[Tuple[int, int], List[Epoch]] = {}
@@ -88,15 +95,16 @@ class EpochIndex:
         self._flushes: Dict[Tuple[int, int], List[Tuple[int, Optional[int]]]] = {}
         # (rank, win, req) -> seq of the Rma_wait completing that request
         self._req_waits: Dict[Tuple[int, int, int], int] = {}
-        self._build(pre)
+        self._build(pre, ranks)
 
     def _add(self, epoch: Epoch) -> None:
         self.epochs.append(epoch)
         self._by_rank_win.setdefault((epoch.rank, epoch.win_id), []) \
             .append(epoch)
 
-    def _build(self, pre: PreprocessedTrace) -> None:
-        for rank in range(pre.nranks):
+    def _build(self, pre: PreprocessedTrace,
+               ranks: Optional[Sequence[int]] = None) -> None:
+        for rank in (range(pre.nranks) if ranks is None else ranks):
             # per-window running state
             fence_open: Dict[int, int] = {}
             lock_open: Dict[Tuple[int, int], Epoch] = {}

@@ -29,7 +29,10 @@ the E7 ablation benchmark and differential testing.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.clocks import ConcurrencyOracle
 from repro.core.compat import ACC, GET, PUT, accumulate_exception, compat_verdict
@@ -64,21 +67,38 @@ def _op_exclusive(op: RMAOpView) -> bool:
 
 
 class _LocalLockIndex:
-    """Which local accesses are protected by a self-targeted exclusive lock."""
+    """Which local accesses are protected by a self-targeted exclusive lock.
+
+    Per ``(rank, win)`` the qualifying lock epochs are disjoint (a second
+    ``Win_lock`` of the same window/target before the unlock replaces the
+    open epoch, which is then never indexed), so a sorted interval list
+    answers each query with one ``bisect`` instead of a scan over every
+    exclusive epoch in the trace.
+    """
 
     def __init__(self, epoch_index: EpochIndex, nranks: int):
-        self._epochs = [
-            e for e in epoch_index.epochs
-            if e.kind == KIND_LOCK and e.lock_type == LOCK_EXCLUSIVE
-            and e.target == e.rank
-        ]
+        by_key: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for e in epoch_index.epochs:
+            if e.kind == KIND_LOCK and e.lock_type == LOCK_EXCLUSIVE \
+                    and e.target == e.rank:
+                by_key.setdefault((e.rank, e.win_id), []).append(
+                    (e.open_seq, e.close_seq))
+        self._index: Dict[Tuple[int, int],
+                          Tuple[List[int], List[int]]] = {}
+        for key, spans in by_key.items():
+            spans.sort()
+            self._index[key] = ([open_seq for open_seq, _ in spans],
+                                [close_seq for _, close_seq in spans])
 
     def covers(self, la: LocalAccess, win_id: int) -> bool:
-        for epoch in self._epochs:
-            if epoch.rank == la.rank and epoch.win_id == win_id \
-                    and epoch.contains_seq(la.seq):
-                return True
-        return False
+        entry = self._index.get((la.rank, win_id))
+        if entry is None:
+            return False
+        opens, closes = entry
+        # last epoch opening strictly before la.seq (contains_seq is
+        # exclusive on both bounds)
+        i = bisect_right(opens, la.seq - 1) - 1
+        return i >= 0 and la.seq < closes[i]
 
 
 def _pair_severity(a_exclusive: bool, b_exclusive: bool) -> str:
@@ -96,6 +116,13 @@ def _check_ops(op_a: RMAOpView, op_b: RMAOpView,
         return None  # same-rank pairs are program/epoch ordered or intra
     if oracle.ordered(op_a.span, op_b.span):
         return None
+    return _check_concurrent_ops(op_a, op_b, model)
+
+
+def _check_concurrent_ops(op_a: RMAOpView, op_b: RMAOpView,
+                          model: str = "separate"
+                          ) -> Optional[ConsistencyError]:
+    """Table-I verdict for a pair already known concurrent + cross-rank."""
     overlap = op_a.target_intervals.intersection(op_b.target_intervals)
     verdict = compat_verdict(
         op_a.kind, op_b.kind, bool(overlap),
@@ -124,6 +151,21 @@ def _check_local_vs_op(la: LocalAccess, la_in_window: IntervalSet,
         return None  # same-origin RMA pair: handled as op-op / intra
     if oracle.ordered(la.span, op.span):
         return None
+    return _check_concurrent_local_vs_op(la, la_in_window, op, lock_index,
+                                         model)
+
+
+def _check_concurrent_local_vs_op(la: LocalAccess,
+                                  la_in_window: IntervalSet,
+                                  op: RMAOpView,
+                                  lock_index: _LocalLockIndex,
+                                  model: str = "separate"
+                                  ) -> Optional[ConsistencyError]:
+    """Table-I verdict for a local/remote pair already known concurrent."""
+    if la.origin_of is op:
+        return None  # an op does not conflict with its own origin access
+    if la.origin_of is not None and la.origin_of.rank == op.rank:
+        return None  # same-origin RMA pair: handled as op-op / intra
     overlap = la_in_window.intersection(op.target_intervals)
     verdict = compat_verdict(la.access, op.kind, bool(overlap),
                              model=model)
@@ -139,16 +181,15 @@ def _check_local_vs_op(la: LocalAccess, la_in_window: IntervalSet,
               "remote one-sided operation on the same window"))
 
 
-def detect_cross_process(pre: PreprocessedTrace, model: AccessModel,
-                         regions: RegionIndex, oracle: ConcurrencyOracle,
-                         epoch_index: EpochIndex,
-                         memory_model: str = "separate"
-                         ) -> List[ConsistencyError]:
-    """The paper's linear two-step detector, one pass per concurrent region."""
-    errors: List[ConsistencyError] = []
-    lock_index = _LocalLockIndex(epoch_index, pre.nranks)
+def bucket_by_region(model: AccessModel, regions: RegionIndex
+                     ) -> Tuple[Dict[int, List[RMAOpView]],
+                                Dict[int, List[LocalAccess]]]:
+    """Assign ops and local accesses to the regions their spans intersect.
 
-    # assign ops and local accesses to the regions their spans intersect
+    Ops are visited in ``(rank, seq)`` order so each region's list — and
+    therefore the order findings are emitted in downstream — is the same
+    no matter how ``model`` was assembled (serial build or merged shards).
+    """
     ops_by_region: Dict[int, List[RMAOpView]] = {}
     for op in sorted(model.ops, key=lambda o: (o.rank, o.seq)):
         for region_index in regions.regions_of_span(op.span):
@@ -157,6 +198,18 @@ def detect_cross_process(pre: PreprocessedTrace, model: AccessModel,
     for la in model.local:
         for region_index in regions.regions_of_span(la.span):
             locals_by_region.setdefault(region_index, []).append(la)
+    return ops_by_region, locals_by_region
+
+
+def detect_cross_process(pre: PreprocessedTrace, model: AccessModel,
+                         regions: RegionIndex, oracle: ConcurrencyOracle,
+                         epoch_index: EpochIndex,
+                         memory_model: str = "separate"
+                         ) -> List[ConsistencyError]:
+    """The paper's linear two-step detector, one pass per concurrent region."""
+    errors: List[ConsistencyError] = []
+    lock_index = _LocalLockIndex(epoch_index, pre.nranks)
+    ops_by_region, locals_by_region = bucket_by_region(model, regions)
 
     for region in regions:
         region_ops = ops_by_region.get(region.index, [])
@@ -168,6 +221,43 @@ def detect_cross_process(pre: PreprocessedTrace, model: AccessModel,
     return errors
 
 
+#: below this many recorded ops in a vector entry, scalar oracle queries
+#: beat the numpy batch setup cost
+_BATCH_MIN = 4
+
+
+class _OpVector:
+    """The ops recorded for one ``(window, target)`` vector entry, with
+    their spans mirrored into numpy arrays for batched oracle queries."""
+
+    __slots__ = ("win_id", "target", "ops", "_ranks", "_starts", "_ends",
+                 "_arrays")
+
+    def __init__(self, win_id: int, target: int):
+        self.win_id = win_id
+        self.target = target
+        self.ops: List[RMAOpView] = []
+        self._ranks: List[int] = []
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._arrays: Optional[Tuple[np.ndarray, ...]] = None
+
+    def append(self, op: RMAOpView) -> None:
+        span = op.span
+        self.ops.append(op)
+        self._ranks.append(span.rank)
+        self._starts.append(span.start_seq)
+        self._ends.append(span.end_seq)
+        self._arrays = None
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            self._arrays = (np.asarray(self._ranks, dtype=np.int64),
+                            np.asarray(self._starts, dtype=np.int64),
+                            np.asarray(self._ends, dtype=np.int64))
+        return self._arrays
+
+
 def detect_region(pre: PreprocessedTrace, region_ops: List[RMAOpView],
                   region_locals: List[LocalAccess],
                   oracle: ConcurrencyOracle, lock_index: "_LocalLockIndex",
@@ -175,34 +265,61 @@ def detect_region(pre: PreprocessedTrace, region_ops: List[RMAOpView],
     """The two linear passes over one concurrent region's accesses.
 
     Exposed separately so the streaming checker can analyze each region as
-    it closes and then discard its accesses.
+    it closes and then discard its accesses.  Once a vector entry holds
+    enough ops, each incoming access resolves its happens-before relation
+    to the whole entry in one vectorized :meth:`ordered_batch` call.
     """
     errors: List[ConsistencyError] = []
     # step 1: record remote ops per (window, target), checking as we go
-    vector: Dict[Tuple[int, int], List[RMAOpView]] = {}
+    vector: Dict[Tuple[int, int], _OpVector] = {}
+    # entries grouped by target rank, in first-recorded order, so step 2
+    # touches only the entries that can involve a given local access
+    entries_by_rank: Dict[int, List[_OpVector]] = {}
     for op in region_ops:
-        entry = vector.setdefault((op.win_id, op.target), [])
-        for prev in entry:
-            error = _check_ops(prev, op, oracle, memory_model)
-            if error is not None:
-                errors.append(error)
+        key = (op.win_id, op.target)
+        entry = vector.get(key)
+        if entry is None:
+            entry = vector[key] = _OpVector(op.win_id, op.target)
+            entries_by_rank.setdefault(op.target, []).append(entry)
+        if len(entry.ops) >= _BATCH_MIN:
+            ranks, starts, ends = entry.arrays()
+            concurrent = ~oracle.ordered_batch(ranks, starts, ends, op.span)
+            concurrent &= ranks != op.rank  # same-rank pairs: intra's job
+            for i in np.nonzero(concurrent)[0]:
+                error = _check_concurrent_ops(entry.ops[i], op, memory_model)
+                if error is not None:
+                    errors.append(error)
+        else:
+            for prev in entry.ops:
+                error = _check_ops(prev, op, oracle, memory_model)
+                if error is not None:
+                    errors.append(error)
         entry.append(op)
 
     # step 2: local operations at each target vs recorded remote ops
     for la in region_locals:
-        for (win_id, target), entry in vector.items():
-            if target != la.rank:
-                continue
-            window = pre.window(win_id)
+        for entry in entries_by_rank.get(la.rank, ()):
+            window = pre.window(entry.win_id)
             la_in_window = la.intervals.intersection(
                 window.exposure(la.rank))
             if not la_in_window:
                 continue
-            for op in entry:
-                error = _check_local_vs_op(la, la_in_window, op, oracle,
-                                           lock_index, memory_model)
-                if error is not None:
-                    errors.append(error)
+            if len(entry.ops) >= _BATCH_MIN:
+                ranks, starts, ends = entry.arrays()
+                concurrent = ~oracle.ordered_batch(ranks, starts, ends,
+                                                   la.span)
+                for i in np.nonzero(concurrent)[0]:
+                    error = _check_concurrent_local_vs_op(
+                        la, la_in_window, entry.ops[i], lock_index,
+                        memory_model)
+                    if error is not None:
+                        errors.append(error)
+            else:
+                for op in entry.ops:
+                    error = _check_local_vs_op(la, la_in_window, op, oracle,
+                                               lock_index, memory_model)
+                    if error is not None:
+                        errors.append(error)
     return errors
 
 
@@ -217,15 +334,7 @@ def detect_cross_process_naive(pre: PreprocessedTrace, model: AccessModel,
     the baseline the paper's section IV-C-4 improves upon."""
     errors: List[ConsistencyError] = []
     lock_index = _LocalLockIndex(epoch_index, pre.nranks)
-
-    ops_by_region: Dict[int, List[RMAOpView]] = {}
-    for op in sorted(model.ops, key=lambda o: (o.rank, o.seq)):
-        for region_index in regions.regions_of_span(op.span):
-            ops_by_region.setdefault(region_index, []).append(op)
-    locals_by_region: Dict[int, List[LocalAccess]] = {}
-    for la in model.local:
-        for region_index in regions.regions_of_span(la.span):
-            locals_by_region.setdefault(region_index, []).append(la)
+    ops_by_region, locals_by_region = bucket_by_region(model, regions)
 
     for region in regions:
         region_ops = ops_by_region.get(region.index, [])

@@ -48,13 +48,19 @@ def _spans_unordered(a: Span, b: Span) -> bool:
     return not (a.end_seq <= b.start_seq or b.end_seq <= a.start_seq)
 
 
-def detect_intra_epoch(model: AccessModel, epoch_index: EpochIndex,
-                       memory_model: str = "separate"
-                       ) -> List[ConsistencyError]:
-    """Find conflicting operation pairs inside each access epoch."""
-    errors: List[ConsistencyError] = []
+#: one epoch's worth of intra-epoch detection work
+EpochUnit = Tuple[Epoch, List[RMAOpView], List[LocalAccess],
+                  List[LocalAccess]]
 
-    # bucket ops and local accesses by epoch
+
+def bucket_by_epoch(model: AccessModel,
+                    epoch_index: EpochIndex) -> List[EpochUnit]:
+    """Per-epoch work units ``(epoch, ops, attached, mems)``.
+
+    Units come out in ``epoch_index`` order and carry everything
+    :func:`check_epoch` needs, so each is an independent shard for the
+    parallel engine — and the serial detector just walks the same list.
+    """
     ops_by_epoch: Dict[int, List[RMAOpView]] = {}
     for op in model.ops:
         if op.epoch is not None:
@@ -70,6 +76,7 @@ def detect_intra_epoch(model: AccessModel, epoch_index: EpochIndex,
         else:
             plain_by_rank.setdefault(la.rank, []).append(la)
 
+    units: List[EpochUnit] = []
     for epoch in epoch_index.access_epochs():
         ops = ops_by_epoch.get(id(epoch), [])
         if not ops:
@@ -79,6 +86,16 @@ def detect_intra_epoch(model: AccessModel, epoch_index: EpochIndex,
             la for la in plain_by_rank.get(epoch.rank, ())
             if epoch.contains_seq(la.seq)
         ]
+        units.append((epoch, ops, attached, mems))
+    return units
+
+
+def detect_intra_epoch(model: AccessModel, epoch_index: EpochIndex,
+                       memory_model: str = "separate"
+                       ) -> List[ConsistencyError]:
+    """Find conflicting operation pairs inside each access epoch."""
+    errors: List[ConsistencyError] = []
+    for epoch, ops, attached, mems in bucket_by_epoch(model, epoch_index):
         errors.extend(check_epoch(epoch, ops, attached, mems, memory_model))
     return errors
 
@@ -104,11 +121,11 @@ def check_epoch(epoch: Epoch, ops: List[RMAOpView],
     # vs each other: unordered while the owning op is incomplete
     for i, acc_a in enumerate(attached):
         for la in mems:
-            errors.extend(_check_attached_vs_plain(epoch, acc_a, la))
+            errors.extend(_check_attached_vs_plain(acc_a, la))
         for acc_b in attached[i + 1:]:
             if acc_a.origin_of is acc_b.origin_of:
                 continue  # one call's own buffers don't self-conflict
-            errors.extend(_check_attached_pair(epoch, acc_a, acc_b))
+            errors.extend(_check_attached_pair(acc_a, acc_b))
     return errors
 
 
@@ -137,7 +154,7 @@ def _check_target_pair(op_a: RMAOpView, op_b: RMAOpView,
         note="unordered same-epoch operations on the same target")
 
 
-def _check_attached_vs_plain(epoch: Epoch, attached: LocalAccess,
+def _check_attached_vs_plain(attached: LocalAccess,
                              la: LocalAccess) -> List[ConsistencyError]:
     op = attached.origin_of
     # program order protects accesses before the issue; the flush/close
@@ -158,7 +175,7 @@ def _check_attached_vs_plain(epoch: Epoch, attached: LocalAccess,
               "corrupt in-flight data"))]
 
 
-def _check_attached_pair(epoch: Epoch, acc_a: LocalAccess,
+def _check_attached_pair(acc_a: LocalAccess,
                          acc_b: LocalAccess) -> List[ConsistencyError]:
     if not _spans_unordered(acc_a.span, acc_b.span):
         return []

@@ -138,85 +138,99 @@ def build_access_model(pre: PreprocessedTrace,
     """Lift every relevant trace event into analysis views."""
     ops: List[RMAOpView] = []
     local: List[LocalAccess] = []
-
     for rank in range(pre.nranks):
-        for event in pre.events[rank]:
-            if isinstance(event, MemEvent):
-                local.append(LocalAccess(
-                    rank=rank, seq=event.seq, access=event.access,
-                    intervals=IntervalSet.single(event.addr, event.size),
-                    var=event.var, loc=event.loc, fn="mem"))
-                continue
-            assert isinstance(event, CallEvent)
-            fn, args = event.fn, event.args
-            if fn in _RMA_KIND:
-                win = pre.window(int(args["win"]))
-                target = int(args["target"])
-                origin_dtype = pre.datatype(rank, int(args["origin_dtype"]))
-                target_dtype = pre.datatype(rank, int(args["target_dtype"]))
-                target_ivs = win.target_intervals(
-                    target, int(args["target_disp"]),
-                    int(args["target_count"]), target_dtype)
-                origin_base = int(args["origin_base"]) + \
-                    int(args["origin_offset"])
-                origin_ivs = origin_dtype.intervals(
-                    origin_base, int(args["origin_count"]))
-                epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
-                                              target)
-                acc_op = str(args["op"]) if "op" in args else None
-                if fn == "Compare_and_swap":
-                    acc_op = "CAS"
-                op = RMAOpView(
-                    rank=rank, seq=event.seq, kind=_RMA_KIND[fn],
-                    win_id=win.win_id, target=target,
-                    target_intervals=target_ivs,
-                    origin_intervals=origin_ivs,
-                    origin_var=str(args.get("var", "?")),
-                    loc=event.loc, epoch=epoch, fn=fn,
-                    acc_op=acc_op,
-                    acc_base=(origin_dtype.base
-                              if _RMA_KIND[fn] == ACC else None),
-                    complete_seq=epoch_index.completion_seq(
-                        rank, win.win_id, event.seq, target, epoch,
-                        req=(int(args["req"])
-                             if fn in ("Rput", "Rget", "Raccumulate")
-                             else None)),
-                )
-                ops.append(op)
-                # the local (origin-buffer) side of the call
-                origin_access = STORE if op.kind == GET else LOAD
-                local.append(LocalAccess(
-                    rank=rank, seq=event.seq, access=origin_access,
-                    intervals=origin_ivs, var=op.origin_var, loc=event.loc,
-                    fn=fn, origin_of=op))
-                # MPI-3 fetching ops also *write* a local result buffer
-                if "result_base" in args:
-                    result_base = int(args["result_base"]) + \
-                        int(args.get("result_offset", 0))
-                    result_ivs = target_dtype.intervals(
-                        result_base, int(args["target_count"]))
-                    local.append(LocalAccess(
-                        rank=rank, seq=event.seq, access=STORE,
-                        intervals=result_ivs,
-                        var=str(args.get("result_var", "?")),
-                        loc=event.loc, fn=fn, origin_of=op))
-            elif fn in _CALL_LOADS or fn in _CALL_STORES or fn == "Bcast" \
-                    or (fn == "Wait" and args.get("req_kind") == "irecv"):
-                intervals = _call_buffer_intervals(pre, rank, event)
-                if intervals is None:
-                    continue
-                if fn == "Bcast":
-                    comm = int(args["comm"])
-                    root_world = pre.world_of_comm_rank(comm,
-                                                        int(args["root"]))
-                    access = LOAD if root_world == rank else STORE
-                elif fn in _CALL_LOADS:
-                    access = LOAD
-                else:
-                    access = STORE
-                local.append(LocalAccess(
-                    rank=rank, seq=event.seq, access=access,
-                    intervals=intervals, var=str(args.get("var", "?")),
-                    loc=event.loc, fn=fn))
-
+        rank_ops, rank_local = lift_rank(pre, epoch_index, rank)
+        ops.extend(rank_ops)
+        local.extend(rank_local)
     return AccessModel(ops=ops, local=local)
+
+
+def lift_rank(pre: PreprocessedTrace, epoch_index: EpochIndex,
+              rank: int) -> Tuple[List[RMAOpView], List[LocalAccess]]:
+    """Lift one rank's events — the unit of work of a model-phase shard.
+
+    Needs only that rank's events plus the merged registries, so the
+    parallel engine can run it in a worker against a single-rank view.
+    """
+    ops: List[RMAOpView] = []
+    local: List[LocalAccess] = []
+    for event in pre.events[rank]:
+        if isinstance(event, MemEvent):
+            local.append(LocalAccess(
+                rank=rank, seq=event.seq, access=event.access,
+                intervals=IntervalSet.single(event.addr, event.size),
+                var=event.var, loc=event.loc, fn="mem"))
+            continue
+        assert isinstance(event, CallEvent)
+        fn, args = event.fn, event.args
+        if fn in _RMA_KIND:
+            win = pre.window(int(args["win"]))
+            target = int(args["target"])
+            origin_dtype = pre.datatype(rank, int(args["origin_dtype"]))
+            target_dtype = pre.datatype(rank, int(args["target_dtype"]))
+            target_ivs = win.target_intervals(
+                target, int(args["target_disp"]),
+                int(args["target_count"]), target_dtype)
+            origin_base = int(args["origin_base"]) + \
+                int(args["origin_offset"])
+            origin_ivs = origin_dtype.intervals(
+                origin_base, int(args["origin_count"]))
+            epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
+                                          target)
+            acc_op = str(args["op"]) if "op" in args else None
+            if fn == "Compare_and_swap":
+                acc_op = "CAS"
+            op = RMAOpView(
+                rank=rank, seq=event.seq, kind=_RMA_KIND[fn],
+                win_id=win.win_id, target=target,
+                target_intervals=target_ivs,
+                origin_intervals=origin_ivs,
+                origin_var=str(args.get("var", "?")),
+                loc=event.loc, epoch=epoch, fn=fn,
+                acc_op=acc_op,
+                acc_base=(origin_dtype.base
+                          if _RMA_KIND[fn] == ACC else None),
+                complete_seq=epoch_index.completion_seq(
+                    rank, win.win_id, event.seq, target, epoch,
+                    req=(int(args["req"])
+                         if fn in ("Rput", "Rget", "Raccumulate")
+                         else None)),
+            )
+            ops.append(op)
+            # the local (origin-buffer) side of the call
+            origin_access = STORE if op.kind == GET else LOAD
+            local.append(LocalAccess(
+                rank=rank, seq=event.seq, access=origin_access,
+                intervals=origin_ivs, var=op.origin_var, loc=event.loc,
+                fn=fn, origin_of=op))
+            # MPI-3 fetching ops also *write* a local result buffer
+            if "result_base" in args:
+                result_base = int(args["result_base"]) + \
+                    int(args.get("result_offset", 0))
+                result_ivs = target_dtype.intervals(
+                    result_base, int(args["target_count"]))
+                local.append(LocalAccess(
+                    rank=rank, seq=event.seq, access=STORE,
+                    intervals=result_ivs,
+                    var=str(args.get("result_var", "?")),
+                    loc=event.loc, fn=fn, origin_of=op))
+        elif fn in _CALL_LOADS or fn in _CALL_STORES or fn == "Bcast" \
+                or (fn == "Wait" and args.get("req_kind") == "irecv"):
+            intervals = _call_buffer_intervals(pre, rank, event)
+            if intervals is None:
+                continue
+            if fn == "Bcast":
+                comm = int(args["comm"])
+                root_world = pre.world_of_comm_rank(comm,
+                                                    int(args["root"]))
+                access = LOAD if root_world == rank else STORE
+            elif fn in _CALL_LOADS:
+                access = LOAD
+            else:
+                access = STORE
+            local.append(LocalAccess(
+                rank=rank, seq=event.seq, access=access,
+                intervals=intervals, var=str(args.get("var", "?")),
+                loc=event.loc, fn=fn))
+
+    return ops, local

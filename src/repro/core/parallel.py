@@ -1,0 +1,296 @@
+"""Sharded parallel execution engine behind ``MCChecker(jobs=N)``.
+
+The serial DN-Analyzer decomposes along two natural shard axes:
+
+* **rank shards** — trace parsing, registry scanning, and access-model
+  lifting touch one rank's events at a time (plus the merged, read-only
+  registries), so each rank is an independent unit of work;
+* **region/epoch shards** — cross-process detection never crosses a
+  concurrent-region boundary (regions are separated by global
+  synchronization, so cross-region pairs are ordered by construction)
+  and intra-epoch detection never crosses an epoch, so contiguous chunks
+  of regions/epochs are independent units of work.
+
+Each axis runs over a ``multiprocessing`` pool; shard results are merged
+*in shard order*, which makes the parallel pipeline's report identical
+to the serial one: every list the serial code builds is reassembled in
+exactly the iteration order the serial code would have used (ranks
+ascending, epochs in index order, regions ascending) and deduplication
+happens once, in the parent, just as in ``MCChecker``.
+
+Worker payloads are kept deliberately small:
+
+* preprocess workers return a per-rank :class:`RankScan` plus the rank's
+  *call* events only — everything downstream except the access model is
+  derivable from call events alone (the observation the streaming
+  checker exploits); the memory events, which dominate trace volume, are
+  re-read from disk by the model worker for the same rank and never
+  cross a process boundary;
+* model workers return the lifted per-rank ops/locals; the parent
+  re-interns their epoch references onto the canonical
+  :class:`EpochIndex` (pickling copied them) so identity-keyed epoch
+  bucketing keeps working;
+* detection workers inherit the parent state at fork time (or receive
+  it once per worker through the spawn initializer) and ship back only
+  findings.
+
+Observability: when the parent recorder is enabled, each worker task
+runs under its own :class:`~repro.obs.recorder.Recorder` and returns its
+``export_state()`` beside the result; the parent ``absorb``s these, so
+worker spans and counters land in the parent's exporters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.clocks import ConcurrencyOracle
+from repro.core.diagnostics import ConsistencyError
+from repro.core.epochs import EpochIndex
+from repro.core.inter import _LocalLockIndex, bucket_by_region, detect_region
+from repro.core.intra import bucket_by_epoch, check_epoch
+from repro.core.model import AccessModel, lift_rank
+from repro.core.preprocess import PreprocessedTrace, scan_rank
+from repro.core.regions import RegionIndex
+from repro.obs.recorder import NullRecorder, Recorder
+from repro.profiler.events import CallEvent
+from repro.profiler.tracer import TraceSet
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0``/``1`` mean serial,
+    negative means one worker per CPU."""
+    if not jobs or jobs == 1:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _chunk_bounds(n: int, jobs: int, per_job: int = 4) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` chunks over ``n`` units: about ``per_job``
+    chunks per worker for load balance, while contiguity keeps the
+    in-order merge trivial."""
+    nchunks = min(n, jobs * per_job)
+    step = -(-n // nchunks)
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+
+
+#: worker-process state, installed by the pool initializer.  Under the
+#: fork start method the state bytes are inherited from the parent
+#: address space; under spawn they are pickled once per worker.
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(state: Dict[str, Any]) -> None:
+    _WORKER.clear()
+    _WORKER.update(state)
+
+
+def _task_recorder() -> NullRecorder:
+    """Task-local recorder: storing when the parent wants worker obs."""
+    return Recorder() if _WORKER.get("obs") else NullRecorder()
+
+
+def _export(rec: NullRecorder) -> Optional[dict]:
+    return rec.export_state() if rec.enabled else None
+
+
+# ---------------------------------------------------------------- tasks
+
+
+def _scan_task(rank: int):
+    """Preprocess shard: parse one rank's trace, return its registry scan
+    and call events (memory events stay worker-side)."""
+    rec = _task_recorder()
+    traces: TraceSet = _WORKER["traces"]
+    with rec.span("analyzer.worker.scan", rank=rank, pid=os.getpid()):
+        events = traces.events(rank)
+        scan = scan_rank(rank, events)
+        calls = [e for e in events if isinstance(e, CallEvent)]
+    rec.count("parallel_tasks_total", phase="scan")
+    return rank, scan, calls, _export(rec)
+
+
+class _RankView:
+    """Single-rank ``PreprocessedTrace`` facade: the full event list for
+    one rank, registries delegated to the merged (call-only) trace."""
+
+    def __init__(self, pre: PreprocessedTrace, rank: int, events):
+        self._pre = pre
+        self.nranks = pre.nranks
+        self.events = {rank: events}
+
+    def window(self, win_id: int):
+        return self._pre.window(win_id)
+
+    def datatype(self, rank: int, type_id: int):
+        return self._pre.datatype(rank, type_id)
+
+    def world_of_comm_rank(self, comm_id: int, comm_rank: int) -> int:
+        return self._pre.world_of_comm_rank(comm_id, comm_rank)
+
+
+def _lift_task(rank: int):
+    """Model shard: re-read one rank's full trace and lift its accesses
+    against the merged registries and a per-rank epoch index."""
+    rec = _task_recorder()
+    traces: TraceSet = _WORKER["traces"]
+    pre: PreprocessedTrace = _WORKER["pre"]
+    with rec.span("analyzer.worker.lift", rank=rank, pid=os.getpid()):
+        view = _RankView(pre, rank, traces.events(rank))
+        epochs = EpochIndex(view, ranks=[rank])
+        ops, local = lift_rank(view, epochs, rank)
+    rec.count("parallel_tasks_total", phase="lift")
+    return rank, ops, local, _export(rec)
+
+
+def _intra_task(bounds: Tuple[int, int]):
+    """Intra-epoch shard: run :func:`check_epoch` over a contiguous chunk
+    of epoch units."""
+    rec = _task_recorder()
+    units = _WORKER["intra_units"]
+    memory_model = _WORKER["memory_model"]
+    lo, hi = bounds
+    findings: List[ConsistencyError] = []
+    with rec.span("analyzer.worker.intra", units=hi - lo, pid=os.getpid()):
+        for epoch, ops, attached, mems in units[lo:hi]:
+            findings.extend(
+                check_epoch(epoch, ops, attached, mems, memory_model))
+    rec.count("parallel_tasks_total", phase="intra")
+    return findings, _export(rec)
+
+
+def _inter_task(bounds: Tuple[int, int]):
+    """Cross-process shard: run :func:`detect_region` over a contiguous
+    chunk of concurrent-region units."""
+    rec = _task_recorder()
+    pre = _WORKER["pre"]
+    oracle = _WORKER["oracle"]
+    lock_index = _WORKER["lock_index"]
+    memory_model = _WORKER["memory_model"]
+    units = _WORKER["inter_units"]
+    lo, hi = bounds
+    findings: List[ConsistencyError] = []
+    with rec.span("analyzer.worker.inter", regions=hi - lo,
+                  pid=os.getpid()):
+        for region_ops, region_locals in units[lo:hi]:
+            findings.extend(detect_region(
+                pre, region_ops, region_locals, oracle, lock_index,
+                memory_model))
+    rec.count("parallel_tasks_total", phase="inter")
+    return findings, _export(rec)
+
+
+# --------------------------------------------------------------- engine
+
+
+class ParallelEngine:
+    """Drives the sharded phases of one analysis run.
+
+    One pool is created per parallelized phase, *after* the parent state
+    that phase's workers need exists — under fork the workers then
+    inherit it copy-on-write and only the small shard results are ever
+    pickled.
+    """
+
+    def __init__(self, traces: TraceSet, jobs: int,
+                 memory_model: str = "separate"):
+        self.traces = traces
+        self.jobs = resolve_jobs(jobs)
+        self.memory_model = memory_model
+        #: total trace events (calls + loads/stores) seen by the scan
+        #: phase; the parent's event dict holds call events only
+        self.total_events = 0
+        methods = mp.get_all_start_methods()
+        self._ctx = (mp.get_context("fork") if "fork" in methods
+                     else mp.get_context())
+
+    def _pool(self, state: Dict[str, Any]):
+        state = dict(state)
+        state["obs"] = obs.is_enabled()
+        return self._ctx.Pool(self.jobs, initializer=_init_worker,
+                              initargs=(state,))
+
+    def _absorb(self, export: Optional[dict]) -> None:
+        if export is not None:
+            obs.get_recorder().absorb(export)
+
+    def preprocess(self) -> PreprocessedTrace:
+        """Scan every rank in parallel; merge scans deterministically."""
+        with self._pool({"traces": self.traces}) as pool:
+            results = pool.map(_scan_task, range(self.traces.nranks))
+        scans, call_events = [], {}
+        for rank, scan, calls, export in results:
+            scans.append(scan)
+            call_events[rank] = calls
+            self._absorb(export)
+        self.total_events = sum(scan.n_events for scan in scans)
+        return PreprocessedTrace(call_events, scans=scans)
+
+    def build_model(self, pre: PreprocessedTrace,
+                    epoch_index: EpochIndex) -> AccessModel:
+        """Lift every rank in parallel; concatenate in rank order."""
+        with self._pool({"traces": self.traces, "pre": pre}) as pool:
+            results = pool.map(_lift_task, range(pre.nranks))
+        # worker ops carry pickled *copies* of their per-rank epochs;
+        # re-intern them onto the parent's canonical index so the
+        # identity-keyed bucketing downstream sees one object per epoch
+        canonical = {(e.rank, e.win_id, e.kind, e.open_seq): e
+                     for e in epoch_index.epochs}
+        ops, local = [], []
+        for rank, rank_ops, rank_local, export in results:
+            for op in rank_ops:
+                if op.epoch is not None:
+                    key = (op.epoch.rank, op.epoch.win_id, op.epoch.kind,
+                           op.epoch.open_seq)
+                    op.epoch = canonical[key]
+            ops.extend(rank_ops)
+            local.extend(rank_local)
+            self._absorb(export)
+        return AccessModel(ops=ops, local=local)
+
+    def detect_intra(self, model: AccessModel,
+                     epoch_index: EpochIndex) -> List[ConsistencyError]:
+        """Fan :func:`check_epoch` out over chunks of epoch units."""
+        units = bucket_by_epoch(model, epoch_index)
+        if not units:
+            return []
+        state = {"intra_units": units, "memory_model": self.memory_model}
+        with self._pool(state) as pool:
+            results = pool.map(_intra_task,
+                               _chunk_bounds(len(units), self.jobs))
+        findings: List[ConsistencyError] = []
+        for chunk_findings, export in results:
+            findings.extend(chunk_findings)
+            self._absorb(export)
+        return findings
+
+    def detect_inter(self, pre: PreprocessedTrace, model: AccessModel,
+                     regions: RegionIndex, oracle: ConcurrencyOracle,
+                     epoch_index: EpochIndex) -> List[ConsistencyError]:
+        """Fan :func:`detect_region` out over chunks of region units."""
+        lock_index = _LocalLockIndex(epoch_index, pre.nranks)
+        ops_by_region, locals_by_region = bucket_by_region(model, regions)
+        units = []
+        for region in regions:
+            region_ops = ops_by_region.get(region.index, [])
+            if not region_ops:
+                continue
+            units.append((region_ops,
+                          locals_by_region.get(region.index, [])))
+        if not units:
+            return []
+        state = {"pre": pre, "oracle": oracle, "lock_index": lock_index,
+                 "inter_units": units, "memory_model": self.memory_model}
+        with self._pool(state) as pool:
+            results = pool.map(_inter_task,
+                               _chunk_bounds(len(units), self.jobs))
+        findings: List[ConsistencyError] = []
+        for chunk_findings, export in results:
+            findings.extend(chunk_findings)
+            self._absorb(export)
+        return findings

@@ -50,10 +50,95 @@ class WindowInfo:
         return dtype.intervals(base, count)
 
 
-class PreprocessedTrace:
-    """All per-rank events plus the reconstructed registries."""
+@dataclass
+class RankScan:
+    """The registry-relevant facts of one rank's trace, as picklable
+    records — the per-rank shard a preprocessing worker ships back for the
+    deterministic merge (``Comm_split`` ordering, window exposure maps,
+    and per-rank datatype tables are all order-independent across ranks
+    once each rank's own records are kept in trace order)."""
 
-    def __init__(self, events: Dict[int, List[Event]]):
+    rank: int
+    #: (win, comm, base, size, disp_unit, var-or-None), in trace order
+    windows: List[Tuple[int, int, int, int, int, Optional[str]]] = \
+        field(default_factory=list)
+    #: (newcomm, parent, key), in trace order
+    splits: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: (newcomm, parent), in trace order
+    dups: List[Tuple[int, int]] = field(default_factory=list)
+    #: (newcomm, world-rank members), in trace order
+    creates: List[Tuple[int, Tuple[int, ...]]] = field(default_factory=list)
+    #: derived datatypes replayed from this rank's ``Type_*`` calls
+    datatypes: Dict[int, Datatype] = field(default_factory=dict)
+    #: total events in the rank's trace (calls + loads/stores)
+    n_events: int = 0
+
+
+def scan_rank(rank: int, events: List[Event]) -> RankScan:
+    """Single pass over one rank's events collecting registry records."""
+    scan = RankScan(rank=rank, n_events=len(events))
+    factory = DatatypeFactory()
+
+    def resolve(type_id: int) -> Datatype:
+        dt = scan.datatypes.get(type_id) or PRIMITIVES_BY_ID.get(type_id)
+        if dt is None:
+            raise AnalysisError(f"rank {rank}: unknown datatype id {type_id}")
+        return dt
+
+    for event in events:
+        if not isinstance(event, CallEvent):
+            continue
+        fn, args = event.fn, event.args
+        if fn == "Win_create":
+            scan.windows.append((
+                int(args["win"]), int(args["comm"]), int(args["base"]),
+                int(args["size"]), int(args["disp_unit"]),
+                str(args["var"]) if "var" in args else None))
+        elif fn == "Comm_split":
+            newcomm = int(args["newcomm"])
+            if newcomm >= 0:
+                scan.splits.append((newcomm, int(args["comm"]),
+                                    int(args["key"])))
+        elif fn == "Comm_dup":
+            scan.dups.append((int(args["newcomm"]), int(args["comm"])))
+        elif fn == "Comm_create":
+            newcomm = int(args["newcomm"])
+            if newcomm >= 0:
+                scan.creates.append((newcomm, tuple(
+                    int(r) for r in args["group"])))
+        elif fn == "Type_contiguous":
+            dt = factory.contiguous(int(args["count"]),
+                                    resolve(int(args["oldtype"])))
+            scan.datatypes[dt.type_id] = dt
+        elif fn == "Type_vector":
+            dt = factory.vector(
+                int(args["count"]), int(args["blocklength"]),
+                int(args["stride"]), resolve(int(args["oldtype"])))
+            scan.datatypes[dt.type_id] = dt
+        elif fn == "Type_indexed":
+            dt = factory.indexed(
+                list(args["blocklengths"]), list(args["displacements"]),
+                resolve(int(args["oldtype"])))
+            scan.datatypes[dt.type_id] = dt
+        elif fn == "Type_struct":
+            dt = factory.struct(
+                list(args["blocklengths"]), list(args["displacements"]),
+                [resolve(t) for t in args["oldtypes"]])
+            scan.datatypes[dt.type_id] = dt
+    return scan
+
+
+class PreprocessedTrace:
+    """All per-rank events plus the reconstructed registries.
+
+    ``scans`` short-circuits the per-rank registry scan: the parallel
+    engine computes :class:`RankScan` shards in worker processes and the
+    merge here is deterministic in rank order, so a serial and a sharded
+    build produce identical registries.
+    """
+
+    def __init__(self, events: Dict[int, List[Event]],
+                 scans: Optional[List[RankScan]] = None):
         self.events = events
         self.nranks = len(events)
         self.comms: Dict[int, Tuple[int, ...]] = {
@@ -63,7 +148,10 @@ class PreprocessedTrace:
         self.datatypes: Dict[int, Dict[int, Datatype]] = {
             rank: dict(PRIMITIVES_BY_ID) for rank in range(self.nranks)
         }
-        self._build()
+        if scans is None:
+            scans = [scan_rank(rank, events[rank])
+                     for rank in range(self.nranks)]
+        self._merge(scans)
 
     # ------------------------------------------------------------------
 
@@ -96,62 +184,28 @@ class PreprocessedTrace:
 
     # ------------------------------------------------------------------
 
-    def _build(self) -> None:
+    def _merge(self, scans: List[RankScan]) -> None:
         split_members: Dict[int, Tuple[int, List[Tuple[int, int]]]] = {}
         create_members: Dict[int, Tuple[int, ...]] = {}
         dup_parents: Dict[int, int] = {}
 
-        for rank in range(self.nranks):
-            factory = DatatypeFactory()
-            for event in self.events[rank]:
-                if not isinstance(event, CallEvent):
-                    continue
-                fn, args = event.fn, event.args
-                if fn == "Win_create":
-                    info = self.windows.setdefault(
-                        int(args["win"]),
-                        WindowInfo(int(args["win"]), int(args["comm"])))
-                    info.bases[rank] = int(args["base"])
-                    info.sizes[rank] = int(args["size"])
-                    info.disp_units[rank] = int(args["disp_unit"])
-                    if "var" in args:
-                        info.var_names[rank] = str(args["var"])
-                elif fn == "Comm_split":
-                    newcomm = int(args["newcomm"])
-                    if newcomm >= 0:
-                        parent = int(args["comm"])
-                        split_members.setdefault(newcomm, (parent, []))[1] \
-                            .append((int(args["key"]), rank))
-                elif fn == "Comm_dup":
-                    dup_parents[int(args["newcomm"])] = int(args["comm"])
-                elif fn == "Comm_create":
-                    newcomm = int(args["newcomm"])
-                    if newcomm >= 0:
-                        create_members[newcomm] = tuple(
-                            int(r) for r in args["group"])
-                elif fn == "Type_contiguous":
-                    dt = factory.contiguous(
-                        int(args["count"]),
-                        self.datatype(rank, int(args["oldtype"])))
-                    self.datatypes[rank][dt.type_id] = dt
-                elif fn == "Type_vector":
-                    dt = factory.vector(
-                        int(args["count"]), int(args["blocklength"]),
-                        int(args["stride"]),
-                        self.datatype(rank, int(args["oldtype"])))
-                    self.datatypes[rank][dt.type_id] = dt
-                elif fn == "Type_indexed":
-                    dt = factory.indexed(
-                        list(args["blocklengths"]),
-                        list(args["displacements"]),
-                        self.datatype(rank, int(args["oldtype"])))
-                    self.datatypes[rank][dt.type_id] = dt
-                elif fn == "Type_struct":
-                    dt = factory.struct(
-                        list(args["blocklengths"]),
-                        list(args["displacements"]),
-                        [self.datatype(rank, t) for t in args["oldtypes"]])
-                    self.datatypes[rank][dt.type_id] = dt
+        for scan in sorted(scans, key=lambda s: s.rank):
+            rank = scan.rank
+            for win, comm, base, size, disp_unit, var in scan.windows:
+                info = self.windows.setdefault(win, WindowInfo(win, comm))
+                info.bases[rank] = base
+                info.sizes[rank] = size
+                info.disp_units[rank] = disp_unit
+                if var is not None:
+                    info.var_names[rank] = var
+            for newcomm, parent, key in scan.splits:
+                split_members.setdefault(newcomm, (parent, []))[1] \
+                    .append((key, rank))
+            for newcomm, parent in scan.dups:
+                dup_parents[newcomm] = parent
+            for newcomm, members in scan.creates:
+                create_members[newcomm] = members
+            self.datatypes[rank].update(scan.datatypes)
 
         # Communicator ids are assigned in creation order, so a parent
         # always has a smaller id than its children — resolving ascending

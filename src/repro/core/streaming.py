@@ -38,7 +38,7 @@ from repro.core.diagnostics import (
     SEVERITY_ERROR, ConsistencyError, dedupe,
 )
 from repro.core.epochs import Epoch, EpochIndex
-from repro.core.inter import LocalLockIndex, detect_region
+from repro.core.inter import LocalLockIndex, bucket_by_region, detect_region
 from repro.core.intra import check_epoch
 from repro.core.matching import match_synchronization
 from repro.core.model import AccessModel, LocalAccess, build_access_model
@@ -85,14 +85,8 @@ class StreamingChecker:
         self.lock_index = LocalLockIndex(self.epochs, self.pre.nranks)
 
         # pre-bucket the call-derived accesses by region / epoch
-        self._ops_by_region: Dict[int, List] = {}
-        for op in sorted(self.call_model.ops, key=lambda o: (o.rank, o.seq)):
-            for index in self.regions.regions_of_span(op.span):
-                self._ops_by_region.setdefault(index, []).append(op)
-        self._call_locals_by_region: Dict[int, List[LocalAccess]] = {}
-        for la in self.call_model.local:
-            for index in self.regions.regions_of_span(la.span):
-                self._call_locals_by_region.setdefault(index, []).append(la)
+        self._ops_by_region, self._call_locals_by_region = \
+            bucket_by_region(self.call_model, self.regions)
         self._ops_by_epoch: Dict[int, List] = {}
         self._attached_by_epoch: Dict[int, List[LocalAccess]] = {}
         for op in self.call_model.ops:

@@ -42,6 +42,14 @@ class Metric:
         """Yield ``(labels, value)`` per series (exporter interface)."""
         raise NotImplementedError
 
+    def snapshot_series(self) -> Dict[LabelKey, object]:
+        """Picklable per-series state (cross-process merge interface)."""
+        raise NotImplementedError
+
+    def merge_series(self, series: Dict[LabelKey, object]) -> None:
+        """Fold a :meth:`snapshot_series` result into this family."""
+        raise NotImplementedError
+
 
 class Counter(Metric):
     """Monotonically increasing count, one series per label combination."""
@@ -70,6 +78,15 @@ class Counter(Metric):
         for key in sorted(self._values):
             yield dict(key), self._values[key]
 
+    def snapshot_series(self):
+        with self._lock:
+            return dict(self._values)
+
+    def merge_series(self, series):
+        with self._lock:
+            for key, value in series.items():
+                self._values[key] = self._values.get(key, 0) + value
+
 
 class Gauge(Metric):
     """Last-write-wins value, one series per label combination."""
@@ -90,6 +107,15 @@ class Gauge(Metric):
     def samples(self):
         for key in sorted(self._values):
             yield dict(key), self._values[key]
+
+    def snapshot_series(self):
+        with self._lock:
+            return dict(self._values)
+
+    def merge_series(self, series):
+        # last-write-wins: the snapshot (the more recent observation) wins
+        with self._lock:
+            self._values.update(series)
 
 
 class _HistSeries:
@@ -176,6 +202,22 @@ class Histogram(Metric):
             yield dict(key), (list(series.bucket_counts), series.count,
                               series.sum)
 
+    def snapshot_series(self):
+        with self._lock:
+            return {key: (list(s.bucket_counts), s.count, s.sum)
+                    for key, s in self._series.items()}
+
+    def merge_series(self, series):
+        with self._lock:
+            for key, (bucket_counts, count, total) in series.items():
+                mine = self._series.get(key)
+                if mine is None:
+                    mine = self._series[key] = _HistSeries(len(self.buckets))
+                mine.count += count
+                mine.sum += total
+                for i, n in enumerate(bucket_counts):
+                    mine.bucket_counts[i] += n
+
 
 class MetricsRegistry:
     """Get-or-create store for every metric family of one recorder."""
@@ -209,6 +251,38 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Picklable state of every family, for cross-process merging.
+
+        Counters and histograms merge additively; gauges last-write-wins.
+        The result round-trips through :meth:`merge` on another registry.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out: Dict[str, dict] = {}
+        for metric in metrics:
+            entry = {"kind": metric.kind, "help": metric.help,
+                     "series": metric.snapshot_series()}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = metric.buckets
+            out[metric.name] = entry
+        return out
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (typically a worker's) into this one."""
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == Counter.kind:
+                metric = self.counter(name, entry["help"])
+            elif kind == Gauge.kind:
+                metric = self.gauge(name, entry["help"])
+            elif kind == Histogram.kind:
+                metric = self.histogram(name, entry["help"],
+                                        buckets=entry["buckets"])
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+            metric.merge_series(entry["series"])
 
     def __iter__(self) -> Iterator[Metric]:
         return iter(sorted(self._metrics.values(), key=lambda m: m.name))

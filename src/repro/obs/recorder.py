@@ -45,6 +45,21 @@ class NullRecorder:
                 buckets: Optional[Sequence[float]] = None, **labels) -> None:
         pass
 
+    def export_state(self) -> dict:
+        """Picklable spans + metrics, for shipping across processes.
+
+        A worker builds a local :class:`Recorder`, runs its shard, and
+        returns ``export_state()``; the parent folds it in with
+        :meth:`absorb`.  On a :class:`NullRecorder` both stores are empty,
+        so the export is empty too.
+        """
+        return {"metrics": self.registry.snapshot(),
+                "spans": self.spans.records()}
+
+    def absorb(self, state: dict) -> None:
+        """Merge a worker recorder's :meth:`export_state` (no-op when
+        disabled: nothing is stored either way)."""
+
 
 class Recorder(NullRecorder):
     """Enabled observability: everything is stored for the exporters."""
@@ -66,3 +81,7 @@ class Recorder(NullRecorder):
                 buckets: Optional[Sequence[float]] = None, **labels) -> None:
         self.registry.histogram(name, help, buckets=buckets).observe(
             value, **labels)
+
+    def absorb(self, state: dict) -> None:
+        self.registry.merge(state["metrics"])
+        self.spans.extend(state["spans"])

@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -62,6 +62,11 @@ class SpanTracker:
     def add(self, record: SpanRecord) -> None:
         with self._lock:
             self._records.append(record)
+
+    def extend(self, records: Iterable[SpanRecord]) -> None:
+        """Adopt already-finished spans (e.g. shipped from a worker)."""
+        with self._lock:
+            self._records.extend(records)
 
     def records(self) -> List[SpanRecord]:
         """Snapshot, ordered by start time (children after parents)."""

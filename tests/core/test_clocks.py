@@ -149,6 +149,71 @@ class TestSpans:
         assert oracle.ordered(Span.point(0, 1), Span(0, 2, 9))
 
 
+def _random_workload(seed):
+    def app(mpi):
+        rng = random.Random(900 + seed)
+        for _ in range(10):
+            action = rng.choice(["barrier", "p2p", "local"])
+            if action == "barrier":
+                mpi.barrier()
+            elif action == "p2p":
+                src = rng.randrange(mpi.size)
+                dst = (src + 1) % mpi.size
+                if mpi.rank == src:
+                    mpi.send("m", dest=dst, tag=0)
+                elif mpi.rank == dst:
+                    mpi.recv(source=src, tag=0)
+            else:
+                mpi.comm_rank()
+    return app
+
+
+def _random_spans(pre, rng, n):
+    max_seq = max(len(events) for events in pre.events.values()) + 4
+    spans = []
+    for _ in range(n):
+        rank = rng.randrange(pre.nranks)
+        a, b = rng.randrange(max_seq), rng.randrange(max_seq)
+        lo, hi = min(a, b), max(a, b)
+        if rng.random() < 0.1:
+            hi = 1 << 60  # open-ended epoch span
+        spans.append(Span(rank, lo, hi))
+    return spans
+
+
+class TestBatchedQueries:
+    """``ordered_batch`` must agree with pairwise ``ordered`` everywhere —
+    it is the inner loop of the batched cross-process detector."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ordered_batch_matches_pairwise(self, seed):
+        pre, _m, oracle = build(_random_workload(seed), 3, seed=seed)
+        rng = random.Random(seed)
+        spans = _random_spans(pre, rng, 60)
+        for b in _random_spans(pre, rng, 20):
+            expected = [oracle.ordered(s, b) for s in spans]
+            assert oracle.ordered_spans(spans, b).tolist() == expected
+
+    def test_pickle_roundtrip_preserves_answers(self):
+        import pickle
+
+        pre, _m, oracle = build(_random_workload(0), 3, seed=0)
+        clone = pickle.loads(pickle.dumps(oracle))
+        rng = random.Random(7)
+        spans = _random_spans(pre, rng, 40)
+        for b in _random_spans(pre, rng, 10):
+            assert (clone.ordered_spans(spans, b).tolist()
+                    == oracle.ordered_spans(spans, b).tolist())
+        for a_rank in range(pre.nranks):
+            for b_rank in range(pre.nranks):
+                for a_seq in range(0, 12, 3):
+                    for b_seq in range(0, 12, 3):
+                        assert (clone.happens_before(a_rank, a_seq,
+                                                     b_rank, b_seq)
+                                == oracle.happens_before(a_rank, a_seq,
+                                                         b_rank, b_seq))
+
+
 class TestDifferentialAgainstDAG:
     """The vector-clock oracle must agree with Figure-4 DAG reachability on
     every non-RMA event pair (RMA vertices deliberately diverge: the DAG

@@ -312,3 +312,60 @@ class TestNaiveEquivalence:
             return sorted(f.dedup_key for f in findings)
 
         assert canonical(fast) == canonical(naive)
+
+
+class TestLocalLockIndex:
+    """The bisect-based ``_LocalLockIndex`` must answer exactly like a
+    linear scan over every qualifying exclusive-lock epoch."""
+
+    def _lock_heavy_app(self, mpi):
+        buf = mpi.alloc("buf", 4, datatype=DOUBLE)
+        win = mpi.win_create(buf)
+        other = mpi.alloc("other", 2, datatype=DOUBLE)
+        win2 = mpi.win_create(other)
+        buf[0] = 1.0  # store outside any lock
+        for i in range(3):
+            win.lock(mpi.rank, lock_type=LOCK_EXCLUSIVE)
+            buf[1] = float(i)  # store under a self-exclusive lock
+            win.unlock(mpi.rank)
+            buf[2] = float(i)  # store between lock epochs
+        win.lock(mpi.rank, lock_type=LOCK_SHARED)
+        buf[3] = 9.0  # shared lock does not qualify
+        win.unlock(mpi.rank)
+        target = (mpi.rank + 1) % mpi.size
+        win.lock(target, lock_type=LOCK_EXCLUSIVE)
+        buf[0] = 8.0  # remote-targeted lock does not qualify either
+        win.unlock(target)
+        win2.lock(mpi.rank, lock_type=LOCK_EXCLUSIVE)
+        other[0] = 5.0  # covered, but only on win2
+        win2.unlock(mpi.rank)
+        mpi.barrier()
+        win2.free()
+        win.free()
+
+    def test_bisect_index_matches_linear_scan(self):
+        from repro.core.epochs import KIND_LOCK
+        from repro.core.inter import LocalLockIndex
+
+        pre, model, regions, oracle, epochs = stages_for(
+            self._lock_heavy_app, 3)
+        index = LocalLockIndex(epochs, pre.nranks)
+
+        def linear_scan(la, win_id):
+            return any(
+                e.kind == KIND_LOCK and e.lock_type == LOCK_EXCLUSIVE
+                and e.target == e.rank and e.rank == la.rank
+                and e.win_id == win_id and e.contains_seq(la.seq)
+                for e in epochs.epochs)
+
+        win_ids = sorted({e.win_id for e in epochs.epochs})
+        assert len(win_ids) == 2 and model.local
+        answers = set()
+        for la in model.local:
+            for win_id in win_ids:
+                got = index.covers(la, win_id)
+                assert got == linear_scan(la, win_id), (
+                    f"rank={la.rank} seq={la.seq} win={win_id}")
+                answers.add(got)
+        # the workload must exercise both covered and uncovered accesses
+        assert answers == {True, False}

@@ -1,0 +1,116 @@
+"""Parallel engine tests.
+
+The contract of ``MCChecker(jobs=N)`` is *byte-identical reports at any
+job count*: same deduplicated findings in the same order, same error and
+warning counts, same pipeline statistics.  The differential below pins
+that over the whole bundled bug corpus under both memory models, plus
+unit tests for the shard helpers and the worker observability merge.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.apps.registry import BUG_CASES, EXTRA_CASES
+from repro.core.checker import check_traces
+from repro.core.parallel import _chunk_bounds, resolve_jobs
+from repro.profiler.session import profile_run
+
+ALL_CASES = list(BUG_CASES) + list(EXTRA_CASES)
+RANKS_CAP = 8
+JOB_COUNTS = (1, 2, 4)
+MEMORY_MODELS = ("separate", "unified")
+
+_TRACES = {}
+
+
+def traces_for(case):
+    """Profile each buggy case once and reuse the traces across tests."""
+    if case.name not in _TRACES:
+        nranks = min(case.nranks, RANKS_CAP)
+        _TRACES[case.name] = profile_run(
+            case.app, nranks, params=case.params(True)).traces
+    return _TRACES[case.name]
+
+
+def canonical(report) -> str:
+    """Byte-comparable form of a report, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.name)
+    def test_reports_identical_at_any_job_count(self, case):
+        traces = traces_for(case)
+        for memory_model in MEMORY_MODELS:
+            reports = {
+                jobs: check_traces(traces, memory_model=memory_model,
+                                   jobs=jobs)
+                for jobs in JOB_COUNTS
+            }
+            serial = reports[1]
+            for jobs in JOB_COUNTS[1:]:
+                parallel = reports[jobs]
+                assert len(parallel.errors) == len(serial.errors), (
+                    f"{case.name}/{memory_model}: jobs={jobs} error count")
+                assert len(parallel.warnings) == len(serial.warnings), (
+                    f"{case.name}/{memory_model}: jobs={jobs} warning count")
+                assert canonical(parallel) == canonical(serial), (
+                    f"{case.name}/{memory_model}: jobs={jobs} report "
+                    "diverged from serial")
+
+    def test_naive_inter_unaffected_by_jobs(self):
+        # the combinatorial strawman stays serial under jobs>1, but the
+        # report must still match the fully serial naive run
+        traces = traces_for(ALL_CASES[0])
+        serial = check_traces(traces, naive_inter=True)
+        parallel = check_traces(traces, naive_inter=True, jobs=2)
+        assert canonical(parallel) == canonical(serial)
+
+
+class TestHelpers:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(-1) >= 1
+
+    def test_chunk_bounds_partition(self):
+        for n in (1, 2, 5, 16, 97):
+            for jobs in (1, 2, 4):
+                chunks = _chunk_bounds(n, jobs)
+                # contiguous, in order, covering exactly [0, n)
+                assert chunks[0][0] == 0 and chunks[-1][1] == n
+                for (_, hi), (lo, _) in zip(chunks, chunks[1:]):
+                    assert hi == lo
+                assert all(lo < hi for lo, hi in chunks)
+                assert len(chunks) <= max(1, jobs * 4)
+
+
+class TestWorkerObs:
+    def test_worker_spans_and_counters_absorbed(self):
+        traces = traces_for(ALL_CASES[0])
+        rec = obs.configure(enabled=True)
+        try:
+            check_traces(traces, jobs=2)
+            span_names = {r.name for r in rec.spans.records()}
+            assert "analyzer.worker.scan" in span_names
+            assert "analyzer.worker.lift" in span_names
+            counter = rec.registry.get("parallel_tasks_total")
+            assert counter is not None
+            assert counter.value(phase="scan") == traces.nranks
+            assert counter.value(phase="lift") == traces.nranks
+        finally:
+            obs.reset()
+
+    def test_disabled_recorder_stays_empty(self):
+        traces = traces_for(ALL_CASES[0])
+        obs.reset()
+        rec = obs.get_recorder()
+        check_traces(traces, jobs=2)
+        assert len(rec.spans) == 0
+        assert len(rec.registry) == 0

@@ -117,3 +117,61 @@ class TestMembership:
         pre, regions = regions_for(app, 2)
         span = Span(0, 0, 1 << 60)
         assert list(regions.regions_of_span(span)) == [0, 1, 2]
+
+
+class TestSpanEdgeCases:
+    """Boundary behavior the parallel engine's region sharding relies on."""
+
+    def _barrier_app(self):
+        def app(mpi):
+            mpi.comm_rank()
+            mpi.barrier()
+            mpi.comm_rank()
+        return app
+
+    def test_span_starting_exactly_on_cut(self):
+        pre, regions = regions_for(self._barrier_app(), 2)
+        barrier_seq = next(e.seq for e in pre.events[0]
+                           if e.fn == "Barrier")
+        # a span opening exactly at the cut lands in both adjacent
+        # regions — a sound superset: every region-0 access ends at or
+        # before the cut, so the oracle orders all the extra pairs away
+        span = Span(0, barrier_seq, barrier_seq + 1)
+        assert list(regions.regions_of_span(span)) == [0, 1]
+
+    def test_cut_to_cut_span(self):
+        def app(mpi):
+            mpi.barrier()
+            mpi.comm_rank()
+            mpi.barrier()
+
+        pre, regions = regions_for(app, 2)
+        first, second = [e.seq for e in pre.events[0]
+                         if e.fn == "Barrier"]
+        # opening at one cut and closing at the next covers exactly the
+        # region between them (plus the sound extra region before)
+        span = Span(0, first, second)
+        assert list(regions.regions_of_span(span)) == [0, 1]
+
+    def test_span_entirely_past_last_cut(self):
+        pre, regions = regions_for(self._barrier_app(), 2)
+        barrier_seq = next(e.seq for e in pre.events[0]
+                           if e.fn == "Barrier")
+        span = Span(0, barrier_seq + 3, barrier_seq + 9)
+        assert list(regions.regions_of_span(span)) == [len(regions) - 1]
+
+    def test_span_far_beyond_trace_clamps_to_last_region(self):
+        pre, regions = regions_for(self._barrier_app(), 2)
+        span = Span(0, 1 << 59, 1 << 60)
+        assert list(regions.regions_of_span(span)) == [len(regions) - 1]
+
+    def test_single_region_trace(self):
+        def app(mpi):
+            mpi.comm_rank()
+            mpi.comm_rank()
+
+        pre, regions = regions_for(app, 2)
+        assert len(regions) == 1
+        for span in (Span.point(0, 0), Span(0, 0, 5),
+                     Span(1, 2, 1 << 60)):
+            assert list(regions.regions_of_span(span)) == [0]
