@@ -1,0 +1,263 @@
+"""Perf harness for the binary columnar trace format (v2).
+
+Profiles one LU run, writes the identical event stream in both on-disk
+formats, and measures per format: write throughput, bytes on disk, and
+end-to-end read+preprocess throughput (call-only registry preprocess
+plus a full drain of the packed load/store blocks — the exact ingest
+path the analyzer uses).  Reports must be byte-identical across formats
+and job counts; ``BENCH_trace_format.json`` records everything.
+
+Two entry points:
+
+* ``python benchmarks/bench_trace_format.py`` — the full configuration
+  (16-rank LU, >= 100k load/store events); artifact at the repo root.
+* ``python benchmarks/bench_trace_format.py --smoke`` — a small CI
+  configuration; same measurements and identity checks, artifact under
+  ``benchmarks/results/`` so it never overwrites the committed result.
+
+Gates (full mode): binary read+preprocess >= 3x faster than text, and
+binary bytes on disk <= half of text.  The size gate also applies in
+smoke mode; the speed gate is recorded but not enforced there (tiny
+traces make ratios noisy on loaded CI machines).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+from repro.apps.lu import lu
+from repro.core.checker import check_traces
+from repro.core.preprocess import preprocess_calls
+from repro.profiler.session import profile_run
+from repro.profiler.tracer import (
+    FORMAT_BINARY, FORMAT_TEXT, TraceSet, TraceWriter,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_trace_format.json")
+SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_trace_format_smoke.json")
+
+READ_SPEEDUP_GATE = 3.0
+JOB_COUNTS = (1, 4)
+
+#: the 2x size requirement is defined over the mem-event-heavy full
+#: workload; the smoke workload is call-dominated (calls encode as text
+#: records in both formats), so there the gate only demands "smaller"
+CONFIGS = {
+    # n=768 puts ~295k load/store events against ~43k calls — the
+    # mem-heavy regime the binary format is for (and the acceptance
+    # floor of 100k mem events with room to spare)
+    "full": dict(nranks=16, n=768, reps=3, size_ratio_gate=2.0),
+    "smoke": dict(nranks=4, n=48, reps=1, size_ratio_gate=1.0),
+}
+
+FORMATS = (FORMAT_TEXT, FORMAT_BINARY)
+
+
+def canonical(report):
+    """Byte-comparable report form, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def trace_bytes(directory):
+    return sum(os.path.getsize(os.path.join(directory, name))
+               for name in os.listdir(directory)
+               if name.startswith("trace."))
+
+
+def rewrite(events_by_rank, nranks, out_dir, fmt):
+    """Write the materialized event stream in ``fmt``; returns seconds."""
+    start = time.perf_counter()
+    for rank in range(nranks):
+        path = TraceSet.rank_path(out_dir, rank, fmt)
+        with TraceWriter(path, rank, nranks, app="lu",
+                         format=fmt) as writer:
+            for event in events_by_rank[rank]:
+                writer.write(event)
+    return time.perf_counter() - start
+
+
+def read_preprocess(directory, reps):
+    """Median seconds for the analyzer's ingest: call-only preprocess
+    (registries + counts) plus a full drain of every packed load/store
+    block through the format-agnostic stream API."""
+    samples = []
+    events_seen = 0
+    for _ in range(reps):
+        start = time.perf_counter()
+        traces = TraceSet(directory)
+        pre = preprocess_calls(traces)
+        events_seen = pre.total_events
+        drained = sum(len(events) for events in pre.events.values())
+        for rank in range(traces.nranks):
+            for block in traces.mem_blocks(rank):
+                drained += len(block)
+        samples.append(time.perf_counter() - start)
+        assert drained == events_seen, "ingest drained a partial trace"
+    return statistics.median(samples), events_seen
+
+
+def run_bench(mode, out_path):
+    cfg = CONFIGS[mode]
+    cpus = os.cpu_count() or 1
+    print(f"[bench_trace_format] mode={mode} nranks={cfg['nranks']} "
+          f"n={cfg['n']} reps={cfg['reps']} cpus={cpus}")
+
+    workdir = tempfile.mkdtemp(prefix="bench-trace-format-")
+    try:
+        run = profile_run(lu, cfg["nranks"], params=dict(n=cfg["n"]),
+                          scope="report", delivery="eager",
+                          trace_dir=os.path.join(workdir, "profiled"))
+        counts = run.traces.event_counts()
+        total_events = counts["call"] + counts["mem"]
+        print(f"[bench_trace_format] workload: {counts['call']} calls, "
+              f"{counts['mem']} load/store events")
+
+        # one materialized copy of the stream, so both write arms pay
+        # identical event-construction cost and differ only in encoding
+        events_by_rank = run.traces.all_events()
+
+        formats = {}
+        for fmt in FORMATS:
+            out_dir = os.path.join(workdir, fmt)
+            os.makedirs(out_dir)
+            write_seconds = rewrite(events_by_rank, cfg["nranks"],
+                                    out_dir, fmt)
+            nbytes = trace_bytes(out_dir)
+            read_seconds, events_seen = read_preprocess(out_dir,
+                                                        cfg["reps"])
+            assert events_seen == total_events
+            formats[fmt] = {
+                "write_seconds": round(write_seconds, 4),
+                "write_events_per_second": round(
+                    total_events / write_seconds),
+                "bytes_on_disk": nbytes,
+                "read_preprocess_seconds": round(read_seconds, 4),
+                "read_events_per_second": round(
+                    total_events / read_seconds),
+                "dir": fmt,
+            }
+            print(f"[bench_trace_format] {fmt}: write {write_seconds:.2f}s, "
+                  f"{nbytes} bytes, read+preprocess {read_seconds:.2f}s")
+
+        # checker reports must be byte-identical across formats and jobs
+        identical = True
+        baseline = None
+        for fmt in FORMATS:
+            traces = TraceSet(os.path.join(workdir, fmt))
+            for jobs in JOB_COUNTS:
+                got = canonical(check_traces(traces, jobs=jobs))
+                if baseline is None:
+                    baseline = got
+                elif got != baseline:
+                    identical = False
+                    print(f"[bench_trace_format] FAIL: report diverged "
+                          f"for format={fmt} jobs={jobs}",
+                          file=sys.stderr)
+        if identical:
+            print("[bench_trace_format] reports byte-identical across "
+                  f"formats and jobs in {JOB_COUNTS}")
+
+        text, binary = formats[FORMAT_TEXT], formats[FORMAT_BINARY]
+        read_speedup = (text["read_preprocess_seconds"] /
+                        binary["read_preprocess_seconds"])
+        size_ratio = text["bytes_on_disk"] / binary["bytes_on_disk"]
+
+        speed_applies = mode == "full"
+        speed_gate = {
+            "required_speedup": READ_SPEEDUP_GATE,
+            "measured_speedup": round(read_speedup, 2),
+            "applies": speed_applies,
+            "passed": (read_speedup >= READ_SPEEDUP_GATE
+                       if speed_applies else None),
+        }
+        if not speed_applies:
+            speed_gate["skipped_because"] = (
+                "smoke traces are too small for a stable ratio")
+        size_gate = {
+            "required_ratio": cfg["size_ratio_gate"],
+            "measured_ratio": round(size_ratio, 2),
+            "applies": True,
+            "passed": size_ratio >= cfg["size_ratio_gate"],
+        }
+        for name, gate in (("read-speedup", speed_gate),
+                           ("size-ratio", size_gate)):
+            if gate["passed"] is False:
+                print(f"[bench_trace_format] FAIL: {name} gate "
+                      f"{gate.get('measured_speedup', gate.get('measured_ratio'))}"
+                      f" below requirement", file=sys.stderr)
+            elif gate["passed"]:
+                print(f"[bench_trace_format] {name} gate passed")
+
+        payload = {
+            "benchmark": "trace_format",
+            "mode": mode,
+            "workload": {"app": "lu", "nranks": cfg["nranks"],
+                         "n": cfg["n"], "reps": cfg["reps"],
+                         "call_events": counts["call"],
+                         "mem_events": counts["mem"]},
+            "machine": {"cpu_count": cpus},
+            "formats": formats,
+            "read_speedup_binary_vs_text": round(read_speedup, 2),
+            "size_ratio_text_vs_binary": round(size_ratio, 2),
+            "identical_reports": identical,
+            "job_counts": list(JOB_COUNTS),
+            "read_speedup_gate": speed_gate,
+            "size_ratio_gate": size_gate,
+        }
+        os.makedirs(os.path.dirname(out_path), exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[bench_trace_format] wrote {out_path}")
+
+        ok = (identical and speed_gate["passed"] is not False
+              and size_gate["passed"] is not False)
+        return payload, ok
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI configuration (artifact goes to "
+                         "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--out", default=None,
+                    help="artifact path (default: BENCH_trace_format.json "
+                         "at the repo root, or benchmarks/results/ with "
+                         "--smoke)")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    _payload, ok = run_bench(mode, out_path)
+    return 0 if ok else 1
+
+
+def test_trace_format_bench_smoke(record, benchmark):
+    """pytest entry point: the smoke configuration as a benchmark-suite
+    row (``pytest benchmarks/bench_trace_format.py``)."""
+    payload, ok = benchmark.pedantic(
+        lambda: run_bench("smoke", SMOKE_OUT), rounds=1, iterations=1)
+    assert ok, "format differential or size gate failed"
+    for fmt, row in payload["formats"].items():
+        record("trace_format",
+               f"{fmt:6s} write={row['write_seconds']:7.2f}s "
+               f"read={row['read_preprocess_seconds']:7.2f}s "
+               f"bytes={row['bytes_on_disk']}",
+               format=fmt, **{k: row[k] for k in
+                              ("write_seconds", "read_preprocess_seconds",
+                               "bytes_on_disk")})
+
+
+if __name__ == "__main__":
+    sys.exit(main())

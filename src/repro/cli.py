@@ -96,6 +96,11 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sched", default="round_robin",
                         choices=("round_robin", "random"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace-format", default="text",
+                        choices=("text", "binary"),
+                        help="on-disk trace format (binary: packed "
+                             "columnar load/store blocks, smaller and "
+                             "much faster to analyze; identical findings)")
     parser.add_argument("--fixed", action="store_true",
                         help="run the corrected variant of a bug-case app")
     parser.add_argument("--param", action="append", default=[],
@@ -123,7 +128,8 @@ def _do_run(args) -> Optional[str]:
     run = profile_run(app, args.ranks, trace_dir=args.trace_dir,
                       params=params, scope=args.scope,
                       delivery=args.delivery, sched_policy=args.sched,
-                      seed=args.seed, app_name=args.app)
+                      seed=args.seed, app_name=args.app,
+                      trace_format=args.trace_format)
     counts = run.traces.event_counts()
     log.info(f"ran {args.app!r} on {args.ranks} ranks in "
              f"{run.elapsed:.3f}s")

@@ -27,9 +27,9 @@ from repro.core.epochs import EpochIndex
 from repro.core.inter import detect_cross_process, detect_cross_process_naive
 from repro.core.intra import detect_intra_epoch
 from repro.core.matching import match_synchronization
-from repro.core.model import build_access_model
+from repro.core.model import build_access_model_stream
 from repro.core.parallel import ParallelEngine, resolve_jobs
-from repro.core.preprocess import PreprocessedTrace, preprocess
+from repro.core.preprocess import PreprocessedTrace, preprocess_calls
 from repro.core.regions import RegionIndex
 from repro.profiler.tracer import TraceSet
 
@@ -151,13 +151,13 @@ class MCChecker:
             self.pre = timed("preprocess", engine.preprocess,
                              jobs=self.jobs)
         else:
-            self.pre = timed("preprocess", lambda: preprocess(self.traces))
+            self.pre = timed("preprocess",
+                             lambda: preprocess_calls(self.traces))
         pre = self.pre
         stats.nranks = pre.nranks
-        # the parallel preprocess keeps only call events in the parent;
-        # the scan shards carry the full per-rank event totals
-        stats.events = (engine.total_events if engine is not None else
-                        sum(len(events) for events in pre.events.values()))
+        # both paths keep only call events in the parent; the per-rank
+        # scans carry the full trace-event totals (calls + loads/stores)
+        stats.events = pre.total_events
 
         self.matches = timed("matching",
                              lambda: match_synchronization(pre),
@@ -177,7 +177,8 @@ class MCChecker:
         else:
             self.model = timed(
                 "model",
-                lambda: build_access_model(pre, self.epoch_index))
+                lambda: build_access_model_stream(pre, self.epoch_index,
+                                                  self.traces))
         stats.rma_ops = len(self.model.ops)
         stats.local_accesses = len(self.model.local)
 

@@ -28,6 +28,7 @@ kept for the E8 ablation benchmark and as a differential-testing oracle.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -398,15 +399,17 @@ def match_synchronization_naive(pre: PreprocessedTrace) -> List[SyncMatch]:
 
 def _event_at(pre: PreprocessedTrace, rank: int, seq: int) -> CallEvent:
     events = pre.events[rank]
-    # per-rank seq numbers are dense, so seq doubles as the list index
+    # per-rank seq numbers are dense when the full trace is materialized,
+    # so seq often doubles as the list index
     if seq < len(events) and events[seq].seq == seq:
         event = events[seq]
-    else:  # tolerate sparse traces (filtered or hand-written)
-        for event in events:
-            if event.seq == seq:
-                break
-        else:
+    else:
+        # sparse traces (call-only preprocess, filtered or hand-written):
+        # per-rank seqs are still strictly increasing, so binary-search
+        i = bisect_left(events, seq, key=lambda e: e.seq)
+        if i == len(events) or events[i].seq != seq:
             raise AnalysisError(f"rank {rank} has no event with seq {seq}")
+        event = events[i]
     if not isinstance(event, CallEvent):
         raise AnalysisError(
             f"rank {rank} seq {seq}: expected a call event")

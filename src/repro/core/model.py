@@ -22,6 +22,7 @@ from repro.core.clocks import Span
 from repro.core.compat import ACC, GET, LOAD, PUT, STORE
 from repro.core.epochs import Epoch, EpochIndex, OPEN_ENDED
 from repro.core.preprocess import PreprocessedTrace
+from repro.profiler.events import ACCESS_NAMES as _ACCESS_NAMES
 from repro.profiler.events import CallEvent, MemEvent
 from repro.util.errors import AnalysisError
 from repro.util.intervals import IntervalSet
@@ -145,6 +146,58 @@ def build_access_model(pre: PreprocessedTrace,
     return AccessModel(ops=ops, local=local)
 
 
+def build_access_model_stream(pre: PreprocessedTrace,
+                              epoch_index: EpochIndex,
+                              traces: "TraceSet") -> AccessModel:
+    """Like :func:`build_access_model`, but re-reading each rank's trace
+    through the vectorized ingest path: instrumented loads/stores arrive
+    as packed :class:`~repro.profiler.tracer.MemBlock` columns and become
+    :class:`LocalAccess` objects directly, without an intermediate
+    :class:`MemEvent` per row.  Produces the identical model in the
+    identical order (streams preserve on-disk event order)."""
+    ops: List[RMAOpView] = []
+    local: List[LocalAccess] = []
+    for rank in range(pre.nranks):
+        rank_ops, rank_local = lift_rank_stream(pre, epoch_index, rank,
+                                                traces.stream(rank))
+        ops.extend(rank_ops)
+        local.extend(rank_local)
+    return AccessModel(ops=ops, local=local)
+
+
+def _lift_mem_block(rank: int, block, local: List[LocalAccess]) -> None:
+    """Turn one packed memory block into LocalAccess objects (column
+    lists, one tight loop — the per-event dataclass+decode round trip of
+    the typed path is skipped entirely)."""
+    table = block.table
+    seqs, addrs, sizes, var_ids, loc_ids, accs = block.columns()
+    append = local.append
+    names = _ACCESS_NAMES
+    single = IntervalSet.single
+    for i in range(len(seqs)):
+        append(LocalAccess(
+            rank=rank, seq=seqs[i], access=names[accs[i]],
+            intervals=single(addrs[i], sizes[i]),
+            var=table.string(var_ids[i]), loc=table.loc(loc_ids[i]),
+            fn="mem"))
+
+
+def lift_rank_stream(pre: PreprocessedTrace, epoch_index: EpochIndex,
+                     rank: int, stream) -> Tuple[List[RMAOpView],
+                                                 List[LocalAccess]]:
+    """Lift one rank from its ingest stream (typed calls + packed memory
+    blocks, in trace order) — same output as :func:`lift_rank` over the
+    equivalent typed event list."""
+    ops: List[RMAOpView] = []
+    local: List[LocalAccess] = []
+    for item in stream:
+        if isinstance(item, CallEvent):
+            _lift_call(pre, epoch_index, rank, item, ops, local)
+        else:
+            _lift_mem_block(rank, item, local)
+    return ops, local
+
+
 def lift_rank(pre: PreprocessedTrace, epoch_index: EpochIndex,
               rank: int) -> Tuple[List[RMAOpView], List[LocalAccess]]:
     """Lift one rank's events — the unit of work of a model-phase shard.
@@ -162,75 +215,82 @@ def lift_rank(pre: PreprocessedTrace, epoch_index: EpochIndex,
                 var=event.var, loc=event.loc, fn="mem"))
             continue
         assert isinstance(event, CallEvent)
-        fn, args = event.fn, event.args
-        if fn in _RMA_KIND:
-            win = pre.window(int(args["win"]))
-            target = int(args["target"])
-            origin_dtype = pre.datatype(rank, int(args["origin_dtype"]))
-            target_dtype = pre.datatype(rank, int(args["target_dtype"]))
-            target_ivs = win.target_intervals(
-                target, int(args["target_disp"]),
-                int(args["target_count"]), target_dtype)
-            origin_base = int(args["origin_base"]) + \
-                int(args["origin_offset"])
-            origin_ivs = origin_dtype.intervals(
-                origin_base, int(args["origin_count"]))
-            epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
-                                          target)
-            acc_op = str(args["op"]) if "op" in args else None
-            if fn == "Compare_and_swap":
-                acc_op = "CAS"
-            op = RMAOpView(
-                rank=rank, seq=event.seq, kind=_RMA_KIND[fn],
-                win_id=win.win_id, target=target,
-                target_intervals=target_ivs,
-                origin_intervals=origin_ivs,
-                origin_var=str(args.get("var", "?")),
-                loc=event.loc, epoch=epoch, fn=fn,
-                acc_op=acc_op,
-                acc_base=(origin_dtype.base
-                          if _RMA_KIND[fn] == ACC else None),
-                complete_seq=epoch_index.completion_seq(
-                    rank, win.win_id, event.seq, target, epoch,
-                    req=(int(args["req"])
-                         if fn in ("Rput", "Rget", "Raccumulate")
-                         else None)),
-            )
-            ops.append(op)
-            # the local (origin-buffer) side of the call
-            origin_access = STORE if op.kind == GET else LOAD
-            local.append(LocalAccess(
-                rank=rank, seq=event.seq, access=origin_access,
-                intervals=origin_ivs, var=op.origin_var, loc=event.loc,
-                fn=fn, origin_of=op))
-            # MPI-3 fetching ops also *write* a local result buffer
-            if "result_base" in args:
-                result_base = int(args["result_base"]) + \
-                    int(args.get("result_offset", 0))
-                result_ivs = target_dtype.intervals(
-                    result_base, int(args["target_count"]))
-                local.append(LocalAccess(
-                    rank=rank, seq=event.seq, access=STORE,
-                    intervals=result_ivs,
-                    var=str(args.get("result_var", "?")),
-                    loc=event.loc, fn=fn, origin_of=op))
-        elif fn in _CALL_LOADS or fn in _CALL_STORES or fn == "Bcast" \
-                or (fn == "Wait" and args.get("req_kind") == "irecv"):
-            intervals = _call_buffer_intervals(pre, rank, event)
-            if intervals is None:
-                continue
-            if fn == "Bcast":
-                comm = int(args["comm"])
-                root_world = pre.world_of_comm_rank(comm,
-                                                    int(args["root"]))
-                access = LOAD if root_world == rank else STORE
-            elif fn in _CALL_LOADS:
-                access = LOAD
-            else:
-                access = STORE
-            local.append(LocalAccess(
-                rank=rank, seq=event.seq, access=access,
-                intervals=intervals, var=str(args.get("var", "?")),
-                loc=event.loc, fn=fn))
-
+        _lift_call(pre, epoch_index, rank, event, ops, local)
     return ops, local
+
+
+def _lift_call(pre: PreprocessedTrace, epoch_index: EpochIndex, rank: int,
+               event: CallEvent, ops: List[RMAOpView],
+               local: List[LocalAccess]) -> None:
+    """Lift one MPI call into RMA op / local-access views (shared by the
+    typed and streaming paths)."""
+    fn, args = event.fn, event.args
+    if fn in _RMA_KIND:
+        win = pre.window(int(args["win"]))
+        target = int(args["target"])
+        origin_dtype = pre.datatype(rank, int(args["origin_dtype"]))
+        target_dtype = pre.datatype(rank, int(args["target_dtype"]))
+        target_ivs = win.target_intervals(
+            target, int(args["target_disp"]),
+            int(args["target_count"]), target_dtype)
+        origin_base = int(args["origin_base"]) + \
+            int(args["origin_offset"])
+        origin_ivs = origin_dtype.intervals(
+            origin_base, int(args["origin_count"]))
+        epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
+                                      target)
+        acc_op = str(args["op"]) if "op" in args else None
+        if fn == "Compare_and_swap":
+            acc_op = "CAS"
+        op = RMAOpView(
+            rank=rank, seq=event.seq, kind=_RMA_KIND[fn],
+            win_id=win.win_id, target=target,
+            target_intervals=target_ivs,
+            origin_intervals=origin_ivs,
+            origin_var=str(args.get("var", "?")),
+            loc=event.loc, epoch=epoch, fn=fn,
+            acc_op=acc_op,
+            acc_base=(origin_dtype.base
+                      if _RMA_KIND[fn] == ACC else None),
+            complete_seq=epoch_index.completion_seq(
+                rank, win.win_id, event.seq, target, epoch,
+                req=(int(args["req"])
+                     if fn in ("Rput", "Rget", "Raccumulate")
+                     else None)),
+        )
+        ops.append(op)
+        # the local (origin-buffer) side of the call
+        origin_access = STORE if op.kind == GET else LOAD
+        local.append(LocalAccess(
+            rank=rank, seq=event.seq, access=origin_access,
+            intervals=origin_ivs, var=op.origin_var, loc=event.loc,
+            fn=fn, origin_of=op))
+        # MPI-3 fetching ops also *write* a local result buffer
+        if "result_base" in args:
+            result_base = int(args["result_base"]) + \
+                int(args.get("result_offset", 0))
+            result_ivs = target_dtype.intervals(
+                result_base, int(args["target_count"]))
+            local.append(LocalAccess(
+                rank=rank, seq=event.seq, access=STORE,
+                intervals=result_ivs,
+                var=str(args.get("result_var", "?")),
+                loc=event.loc, fn=fn, origin_of=op))
+    elif fn in _CALL_LOADS or fn in _CALL_STORES or fn == "Bcast" \
+            or (fn == "Wait" and args.get("req_kind") == "irecv"):
+        intervals = _call_buffer_intervals(pre, rank, event)
+        if intervals is None:
+            return
+        if fn == "Bcast":
+            comm = int(args["comm"])
+            root_world = pre.world_of_comm_rank(comm,
+                                                int(args["root"]))
+            access = LOAD if root_world == rank else STORE
+        elif fn in _CALL_LOADS:
+            access = LOAD
+        else:
+            access = STORE
+        local.append(LocalAccess(
+            rank=rank, seq=event.seq, access=access,
+            intervals=intervals, var=str(args.get("var", "?")),
+            loc=event.loc, fn=fn))

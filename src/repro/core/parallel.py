@@ -52,7 +52,7 @@ from repro.core.diagnostics import ConsistencyError
 from repro.core.epochs import EpochIndex
 from repro.core.inter import _LocalLockIndex, bucket_by_region, detect_region
 from repro.core.intra import bucket_by_epoch, check_epoch
-from repro.core.model import AccessModel, lift_rank
+from repro.core.model import AccessModel, lift_rank_stream
 from repro.core.preprocess import PreprocessedTrace, scan_rank
 from repro.core.regions import RegionIndex
 from repro.obs.recorder import NullRecorder, Recorder
@@ -103,14 +103,16 @@ def _export(rec: NullRecorder) -> Optional[dict]:
 
 
 def _scan_task(rank: int):
-    """Preprocess shard: parse one rank's trace, return its registry scan
-    and call events (memory events stay worker-side)."""
+    """Preprocess shard: parse one rank's call events, return its
+    registry scan (memory events are only *counted* — from the v2 footer
+    when the trace is binary — and never decoded here)."""
     rec = _task_recorder()
     traces: TraceSet = _WORKER["traces"]
     with rec.span("analyzer.worker.scan", rank=rank, pid=os.getpid()):
-        events = traces.events(rank)
-        scan = scan_rank(rank, events)
-        calls = [e for e in events if isinstance(e, CallEvent)]
+        with traces.reader(rank) as reader:
+            calls, counts = reader.read_calls()
+        scan = scan_rank(rank, calls,
+                         n_events=counts["call"] + counts["mem"])
     rec.count("parallel_tasks_total", phase="scan")
     return rank, scan, calls, _export(rec)
 
@@ -135,15 +137,21 @@ class _RankView:
 
 
 def _lift_task(rank: int):
-    """Model shard: re-read one rank's full trace and lift its accesses
-    against the merged registries and a per-rank epoch index."""
+    """Model shard: re-read one rank's trace through the vectorized
+    ingest path and lift its accesses against the merged registries and
+    a per-rank epoch index.  Memory events stay packed as
+    :class:`~repro.profiler.tracer.MemBlock` columns until they become
+    :class:`~repro.core.model.LocalAccess` views."""
     rec = _task_recorder()
     traces: TraceSet = _WORKER["traces"]
     pre: PreprocessedTrace = _WORKER["pre"]
     with rec.span("analyzer.worker.lift", rank=rank, pid=os.getpid()):
-        view = _RankView(pre, rank, traces.events(rank))
+        with traces.reader(rank) as reader:
+            items = list(reader.stream())
+        calls = [item for item in items if isinstance(item, CallEvent)]
+        view = _RankView(pre, rank, calls)
         epochs = EpochIndex(view, ranks=[rank])
-        ops, local = lift_rank(view, epochs, rank)
+        ops, local = lift_rank_stream(view, epochs, rank, items)
     rec.count("parallel_tasks_total", phase="lift")
     return rank, ops, local, _export(rec)
 

@@ -74,9 +74,15 @@ class RankScan:
     n_events: int = 0
 
 
-def scan_rank(rank: int, events: List[Event]) -> RankScan:
-    """Single pass over one rank's events collecting registry records."""
-    scan = RankScan(rank=rank, n_events=len(events))
+def scan_rank(rank: int, events: List[Event],
+              n_events: Optional[int] = None) -> RankScan:
+    """Single pass over one rank's events collecting registry records.
+
+    ``n_events`` overrides the recorded trace-event total for call-only
+    event lists (the memory events were counted elsewhere, e.g. by a v2
+    trace footer, and never materialized)."""
+    scan = RankScan(rank=rank,
+                    n_events=len(events) if n_events is None else n_events)
     factory = DatatypeFactory()
 
     def resolve(type_id: int) -> Datatype:
@@ -151,6 +157,9 @@ class PreprocessedTrace:
         if scans is None:
             scans = [scan_rank(rank, events[rank])
                      for rank in range(self.nranks)]
+        #: total trace events (calls + loads/stores); may exceed the
+        #: materialized ``events`` when the build was call-only
+        self.total_events = sum(scan.n_events for scan in scans)
         self._merge(scans)
 
     # ------------------------------------------------------------------
@@ -235,3 +244,21 @@ class PreprocessedTrace:
 def preprocess(traces: TraceSet) -> PreprocessedTrace:
     """Load all rank traces and build the registries."""
     return PreprocessedTrace(traces.all_events())
+
+
+def preprocess_calls(traces: TraceSet) -> PreprocessedTrace:
+    """Call-only preprocess: every pipeline phase except the access model
+    is derivable from call events alone (the observation the streaming
+    checker exploits), so the memory events — which dominate trace volume
+    — are never turned into Python objects here.  Exact event totals
+    still land in ``total_events`` via the readers' per-class counts
+    (free for v2 traces, one cheap scan for text)."""
+    call_events: Dict[int, List[Event]] = {}
+    scans: List[RankScan] = []
+    for rank in range(traces.nranks):
+        with traces.reader(rank) as reader:
+            calls, counts = reader.read_calls()
+        call_events[rank] = calls
+        scans.append(scan_rank(rank, calls,
+                               n_events=counts["call"] + counts["mem"]))
+    return PreprocessedTrace(call_events, scans=scans)

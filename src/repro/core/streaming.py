@@ -44,7 +44,7 @@ from repro.core.matching import match_synchronization
 from repro.core.model import AccessModel, LocalAccess, build_access_model
 from repro.core.preprocess import PreprocessedTrace
 from repro.core.regions import RegionIndex
-from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.events import ACCESS_NAMES, CallEvent
 from repro.profiler.tracer import TraceSet
 from repro.util.intervals import IntervalSet
 
@@ -70,12 +70,13 @@ class StreamingChecker:
     # ------------------------------------------------------------------
 
     def _control_pass(self) -> None:
-        """Pass 1: everything derivable from call events alone."""
-        call_events = {
-            rank: [e for e in self.traces.reader(rank)
-                   if isinstance(e, CallEvent)]
-            for rank in range(self.traces.nranks)
-        }
+        """Pass 1: everything derivable from call events alone.  Memory
+        events are skipped without decoding (binary traces step over
+        whole packed blocks via their frame length)."""
+        call_events: Dict[int, List[CallEvent]] = {}
+        for rank in range(self.traces.nranks):
+            with self.traces.reader(rank) as reader:
+                call_events[rank], _counts = reader.read_calls()
         self.pre = PreprocessedTrace(call_events)
         self.matches = match_synchronization(self.pre)
         self.oracle = ConcurrencyOracle(self.pre, self.matches)
@@ -99,32 +100,48 @@ class StreamingChecker:
 
     # ------------------------------------------------------------------
 
+    def _rank_accesses(self, rank: int) -> Iterator[LocalAccess]:
+        """One rank's instrumented loads/stores as LocalAccess views, in
+        seq order, built straight from packed memory blocks (call events
+        never materialize in the data pass)."""
+        names = ACCESS_NAMES
+        single = IntervalSet.single
+        with self.traces.reader(rank) as reader:
+            for block in reader.mem_blocks():
+                table = block.table
+                seqs, addrs, sizes, var_ids, loc_ids, accs = \
+                    block.columns()
+                for i in range(len(seqs)):
+                    yield LocalAccess(
+                        rank=rank, seq=seqs[i], access=names[accs[i]],
+                        intervals=single(addrs[i], sizes[i]),
+                        var=table.string(var_ids[i]),
+                        loc=table.loc(loc_ids[i]), fn="mem")
+
     def run(self) -> Iterator[RegionReport]:
         """Pass 2: stream memory events, yielding per-region findings."""
-        readers = [iter(self.traces.reader(rank))
+        readers = [self._rank_accesses(rank)
                    for rank in range(self.pre.nranks)]
-        lookahead: List[Optional[MemEvent]] = [None] * self.pre.nranks
+        lookahead: List[Optional[LocalAccess]] = [None] * self.pre.nranks
         # per-epoch buffered plain memory accesses, freed at epoch close
         epoch_mems: Dict[int, List[LocalAccess]] = {}
         open_epochs: List[Epoch] = sorted(
             self.epochs.access_epochs(),
             key=lambda e: (e.rank, e.open_seq))
 
-        def next_mem(rank: int, upto: int) -> Iterator[MemEvent]:
-            """Drain rank's mem events with seq < upto."""
+        def next_mem(rank: int, upto: int) -> Iterator[LocalAccess]:
+            """Drain rank's mem accesses with seq < upto."""
             pending = lookahead[rank]
             if pending is not None:
                 if pending.seq >= upto:
                     return
                 lookahead[rank] = None
                 yield pending
-            for event in readers[rank]:
-                if not isinstance(event, MemEvent):
-                    continue
-                if event.seq >= upto:
-                    lookahead[rank] = event
+            for access in readers[rank]:
+                if access.seq >= upto:
+                    lookahead[rank] = access
                     return
-                yield event
+                yield access
 
         for region in self.regions:
             findings: List[ConsistencyError] = []
@@ -134,15 +151,11 @@ class StreamingChecker:
                 _lo, hi = region.bounds[rank]
                 upto = min(hi + 1, 1 << 62)
                 consumed_upto[rank] = upto
-                for event in next_mem(rank, upto):
-                    la = LocalAccess(
-                        rank=rank, seq=event.seq, access=event.access,
-                        intervals=IntervalSet.single(event.addr, event.size),
-                        var=event.var, loc=event.loc, fn="mem")
+                for la in next_mem(rank, upto):
                     region_mems.append(la)
                     for epoch in open_epochs:
                         if epoch.rank == rank and \
-                                epoch.contains_seq(event.seq):
+                                epoch.contains_seq(la.seq):
                             epoch_mems.setdefault(id(epoch), []).append(la)
 
             buffered = len(region_mems) + sum(

@@ -18,7 +18,9 @@ from repro.profiler.events import (
     CATEGORY_SYNC,
     CATEGORY_SUPPORT,
 )
-from repro.profiler.tracer import TraceReader, TraceSet, TraceWriter
+from repro.profiler.tracer import (
+    FORMAT_BINARY, FORMAT_TEXT, MemBlock, TraceReader, TraceSet, TraceWriter,
+)
 from repro.profiler.interpose import ProfilerHook, SCOPE_ALL, SCOPE_NONE, SCOPE_REPORT
 from repro.profiler.session import ProfiledRun, profile_run
 
@@ -26,7 +28,8 @@ __all__ = [
     "CallEvent", "MemEvent", "Event", "call_category",
     "CATEGORY_ONE_SIDED", "CATEGORY_DATATYPE", "CATEGORY_SYNC",
     "CATEGORY_SUPPORT",
-    "TraceReader", "TraceSet", "TraceWriter",
+    "TraceReader", "TraceSet", "TraceWriter", "MemBlock",
+    "FORMAT_TEXT", "FORMAT_BINARY",
     "ProfilerHook", "SCOPE_ALL", "SCOPE_NONE", "SCOPE_REPORT",
     "ProfiledRun", "profile_run",
 ]

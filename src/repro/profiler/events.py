@@ -77,6 +77,14 @@ RMA_COMM_CALLS = frozenset({"Put", "Get", "Accumulate", "Get_accumulate",
                             "Compare_and_swap",
                             "Rput", "Rget", "Raccumulate"})
 
+ACCESS_LOAD = "load"
+ACCESS_STORE = "store"
+
+#: numeric access codes used by the binary trace format's packed memory
+#: blocks (see :data:`repro.profiler.tracer.MEM_DTYPE`)
+ACCESS_CODES = {ACCESS_LOAD: 0, ACCESS_STORE: 1}
+ACCESS_NAMES = (ACCESS_LOAD, ACCESS_STORE)
+
 
 def call_category(fn: str) -> str:
     if fn in ONE_SIDED_CALLS:

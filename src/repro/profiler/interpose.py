@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set
 
 from repro.profiler.events import CallEvent, MemEvent
-from repro.profiler.tracer import TraceSet, TraceWriter
+from repro.profiler.tracer import FORMAT_TEXT, FORMATS, TraceSet, TraceWriter
 from repro.simmpi.memory import TrackedBuffer
 from repro.simmpi.runtime import EventHook
 from repro.util.location import capture_location
@@ -35,14 +35,18 @@ class ProfilerHook(EventHook):
     def __init__(self, directory: str, nranks: int, app: str = "",
                  scope: str = SCOPE_REPORT,
                  relevant_vars: Optional[Set[str]] = None,
-                 capture_locations: bool = True):
+                 capture_locations: bool = True,
+                 trace_format: str = FORMAT_TEXT):
         if scope not in SCOPES:
             raise ValueError(f"unknown instrumentation scope {scope!r}")
+        if trace_format not in FORMATS:
+            raise ValueError(f"unknown trace format {trace_format!r}")
         self.scope = scope
         self.relevant_vars = set(relevant_vars or ())
         self.capture_locations = capture_locations
         self._writers: List[TraceWriter] = [
-            TraceWriter(TraceSet.rank_path(directory, rank), rank, nranks, app)
+            TraceWriter(TraceSet.rank_path(directory, rank, trace_format),
+                        rank, nranks, app, format=trace_format)
             for rank in range(nranks)
         ]
         self._seq = [0] * nranks

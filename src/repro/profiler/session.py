@@ -66,7 +66,8 @@ def profile_run(app: Callable, nranks: int,
                 seed: int = 0,
                 delivery: str = "random",
                 capture_locations: bool = True,
-                app_name: Optional[str] = None) -> ProfiledRun:
+                app_name: Optional[str] = None,
+                trace_format: str = "text") -> ProfiledRun:
     """Run ``app`` on ``nranks`` simulated ranks with the Profiler attached.
 
     With ``scope="report"`` (the paper's configuration) and no explicit
@@ -82,7 +83,8 @@ def profile_run(app: Callable, nranks: int,
 
     hook = ProfilerHook(trace_dir, nranks, app=app_name, scope=scope,
                         relevant_vars=relevant,
-                        capture_locations=capture_locations)
+                        capture_locations=capture_locations,
+                        trace_format=trace_format)
     world = World(nranks, sched_policy=sched_policy, seed=seed,
                   delivery=delivery)
     world.hooks.append(hook)

@@ -21,7 +21,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.profiler.events import CallEvent, MemEvent
+from repro.profiler.events import CallEvent
 from repro.profiler.tracer import TraceSet
 from repro.util.errors import AnalysisError
 
@@ -94,10 +94,10 @@ def diff_traces(left: TraceSet, right: TraceSet) -> TraceDiff:
 
     diff = TraceDiff(identical=True)
     for rank in range(left.nranks):
-        left_events = left.events(rank)
-        right_events = right.events(rank)
-        left_calls = [e for e in left_events if isinstance(e, CallEvent)]
-        right_calls = [e for e in right_events if isinstance(e, CallEvent)]
+        with left.reader(rank) as reader:
+            left_calls, left_counts = reader.read_calls()
+        with right.reader(rank) as reader:
+            right_calls, right_counts = reader.read_calls()
 
         for position, (lc, rc) in enumerate(zip(left_calls, right_calls)):
             if _signature(lc) != _signature(rc):
@@ -120,18 +120,12 @@ def diff_traces(left: TraceSet, right: TraceSet) -> TraceDiff:
                     right=(f"{right_calls[shorter].fn}"
                            if shorter < len(right_calls) else None)))
 
-        def counts(events):
-            out = {"calls": 0, "loads": 0, "stores": 0}
-            for event in events:
-                if isinstance(event, CallEvent):
-                    out["calls"] += 1
-                elif event.access == "load":
-                    out["loads"] += 1
-                else:
-                    out["stores"] += 1
-            return out
+        def counts(reader_counts):
+            return {"calls": reader_counts["call"],
+                    "loads": reader_counts["load"],
+                    "stores": reader_counts["store"]}
 
-        lc_counts, rc_counts = counts(left_events), counts(right_events)
+        lc_counts, rc_counts = counts(left_counts), counts(right_counts)
         deltas = {key: rc_counts[key] - lc_counts[key] for key in lc_counts}
         diff.count_deltas[rank] = deltas
         if any(deltas.values()):

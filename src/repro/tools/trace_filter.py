@@ -28,7 +28,8 @@ def filter_traces(traces: TraceSet, out_dir: str,
                   keep_kinds: Optional[Sequence[str]] = None,
                   keep_vars: Optional[Sequence[str]] = None,
                   keep_windows: Optional[Sequence[int]] = None,
-                  seq_range: Optional[tuple] = None) -> TraceSet:
+                  seq_range: Optional[tuple] = None,
+                  format: Optional[str] = None) -> TraceSet:
     """Write a filtered copy of ``traces`` into ``out_dir``.
 
     Selection is the conjunction of the provided criteria:
@@ -39,6 +40,10 @@ def filter_traces(traces: TraceSet, out_dir: str,
       events are kept regardless, so synchronization structure survives);
     * ``keep_windows`` — drop one-sided calls on other windows;
     * ``seq_range`` — ``(lo, hi)`` half-open per-rank sequence window.
+
+    ``format`` selects the output trace format; ``None`` preserves each
+    rank's source format, so with no filters this doubles as a lossless
+    text <-> binary trace converter.
     """
     os.makedirs(out_dir, exist_ok=True)
     keep_kind_set = set(keep_kinds) if keep_kinds is not None else None
@@ -67,12 +72,13 @@ def filter_traces(traces: TraceSet, out_dir: str,
         return True
 
     for rank in range(traces.nranks):
-        reader = traces.reader(rank)
-        writer = TraceWriter(TraceSet.rank_path(out_dir, rank), rank,
-                             reader.header.nranks,
-                             app=reader.header.app)
-        for event in reader:
-            if selected(rank, event):
-                writer.write(event)
-        writer.close()
+        with traces.reader(rank) as reader:
+            out_format = format if format is not None else reader.format
+            with TraceWriter(TraceSet.rank_path(out_dir, rank, out_format),
+                             rank, reader.header.nranks,
+                             app=reader.header.app,
+                             format=out_format) as writer:
+                for event in reader:
+                    if selected(rank, event):
+                        writer.write(event)
     return TraceSet(out_dir)

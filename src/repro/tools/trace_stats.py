@@ -13,8 +13,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.profiler.events import CallEvent, MemEvent, call_category
-from repro.profiler.tracer import TraceSet
+import numpy as np
+
+from repro.profiler.events import CallEvent, call_category
+from repro.profiler.tracer import MemBlock, TraceSet
 
 
 @dataclass
@@ -95,16 +97,40 @@ class TraceStats:
         return "\n".join(lines)
 
 
+def _mem_block_stats(block: MemBlock, stats: RankStats,
+                     hot: Counter) -> None:
+    """Fold one packed memory block into the statistics with columnar
+    reductions — per-row Python objects never materialize."""
+    arr = block.array
+    sizes = arr["size"]
+    load_mask = arr["access"] == 0
+    loads = int(load_mask.sum())
+    load_bytes = int(sizes[load_mask].sum())
+    stats.loads += loads
+    stats.stores += len(arr) - loads
+    stats.load_bytes += load_bytes
+    stats.store_bytes += int(sizes.sum()) - load_bytes
+    table = block.table
+    loc_ids, counts = np.unique(arr["loc"], return_counts=True)
+    for loc_id, count in zip(loc_ids.tolist(), counts.tolist()):
+        loc = table.loc(loc_id)
+        hot[f"{loc.short} ({loc.function})"] += count
+
+
 def compute_stats(traces: TraceSet) -> TraceStats:
-    """Single pass over every rank's trace."""
+    """Single pass over every rank's trace (memory events arrive as
+    packed columns and are reduced vectorized)."""
     per_rank: List[RankStats] = []
     hot: Counter = Counter()
     for rank in range(traces.nranks):
         stats = RankStats(rank=rank)
-        for event in traces.reader(rank):
-            where = f"{event.loc.short} ({event.loc.function})"
-            hot[where] += 1
-            if isinstance(event, CallEvent):
+        with traces.reader(rank) as reader:
+            for item in reader.stream():
+                if isinstance(item, MemBlock):
+                    _mem_block_stats(item, stats, hot)
+                    continue
+                event = item
+                hot[f"{event.loc.short} ({event.loc.function})"] += 1
                 stats.calls += 1
                 stats.by_fn[event.fn] += 1
                 try:
@@ -119,14 +145,6 @@ def compute_stats(traces: TraceSet) -> TraceStats:
                     # bound only when the dtype is unknown
                     stats.rma_bytes += count * _dtype_size(
                         int(event.args.get("origin_dtype", -7)))
-            else:
-                assert isinstance(event, MemEvent)
-                if event.access == "load":
-                    stats.loads += 1
-                    stats.load_bytes += event.size
-                else:
-                    stats.stores += 1
-                    stats.store_bytes += event.size
         per_rank.append(stats)
     return TraceStats(nranks=traces.nranks, per_rank=per_rank,
                       hot_statements=hot.most_common())
