@@ -1,0 +1,210 @@
+"""Perf harness for the sweep-line conflict engine.
+
+Measures the combined ``model + intra + inter`` phase seconds of serial
+``check_traces`` under ``engine="sweep"`` vs ``engine="pairwise"`` over
+one binary-format profiled run of the LU workload, verifies the two
+reports are byte-identical, runs a full differential (every registered
+bug case x both memory models x both engines), and writes a
+machine-readable ``BENCH_conflict_engine.json``.
+
+Two entry points:
+
+* ``python benchmarks/bench_conflict_engine.py`` — the full
+  configuration; writes ``BENCH_conflict_engine.json`` at the repo root.
+* ``python benchmarks/bench_conflict_engine.py --smoke`` — a small
+  configuration for CI; same gates, artifact under
+  ``benchmarks/results/`` so a quick run never overwrites the committed
+  full-size result.
+
+Unlike the parallel-analyzer gate, the speedup gate is independent of
+the CPU count — both engines run in a single process — but it only
+applies to the **full** configuration: the smoke workload is small
+enough that the sweep engine's fixed vectorization overhead dominates,
+so smoke runs record the ratio without gating on it (report identity and
+the differential still gate).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.apps.lu import lu
+from repro.apps.registry import BUG_CASES, EXTRA_CASES
+from repro.core.checker import check_traces
+from repro.profiler.session import profile_run
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_conflict_engine.json")
+SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_conflict_engine_smoke.json")
+
+SPEEDUP_GATE = 3.0
+#: the phases the sweep engine rewrites; preprocess/matching/clocks/
+#: epochs/regions are engine-independent by construction
+ENGINE_PHASES = ("model", "intra", "inter")
+MEMORY_MODELS = ("separate", "unified")
+RANKS_CAP = 8
+
+CONFIGS = {
+    "full": dict(nranks=16, n=192, reps=3),
+    "smoke": dict(nranks=4, n=48, reps=1),
+}
+
+
+def canonical(report):
+    """Byte-comparable report form, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def combined_seconds(report):
+    return sum(report.stats.phase_seconds.get(p, 0.0)
+               for p in ENGINE_PHASES)
+
+
+def measure(traces, engine, reps):
+    """Median combined engine-phase seconds over ``reps`` serial runs,
+    with the report of the median-timed run."""
+    samples = []
+    for _ in range(reps):
+        report = check_traces(traces, engine=engine)
+        samples.append((combined_seconds(report), report))
+    samples.sort(key=lambda s: s[0])
+    median = statistics.median(s[0] for s in samples)
+    return median, samples[len(samples) // 2][1]
+
+
+def run_differential():
+    """Every registered bug case x memory model: sweep and pairwise
+    reports must be byte-identical.  Returns (cases_checked, mismatches).
+    """
+    mismatches = []
+    cases = list(BUG_CASES) + list(EXTRA_CASES)
+    for case in cases:
+        nranks = min(case.nranks, RANKS_CAP)
+        run = profile_run(case.app, nranks, params=case.params(True))
+        for memory_model in MEMORY_MODELS:
+            reports = {
+                engine: canonical(check_traces(
+                    run.traces, memory_model=memory_model, engine=engine))
+                for engine in ("sweep", "pairwise")
+            }
+            if reports["sweep"] != reports["pairwise"]:
+                mismatches.append(f"{case.name}/{memory_model}")
+                print(f"[bench_engine] FAIL: {case.name} "
+                      f"({memory_model}) reports diverge across engines",
+                      file=sys.stderr)
+    return len(cases) * len(MEMORY_MODELS), mismatches
+
+
+def run_bench(mode, out_path):
+    cfg = CONFIGS[mode]
+    print(f"[bench_engine] mode={mode} nranks={cfg['nranks']} "
+          f"n={cfg['n']} reps={cfg['reps']}")
+
+    run = profile_run(lu, cfg["nranks"], params=dict(n=cfg["n"]),
+                      scope="report", delivery="eager",
+                      trace_format="binary")
+
+    engines = {}
+    for engine in ("sweep", "pairwise"):
+        seconds, report = measure(run.traces, engine, cfg["reps"])
+        engines[engine] = {
+            "combined_seconds": round(seconds, 4),
+            "phase_seconds": {k: round(v, 4)
+                              for k, v in
+                              report.stats.phase_seconds.items()},
+            "canonical": canonical(report),
+            "findings": len(report.findings),
+        }
+        print(f"[bench_engine] {engine}: {seconds:.3f}s over "
+              f"{'+'.join(ENGINE_PHASES)} "
+              f"({report.stats.local_accesses} local accesses, "
+              f"{len(report.findings)} findings)")
+
+    identical = (engines["sweep"].pop("canonical")
+                 == engines["pairwise"].pop("canonical"))
+    if not identical:
+        print("[bench_engine] FAIL: sweep report diverged from pairwise "
+              "on the LU workload", file=sys.stderr)
+
+    speedup = (engines["pairwise"]["combined_seconds"]
+               / max(engines["sweep"]["combined_seconds"], 1e-9))
+    gate_applies = mode == "full"
+    gate = {"required_speedup": SPEEDUP_GATE, "applies": gate_applies,
+            "passed": speedup >= SPEEDUP_GATE if gate_applies else None}
+    if gate_applies:
+        print(f"[bench_engine] speedup {speedup:.2f}x "
+              f"({'>=' if gate['passed'] else '<'} {SPEEDUP_GATE}x gate)")
+    else:
+        gate["skipped_because"] = ("smoke workload too small to exercise "
+                                   "the hot path")
+        print(f"[bench_engine] speedup {speedup:.2f}x "
+              f"(gate skipped in {mode} mode)")
+
+    checked, mismatches = run_differential()
+    print(f"[bench_engine] differential: {checked} case/model "
+          f"combinations, {len(mismatches)} mismatch(es)")
+
+    payload = {
+        "benchmark": "conflict_engine",
+        "mode": mode,
+        "workload": {"app": "lu", "nranks": cfg["nranks"], "n": cfg["n"],
+                     "reps": cfg["reps"], "trace_format": "binary"},
+        "machine": {"cpu_count": os.cpu_count() or 1},
+        "phases": list(ENGINE_PHASES),
+        "engines": engines,
+        "speedup": round(speedup, 3),
+        "speedup_gate": gate,
+        "identical_reports": identical,
+        "differential": {"combinations": checked,
+                         "mismatches": mismatches},
+    }
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench_engine] wrote {out_path}")
+
+    ok = identical and gate["passed"] is not False and not mismatches
+    return payload, ok
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI configuration (artifact goes to "
+                         "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--out", default=None,
+                    help="artifact path (default: BENCH_conflict_engine."
+                         "json at the repo root, or benchmarks/results/ "
+                         "with --smoke)")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    _payload, ok = run_bench(mode, out_path)
+    return 0 if ok else 1
+
+
+def test_conflict_engine_smoke(record, benchmark):
+    """pytest entry point: the smoke configuration as a benchmark-suite
+    row (``pytest benchmarks/bench_conflict_engine.py``)."""
+    payload, ok = benchmark.pedantic(
+        lambda: run_bench("smoke", SMOKE_OUT), rounds=1, iterations=1)
+    assert ok, "engine reports diverged (or the speedup gate failed)"
+    for engine, row in payload["engines"].items():
+        record("conflict_engine",
+               f"engine={engine:<9s} "
+               f"combined={row['combined_seconds']:7.3f}s "
+               f"speedup={payload['speedup']:5.2f}x",
+               engine=engine, combined_seconds=row["combined_seconds"],
+               speedup=payload["speedup"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,8 @@ def run_bench(mode, out_path):
               f"{report.stats.events} events, "
               f"{len(report.findings)} findings)")
 
+    fastest = min(runs, key=lambda r: r["seconds"])
+    jobs1 = next(r for r in runs if r["jobs"] == 1)
     gate_run = next((r for r in runs if r["jobs"] == GATE_JOBS), None)
     gate_applies = cpus >= GATE_JOBS and gate_run is not None
     gate = {
@@ -122,7 +124,13 @@ def run_bench(mode, out_path):
         reason = (f"machine has {cpus} cpu(s)" if cpus < GATE_JOBS
                   else f"jobs={GATE_JOBS} not in sweep")
         gate["skipped_because"] = reason
-        print(f"[bench_parallel] speedup gate skipped: {reason}")
+        # a skipped gate should still leave usable signal behind: which
+        # job count actually won, and where serial time goes per phase
+        gate["fastest_jobs"] = fastest["jobs"]
+        gate["jobs1_phase_seconds"] = jobs1["phase_seconds"]
+        print(f"[bench_parallel] speedup gate skipped: {reason}; "
+              f"fastest jobs={fastest['jobs']} "
+              f"({fastest['seconds']:.2f}s)")
     elif gate["passed"]:
         print(f"[bench_parallel] speedup gate passed: "
               f"{gate_run['speedup']:.2f}x >= {SPEEDUP_GATE}x")
@@ -138,6 +146,7 @@ def run_bench(mode, out_path):
                      "n": cfg["n"], "reps": cfg["reps"]},
         "machine": {"cpu_count": cpus},
         "identical_reports": identical,
+        "fastest_jobs": fastest["jobs"],
         "speedup_gate": gate,
         "runs": runs,
     }

@@ -66,6 +66,15 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
                              "are identical at any job count")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default="sweep",
+                        choices=("sweep", "pairwise"),
+                        help="conflict-detection engine: vectorized "
+                             "sweep-line interval joins (default) or the "
+                             "pairwise reference; reports are byte-"
+                             "identical either way")
+
+
 def _add_obs_args(parser: argparse.ArgumentParser,
                   exports: bool = False) -> None:
     parser.add_argument("--log-level", default="info",
@@ -187,11 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--json", action="store_true",
                          help="emit the report as JSON (for CI tooling)")
     _add_jobs_arg(p_check)
+    _add_engine_arg(p_check)
     _add_obs_args(p_check, exports=True)
 
     p_rc = sub.add_parser("run-check", help="profile and analyze in one go")
     _add_run_args(p_rc)
     _add_jobs_arg(p_rc)
+    _add_engine_arg(p_rc)
     _add_obs_args(p_rc, exports=True)
 
     p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
@@ -214,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--no-phases", action="store_true",
                          help="skip the DN-Analyzer per-phase timing table")
     _add_jobs_arg(p_stats)
+    _add_engine_arg(p_stats)
     _add_obs_args(p_stats, exports=True)
 
     p_diff = sub.add_parser(
@@ -283,7 +295,8 @@ def _dispatch(args) -> int:
         if streaming:
             from repro.core.streaming import check_streaming
             findings, checker = check_streaming(traces,
-                                                memory_model=memory_model)
+                                                memory_model=memory_model,
+                                                engine=args.engine)
             errors = [f for f in findings if f.severity == "error"]
             log.info(f"MC-Checker (streaming): {len(errors)} error(s), "
                      f"{len(findings) - len(errors)} warning(s); peak "
@@ -294,7 +307,8 @@ def _dispatch(args) -> int:
                 log.info(finding.format())
             return 1 if errors else 0
         report = check_traces(traces, naive_inter=naive,
-                              memory_model=memory_model, jobs=args.jobs)
+                              memory_model=memory_model, jobs=args.jobs,
+                              engine=args.engine)
         if getattr(args, "json", False):
             # machine output: always printed verbatim, bypassing log level
             print(json.dumps(report.to_dict(), indent=2))
@@ -323,7 +337,8 @@ def _dispatch(args) -> int:
         log.info(_per_rank_table(stats))
         if not args.no_phases:
             try:
-                report = check_traces(traces, jobs=args.jobs)
+                report = check_traces(traces, jobs=args.jobs,
+                                      engine=args.engine)
             except Exception as exc:  # noqa: BLE001 - stats must not die
                 log.warning(f"analyzer phases unavailable: {exc}")
             else:

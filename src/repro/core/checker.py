@@ -22,12 +22,16 @@ from repro import obs
 from repro.core.clocks import ConcurrencyOracle
 from repro.core.diagnostics import (
     SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, dedupe,
+    sort_findings,
+)
+from repro.core.engine import (
+    detect_cross_process_sweep, detect_intra_epoch_sweep, resolve_engine,
 )
 from repro.core.epochs import EpochIndex
 from repro.core.inter import detect_cross_process, detect_cross_process_naive
 from repro.core.intra import detect_intra_epoch
 from repro.core.matching import match_synchronization
-from repro.core.model import build_access_model_stream
+from repro.core.model import build_access_model_stream, build_access_model_sweep
 from repro.core.parallel import ParallelEngine, resolve_jobs
 from repro.core.preprocess import PreprocessedTrace, preprocess_calls
 from repro.core.regions import RegionIndex
@@ -104,11 +108,15 @@ class MCChecker:
     """Configurable DN-Analyzer pipeline over one trace set."""
 
     def __init__(self, traces: TraceSet, naive_inter: bool = False,
-                 memory_model: str = "separate", jobs: int = 1):
+                 memory_model: str = "separate", jobs: int = 1,
+                 engine: str = "sweep"):
         self.traces = traces
         self.naive_inter = naive_inter
         self.memory_model = memory_model
         self.jobs = resolve_jobs(jobs)
+        # the naive strawman iterates the access model's objects directly,
+        # so it implies the object-building pairwise pipeline
+        self.engine = "pairwise" if naive_inter else resolve_engine(engine)
         # populated by run(); kept public for tests and the CLI
         self.pre: Optional[PreprocessedTrace] = None
         self.matches = None
@@ -145,7 +153,8 @@ class MCChecker:
         engine: Optional[ParallelEngine] = None
         if self.jobs > 1:
             engine = ParallelEngine(self.traces, jobs=self.jobs,
-                                    memory_model=self.memory_model)
+                                    memory_model=self.memory_model,
+                                    engine=self.engine)
 
         if engine is not None:
             self.pre = timed("preprocess", engine.preprocess,
@@ -174,13 +183,18 @@ class MCChecker:
                 "model",
                 lambda: engine.build_model(pre, self.epoch_index),
                 jobs=self.jobs)
+        elif self.engine == "sweep":
+            self.model = timed(
+                "model",
+                lambda: build_access_model_sweep(pre, self.epoch_index,
+                                                 self.traces))
         else:
             self.model = timed(
                 "model",
                 lambda: build_access_model_stream(pre, self.epoch_index,
                                                   self.traces))
         stats.rma_ops = len(self.model.ops)
-        stats.local_accesses = len(self.model.local)
+        stats.local_accesses = self.model.total_local_accesses
 
         self.regions = timed("regions",
                              lambda: RegionIndex(pre, self.matches))
@@ -189,6 +203,10 @@ class MCChecker:
         if engine is not None:
             findings = timed("intra", lambda: engine.detect_intra(
                 self.model, self.epoch_index), jobs=self.jobs)
+        elif self.engine == "sweep":
+            findings = timed("intra", lambda: detect_intra_epoch_sweep(
+                self.model, self.epoch_index,
+                memory_model=self.memory_model))
         else:
             findings = timed("intra", lambda: detect_intra_epoch(
                 self.model, self.epoch_index,
@@ -197,6 +215,10 @@ class MCChecker:
             findings += timed("inter", lambda: engine.detect_inter(
                 pre, self.model, self.regions, self.oracle,
                 self.epoch_index), jobs=self.jobs)
+        elif self.engine == "sweep":
+            findings += timed("inter", lambda: detect_cross_process_sweep(
+                pre, self.model, self.regions, self.oracle,
+                self.epoch_index, memory_model=self.memory_model))
         else:
             # the combinatorial strawman stays serial: it exists for the
             # ablation benchmark, not for throughput
@@ -207,7 +229,7 @@ class MCChecker:
                 self.epoch_index, memory_model=self.memory_model),
                 naive=self.naive_inter)
 
-        findings = dedupe(findings)
+        findings = dedupe(sort_findings(findings))
         errors = [f for f in findings if f.severity == SEVERITY_ERROR]
         warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
         return CheckReport(errors=errors, warnings=warnings, stats=stats)
@@ -243,10 +265,11 @@ class MCChecker:
 
 def check_traces(traces: TraceSet, naive_inter: bool = False,
                  memory_model: str = "separate",
-                 jobs: int = 1) -> CheckReport:
+                 jobs: int = 1, engine: str = "sweep") -> CheckReport:
     """Analyze an existing trace set."""
     return MCChecker(traces, naive_inter=naive_inter,
-                     memory_model=memory_model, jobs=jobs).run()
+                     memory_model=memory_model, jobs=jobs,
+                     engine=engine).run()
 
 
 def check_app(app: Callable, nranks: int,
@@ -256,11 +279,13 @@ def check_app(app: Callable, nranks: int,
               delivery: str = "random",
               sched_policy: str = "round_robin",
               seed: int = 0,
-              memory_model: str = "separate") -> CheckReport:
+              memory_model: str = "separate",
+              engine: str = "sweep") -> CheckReport:
     """Profile ``app`` on the simulated runtime, then analyze the traces."""
     from repro.profiler.session import profile_run
 
     run = profile_run(app, nranks, trace_dir=trace_dir, params=params,
                       scope=scope, delivery=delivery,
                       sched_policy=sched_policy, seed=seed)
-    return check_traces(run.traces, memory_model=memory_model)
+    return check_traces(run.traces, memory_model=memory_model,
+                        engine=engine)

@@ -363,6 +363,79 @@ class ConcurrencyOracle:
                     b.rank, b.end_seq, ranks[diff], starts[diff])
         return out
 
+    def _hb_pairs(self, a_ranks: np.ndarray, a_seqs: np.ndarray,
+                  b_ranks: np.ndarray, b_seqs: np.ndarray) -> np.ndarray:
+        """Elementwise ``happens_before(a[k], b[k])`` over pair arrays;
+        callers guarantee ``a_ranks[k] != b_ranks[k]``."""
+        n = len(a_ranks)
+        out = np.zeros(n, dtype=bool)
+        # index of a's first sync at-or-after a_seq, grouped per a-rank
+        sync_i = np.zeros(n, dtype=np.int64)
+        a_has_sync = np.zeros(n, dtype=bool)
+        for r in np.unique(a_ranks):
+            m = a_ranks == r
+            sync = self._sync_np[r]
+            i = np.searchsorted(sync, a_seqs[m], side="left")
+            sync_i[m] = i
+            a_has_sync[m] = i < len(sync)
+        # the unit visible at (b_rank, b_seq), grouped per b-rank (the
+        # vectorized form of _visible_unit, as in _hb_one_to_many)
+        unit = np.full(n, -1, dtype=np.int64)
+        for r in np.unique(b_ranks):
+            m = b_ranks == r
+            sync = self._sync_np[r]
+            if not len(sync):
+                continue
+            seqs = b_seqs[m]
+            j = np.searchsorted(sync, seqs, side="right") - 1
+            j_safe = np.maximum(j, 0)
+            exact_coll = (j >= 0) & (sync[j_safe] == seqs) \
+                & self._coll_at[r][j_safe]
+            j = np.where(exact_coll, j - 1, j)
+            j_safe = np.maximum(j, 0)
+            j = np.where(j >= 0, self._nb_skip[r][j_safe], -1)
+            units = np.full(len(seqs), -1, dtype=np.int64)
+            valid = j >= 0
+            if valid.any():
+                units[valid] = self._unit_at[r][j[valid]]
+            unit[m] = units
+        ok = a_has_sync & (unit >= 0)
+        if ok.any():
+            out[ok] = self._clocks[unit[ok], a_ranks[ok]] >= sync_i[ok] + 1
+        return out
+
+    def ordered_pairs(self, a_ranks: Sequence[int], a_starts: Sequence[int],
+                      a_ends: Sequence[int], b_ranks: Sequence[int],
+                      b_starts: Sequence[int], b_ends: Sequence[int]
+                      ) -> np.ndarray:
+        """Vectorized :meth:`ordered` over parallel pair arrays:
+        ``mask[k] == ordered(Span(a...[k]), Span(b...[k]))``.
+
+        Where :meth:`ordered_batch` compares many spans against one fixed
+        span (one call per inner-loop *group*), this batches over both
+        sides at once, so a detection pass needs a single oracle query
+        for *all* its candidate pairs."""
+        a_ranks = np.asarray(a_ranks, dtype=np.int64)
+        a_starts = np.asarray(a_starts, dtype=np.int64)
+        a_ends = np.asarray(a_ends, dtype=np.int64)
+        b_ranks = np.asarray(b_ranks, dtype=np.int64)
+        b_starts = np.asarray(b_starts, dtype=np.int64)
+        b_ends = np.asarray(b_ends, dtype=np.int64)
+        out = np.empty(len(a_ranks), dtype=bool)
+        same = a_ranks == b_ranks
+        if same.any():
+            out[same] = (a_ends[same] <= b_starts[same]) \
+                | (b_ends[same] <= a_starts[same])
+        diff = ~same
+        if diff.any():
+            out[diff] = self._hb_pairs(
+                a_ranks[diff], a_ends[diff], b_ranks[diff],
+                b_starts[diff]) \
+                | self._hb_pairs(
+                    b_ranks[diff], b_ends[diff], a_ranks[diff],
+                    a_starts[diff])
+        return out
+
     def ordered_spans(self, spans: Sequence[Span], b: Span) -> np.ndarray:
         """:meth:`ordered_batch` convenience over :class:`Span` objects."""
         n = len(spans)

@@ -36,6 +36,8 @@ class AccessDesc:
     var: str
     loc: SourceLocation
     intervals: IntervalSet
+    #: trace sequence number of the access (issue point for RMA ops)
+    seq: int = -1
 
     def describe(self) -> str:
         if self.kind in ("put", "get", "acc"):
@@ -118,7 +120,7 @@ class ConsistencyError:
         def side(desc: AccessDesc) -> dict:
             return {
                 "rank": desc.rank, "kind": desc.kind, "fn": desc.fn,
-                "var": desc.var,
+                "var": desc.var, "seq": desc.seq,
                 "file": desc.loc.filename, "line": desc.loc.lineno,
                 "function": desc.loc.function,
                 "intervals": [[iv.start, iv.stop]
@@ -164,6 +166,32 @@ class ConsistencyError:
         if self.occurrences > 1:
             lines.append(f"  seen {self.occurrences} times")
         return "\n".join(lines)
+
+
+def _side_sort_key(desc: AccessDesc) -> Tuple:
+    return (desc.rank, desc.seq, desc.loc.filename, desc.loc.lineno,
+            desc.loc.function, desc.kind, desc.fn, desc.var)
+
+
+def sort_findings(errors: List[ConsistencyError]) -> List[ConsistencyError]:
+    """Deterministic report order: by (rank, seq, location) of the two
+    sides, then the structural fields.
+
+    Detection engines may discover the same multiset of findings in
+    different orders (pairwise enumeration vs sweep-line joins, serial vs
+    sharded merges).  Sorting *before* :func:`dedupe` makes both the
+    surviving representative of each duplicate group and the final report
+    order functions of the findings themselves, never of discovery order
+    — which is what lets ``--engine sweep`` and ``--engine pairwise``
+    produce byte-identical reports.
+    """
+    def key(error: ConsistencyError) -> Tuple:
+        return (error.kind, error.severity, error.rule,
+                -1 if error.win_id is None else error.win_id,
+                _side_sort_key(error.a), _side_sort_key(error.b),
+                error.note)
+
+    return sorted(errors, key=key)
 
 
 def dedupe(errors: List[ConsistencyError]) -> List[ConsistencyError]:

@@ -1,0 +1,425 @@
+"""repro.core.engine — the sweep-line columnar conflict engine.
+
+The pairwise detectors (:mod:`repro.core.intra`, :mod:`repro.core.inter`)
+enumerate access pairs and then test each for byte overlap.  This module
+inverts that: per bucket (epoch or ``(window, target)`` vector entry) the
+access intervals go into :class:`~repro.util.intervals.IntervalTable`
+columns and one sort+``searchsorted`` sweep
+(:func:`~repro.util.intervals.overlap_join`) yields *only the candidate
+pairs that actually share bytes*; Table-I compatibility, happens-before
+pruning, and diagnostic payloads then run on that (usually tiny) survivor
+set — by delegating to the very same per-pair check functions the
+pairwise engine uses, so the two engines emit the same findings by
+construction.
+
+Completeness of the join: among the RMA kinds (put/get/acc) Table I has
+no ``ERROR`` cells, and its ``NONOV`` cells fire only on overlap, so
+every op-op (and every attached-origin) finding requires byte overlap —
+the join loses nothing.  The one Table-I rule that fires *without*
+overlap is the MPI-2.2 store-vs-Put/Accumulate ``ERROR`` cell (separate
+memory model only): those pairs are enumerated explicitly as the
+stores-inside-the-exposed-window × put/acc-ops product, which is
+output-bounded by the same quantity the pairwise scan walks.
+
+Candidate-pair counts per phase land in the obs metric
+``engine_candidate_pairs_total{phase,stage}`` so pruning effectiveness is
+observable (they are deliberately *not* part of ``CheckStats`` — the
+canonical report must stay engine-invariant byte for byte).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.clocks import ConcurrencyOracle
+from repro.core.compat import GET, MODEL_SEPARATE
+from repro.core.diagnostics import ConsistencyError
+from repro.core.epochs import Epoch, EpochIndex
+from repro.core.inter import (
+    _LocalLockIndex, _OpVector, _check_concurrent_local_vs_op,
+    _check_concurrent_ops, bucket_by_region, check_local_against_entries,
+)
+from repro.core.intra import (
+    _check_attached_pair, _check_attached_vs_plain, _check_target_pair,
+    bucket_by_epoch,
+)
+from repro.core.model import AccessModel, LocalAccess, MemRows, RMAOpView
+from repro.core.preprocess import PreprocessedTrace
+from repro.core.regions import RegionIndex
+from repro.profiler.events import ACCESS_CODES
+from repro.util.intervals import IntervalTable, overlap_join
+
+#: recognized values of the ``engine=`` / ``--engine`` switch
+ENGINES = ("sweep", "pairwise")
+
+_STORE_CODE = ACCESS_CODES["store"]
+
+
+def resolve_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {ENGINES})")
+    return engine
+
+
+def _record_candidates(phase: str, stage: str, n: int) -> None:
+    if n:
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.count("engine_candidate_pairs_total", n, phase=phase,
+                      stage=stage,
+                      help="Candidate pairs surviving the sweep-engine "
+                           "interval join, per phase and stage")
+
+
+# ----------------------------------------------------------------------
+# intra-epoch detection
+# ----------------------------------------------------------------------
+
+#: one epoch's sweep work unit: the object populations of
+#: :data:`repro.core.intra.EpochUnit` plus the (lo, hi) row range of the
+#: epoch's rank inside that rank's MemRows columns
+SweepEpochUnit = Tuple[Epoch, List[RMAOpView], List[LocalAccess],
+                       List[LocalAccess], int, int, int]
+
+
+def bucket_by_epoch_sweep(model: AccessModel,
+                          epoch_index: EpochIndex) -> List[SweepEpochUnit]:
+    """Per-epoch sweep units, in ``epoch_index`` order.
+
+    Object populations (ops, attached origins, call-derived plain locals)
+    come from the shared :func:`bucket_by_epoch`; the packed memory rows
+    are addressed as a ``searchsorted`` range instead of a filter scan.
+    """
+    units: List[SweepEpochUnit] = []
+    for epoch, ops, attached, obj_mems in bucket_by_epoch(model,
+                                                          epoch_index):
+        rows = model.mems.get(epoch.rank)
+        if rows is not None and len(rows):
+            lo, hi = rows.row_range(epoch.open_seq, epoch.close_seq)
+        else:
+            lo = hi = 0
+        units.append((epoch, ops, attached, obj_mems, epoch.rank, lo, hi))
+    return units
+
+
+def detect_intra_epoch_sweep(model: AccessModel, epoch_index: EpochIndex,
+                             memory_model: str = MODEL_SEPARATE
+                             ) -> List[ConsistencyError]:
+    """Sweep counterpart of :func:`repro.core.intra.detect_intra_epoch`."""
+    errors: List[ConsistencyError] = []
+    for epoch, ops, attached, obj_mems, rank, lo, hi in \
+            bucket_by_epoch_sweep(model, epoch_index):
+        rows = model.mems.get(rank)
+        rows = rows.slice(lo, hi) if rows is not None else None
+        errors.extend(check_epoch_sweep(epoch, ops, attached, obj_mems,
+                                        rows, memory_model))
+    return errors
+
+
+def check_epoch_sweep(epoch: Epoch, ops: List[RMAOpView],
+                      attached: List[LocalAccess],
+                      obj_mems: List[LocalAccess],
+                      rows: Optional[MemRows],
+                      memory_model: str = MODEL_SEPARATE
+                      ) -> List[ConsistencyError]:
+    """Within-epoch ruleset over one epoch, joins first.
+
+    Same verdicts as :func:`repro.core.intra.check_epoch` with ``mems =
+    obj_mems + rows-as-objects``: every candidate pair the joins produce
+    is handed to the pairwise per-pair checker, and no intra finding can
+    exist without byte overlap (op-op NONOV cells and both ORIGIN rules
+    all require it), so nothing outside the joins can fire.
+    """
+    errors: List[ConsistencyError] = []
+
+    # (a) RMA op pairs on the same target: self-join of target intervals
+    if len(ops) > 1:
+        by_target: Dict[int, List[int]] = {}
+        for i, op in enumerate(ops):
+            by_target.setdefault(op.target, []).append(i)
+        for idxs in by_target.values():
+            if len(idxs) < 2:
+                continue
+            table = IntervalTable.from_sets(
+                [ops[i].target_intervals for i in idxs], owners=idxs)
+            pair_a, pair_b = overlap_join(table, table)
+            keep = pair_a < pair_b
+            pair_a, pair_b = pair_a[keep], pair_b[keep]
+            _record_candidates("intra", "op_pair", len(pair_a))
+            for i, j in zip(pair_a.tolist(), pair_b.tolist()):
+                error = _check_target_pair(ops[i], ops[j], memory_model)
+                if error is not None:
+                    errors.append(error)
+
+    if not attached:
+        return errors
+
+    # (b) attached origin buffers vs plain locals (columnar rows first,
+    # then the call-derived objects) and vs each other
+    att_table = IntervalTable.from_sets([a.intervals for a in attached])
+    n_rows = len(rows) if rows is not None else 0
+    plain_parts = []
+    if n_rows:
+        plain_parts.append(IntervalTable.from_columns(rows.addr, rows.size))
+    if obj_mems:
+        plain_parts.append(IntervalTable.from_sets(
+            [la.intervals for la in obj_mems],
+            owners=[n_rows + i for i in range(len(obj_mems))]))
+    if plain_parts:
+        plain_table = IntervalTable.concat(plain_parts)
+        pair_a, pair_p = overlap_join(att_table, plain_table)
+        if len(pair_a):
+            # vectorized prefilter mirroring _check_attached_vs_plain's
+            # seq-window and store conditions; survivors re-run the full
+            # scalar check for the identical payload
+            att_seq = np.array([a.origin_of.seq for a in attached],
+                               dtype=np.int64)
+            att_complete = np.array(
+                [a.origin_of.complete_seq for a in attached],
+                dtype=np.int64)
+            att_store = np.array([a.access == "store" for a in attached])
+            if n_rows:
+                plain_seq = np.concatenate(
+                    [rows.seq, np.array([la.seq for la in obj_mems],
+                                        dtype=np.int64)]) \
+                    if obj_mems else rows.seq
+                plain_store = np.concatenate(
+                    [rows.access == _STORE_CODE,
+                     np.array([la.access == "store" for la in obj_mems],
+                              dtype=bool)]) \
+                    if obj_mems else rows.access == _STORE_CODE
+            else:
+                plain_seq = np.array([la.seq for la in obj_mems],
+                                     dtype=np.int64)
+                plain_store = np.array(
+                    [la.access == "store" for la in obj_mems], dtype=bool)
+            keep = ((plain_seq[pair_p] >= att_seq[pair_a])
+                    & (plain_seq[pair_p] <= att_complete[pair_a])
+                    & (att_store[pair_a] | plain_store[pair_p]))
+            pair_a, pair_p = pair_a[keep], pair_p[keep]
+            _record_candidates("intra", "origin_vs_plain", len(pair_a))
+            for k, m in zip(pair_a.tolist(), pair_p.tolist()):
+                la = (rows.local_access(m) if m < n_rows
+                      else obj_mems[m - n_rows])
+                errors.extend(_check_attached_vs_plain(attached[k], la))
+
+    if len(attached) > 1:
+        pair_a, pair_b = overlap_join(att_table, att_table)
+        keep = pair_a < pair_b
+        pair_a, pair_b = pair_a[keep], pair_b[keep]
+        _record_candidates("intra", "origin_pair", len(pair_a))
+        for k, m in zip(pair_a.tolist(), pair_b.tolist()):
+            acc_a, acc_b = attached[k], attached[m]
+            if acc_a.origin_of is acc_b.origin_of:
+                continue  # one call's own buffers don't self-conflict
+            errors.extend(_check_attached_pair(acc_a, acc_b))
+    return errors
+
+
+# ----------------------------------------------------------------------
+# cross-process detection
+# ----------------------------------------------------------------------
+
+#: one region's sweep work unit: ``(region_ops, region_locals,
+#: {rank: (lo, hi) row range})``
+SweepRegionUnit = Tuple[List[RMAOpView], List[LocalAccess],
+                        Dict[int, Tuple[int, int]]]
+
+
+def bucket_by_region_sweep(model: AccessModel,
+                           regions: RegionIndex) -> List[SweepRegionUnit]:
+    """Per-region sweep units for regions that contain at least one op
+    (others cannot produce cross-process findings), in region order."""
+    ops_by_region, locals_by_region = bucket_by_region(model, regions)
+    units: List[SweepRegionUnit] = []
+    for region in regions:
+        region_ops = ops_by_region.get(region.index, [])
+        if not region_ops:
+            continue
+        bounds: Dict[int, Tuple[int, int]] = {}
+        for rank, rows in model.mems.items():
+            if not len(rows):
+                continue
+            lo_seq, hi_seq = region.bounds[rank]
+            lo, hi = rows.row_range(lo_seq, hi_seq)
+            if hi > lo:
+                bounds[rank] = (lo, hi)
+        units.append((region_ops,
+                      locals_by_region.get(region.index, []), bounds))
+    return units
+
+
+def detect_cross_process_sweep(pre: PreprocessedTrace, model: AccessModel,
+                               regions: RegionIndex,
+                               oracle: ConcurrencyOracle,
+                               epoch_index: EpochIndex,
+                               memory_model: str = MODEL_SEPARATE
+                               ) -> List[ConsistencyError]:
+    """Sweep counterpart of :func:`repro.core.inter.detect_cross_process`."""
+    errors: List[ConsistencyError] = []
+    lock_index = _LocalLockIndex(epoch_index, pre.nranks)
+    for region_ops, region_locals, bounds in \
+            bucket_by_region_sweep(model, regions):
+        region_mems = {rank: model.mems[rank].slice(lo, hi)
+                       for rank, (lo, hi) in bounds.items()}
+        errors.extend(detect_region_sweep(
+            pre, region_ops, region_locals, region_mems, oracle,
+            lock_index, memory_model))
+    return errors
+
+
+def detect_region_sweep(pre: PreprocessedTrace,
+                        region_ops: List[RMAOpView],
+                        region_locals: List[LocalAccess],
+                        region_mems: Dict[int, MemRows],
+                        oracle: ConcurrencyOracle,
+                        lock_index: _LocalLockIndex,
+                        memory_model: str = MODEL_SEPARATE
+                        ) -> List[ConsistencyError]:
+    """One concurrent region, joins first.
+
+    Mirrors :func:`repro.core.inter.detect_region` with ``region_locals +
+    region_mems-as-objects`` as the local population: object locals reuse
+    the pairwise step-2 loop verbatim, op-op pairs and the packed memory
+    rows go through interval joins with a batched happens-before filter,
+    and the no-overlap store-vs-put/acc ``ERROR`` rule (separate model)
+    is enumerated as an explicit product over the stores that touch the
+    exposed window.
+    """
+    errors: List[ConsistencyError] = []
+
+    # step 1: bucket ops into (window, target) vector entries, then
+    # self-join each entry's target intervals
+    vector: Dict[Tuple[int, int], _OpVector] = {}
+    entries_by_rank: Dict[int, List[_OpVector]] = {}
+    for op in region_ops:
+        key = (op.win_id, op.target)
+        entry = vector.get(key)
+        if entry is None:
+            entry = vector[key] = _OpVector(op.win_id, op.target)
+            entries_by_rank.setdefault(op.target, []).append(entry)
+        entry.append(op)
+
+    for entry in vector.values():
+        entry_ops = entry.ops
+        if len(entry_ops) < 2:
+            continue
+        table = IntervalTable.from_sets(
+            [op.target_intervals for op in entry_ops])
+        pair_a, pair_b = overlap_join(table, table)
+        keep = pair_a < pair_b
+        pair_a, pair_b = pair_a[keep], pair_b[keep]
+        if not len(pair_a):
+            continue
+        ranks, starts, ends = entry.arrays()
+        keep = ranks[pair_a] != ranks[pair_b]  # same-rank: intra's job
+        pair_a, pair_b = pair_a[keep], pair_b[keep]
+        _record_candidates("inter", "op_pair", len(pair_a))
+        concurrent = ~oracle.ordered_pairs(
+            ranks[pair_a], starts[pair_a], ends[pair_a],
+            ranks[pair_b], starts[pair_b], ends[pair_b])
+        for k in np.nonzero(concurrent)[0].tolist():
+            error = _check_concurrent_ops(entry_ops[pair_a[k]],
+                                          entry_ops[pair_b[k]],
+                                          memory_model)
+            if error is not None:
+                errors.append(error)
+
+    # step 2a: call-derived local objects — the pairwise inner loop
+    for la in region_locals:
+        check_local_against_entries(
+            pre, la, entries_by_rank.get(la.rank, ()), oracle, lock_index,
+            memory_model, errors)
+
+    # step 2b: packed memory rows, columnar per entry
+    for target, entries in entries_by_rank.items():
+        rows = region_mems.get(target)
+        if rows is None or not len(rows):
+            continue
+        for entry in entries:
+            _check_rows_against_entry(pre, rows, entry, oracle, lock_index,
+                                      memory_model, errors)
+    return errors
+
+
+def _check_rows_against_entry(pre: PreprocessedTrace, rows: MemRows,
+                              entry: _OpVector, oracle: ConcurrencyOracle,
+                              lock_index: _LocalLockIndex,
+                              memory_model: str,
+                              errors: List[ConsistencyError]) -> None:
+    """One rank's memory rows vs one ``(window, target)`` vector entry."""
+    target = entry.target
+    exposure = pre.window(entry.win_id).exposure(target)
+    if not exposure:
+        return
+    # clip rows to the exposed window: a row matters only through its
+    # bytes inside the exposure (the pairwise `la_in_window` clip)
+    expo_lo = np.array([iv.start for iv in exposure], dtype=np.int64)
+    expo_hi = np.array([iv.stop for iv in exposure], dtype=np.int64)
+    row_table = IntervalTable.from_columns(rows.addr, rows.size)
+    row_idx, expo_idx = overlap_join(row_table,
+                                     IntervalTable(expo_lo, expo_hi))
+    if not len(row_idx):
+        return
+    clipped = IntervalTable(
+        np.maximum(rows.addr[row_idx], expo_lo[expo_idx]),
+        np.minimum(rows.addr[row_idx] + rows.size[row_idx],
+                   expo_hi[expo_idx]),
+        owner=row_idx)
+
+    entry_ops = entry.ops
+    op_is_update = np.array([op.kind != GET for op in entry_ops])
+
+    # overlap-born candidates (Table-I NONOV cells)
+    tgt_table = IntervalTable.from_sets(
+        [op.target_intervals for op in entry_ops])
+    pair_r, pair_o = overlap_join(clipped, tgt_table)
+    if len(pair_r):
+        row_is_store = rows.access[pair_r] == _STORE_CODE
+        update = op_is_update[pair_o]
+        if memory_model == MODEL_SEPARATE:
+            # store vs put/acc is the ERROR rule, enumerated below
+            # without the overlap requirement; load-load and load-get
+            # cells are BOTH — never errors
+            keep = (~row_is_store & update) | (row_is_store & ~update)
+        else:
+            keep = update | row_is_store  # only load-vs-get drops
+        pair_r, pair_o = pair_r[keep], pair_o[keep]
+
+    # the MPI-2.2 special rule: a store inside the exposed window vs any
+    # concurrent put/acc on it, byte overlap not required
+    if memory_model == MODEL_SEPARATE and op_is_update.any():
+        window_rows = np.unique(row_idx)
+        store_rows = window_rows[
+            rows.access[window_rows] == _STORE_CODE]
+        if len(store_rows):
+            update_ops = np.nonzero(op_is_update)[0]
+            pair_r = np.concatenate(
+                [pair_r, np.tile(store_rows, len(update_ops))])
+            pair_o = np.concatenate(
+                [pair_o, np.repeat(update_ops, len(store_rows))])
+
+    if not len(pair_r):
+        return
+    _record_candidates("inter", "local_vs_op", len(pair_r))
+
+    # happens-before filter, one batched query for every candidate pair;
+    # survivors materialize a LocalAccess and take the pairwise per-pair
+    # verdict path
+    op_ranks, op_starts, op_ends = entry.arrays()
+    seqs = rows.seq[pair_r]
+    concurrent = ~oracle.ordered_pairs(
+        np.full(seqs.shape, target, dtype=np.int64), seqs, seqs,
+        op_ranks[pair_o], op_starts[pair_o], op_ends[pair_o])
+    for k in np.nonzero(concurrent)[0].tolist():
+        op = entry_ops[pair_o[k]]
+        la = rows.local_access(int(pair_r[k]))
+        error = _check_concurrent_local_vs_op(
+            la, la.intervals.intersection(exposure), op, lock_index,
+            memory_model)
+        if error is not None:
+            errors.append(error)

@@ -53,12 +53,12 @@ _WRITES = (PUT, ACC)
 def _desc_op(op: RMAOpView) -> AccessDesc:
     fn = op.fn or {"put": "Put", "get": "Get", "acc": "Accumulate"}[op.kind]
     return AccessDesc(rank=op.rank, kind=op.kind, fn=fn, var=op.origin_var,
-                      loc=op.loc, intervals=op.target_intervals)
+                      loc=op.loc, intervals=op.target_intervals, seq=op.seq)
 
 
 def _desc_local(la: LocalAccess) -> AccessDesc:
     return AccessDesc(rank=la.rank, kind=la.access, fn=la.fn, var=la.var,
-                      loc=la.loc, intervals=la.intervals)
+                      loc=la.loc, intervals=la.intervals, seq=la.seq)
 
 
 def _op_exclusive(op: RMAOpView) -> bool:
@@ -298,29 +298,44 @@ def detect_region(pre: PreprocessedTrace, region_ops: List[RMAOpView],
 
     # step 2: local operations at each target vs recorded remote ops
     for la in region_locals:
-        for entry in entries_by_rank.get(la.rank, ()):
-            window = pre.window(entry.win_id)
-            la_in_window = la.intervals.intersection(
-                window.exposure(la.rank))
-            if not la_in_window:
-                continue
-            if len(entry.ops) >= _BATCH_MIN:
-                ranks, starts, ends = entry.arrays()
-                concurrent = ~oracle.ordered_batch(ranks, starts, ends,
-                                                   la.span)
-                for i in np.nonzero(concurrent)[0]:
-                    error = _check_concurrent_local_vs_op(
-                        la, la_in_window, entry.ops[i], lock_index,
-                        memory_model)
-                    if error is not None:
-                        errors.append(error)
-            else:
-                for op in entry.ops:
-                    error = _check_local_vs_op(la, la_in_window, op, oracle,
-                                               lock_index, memory_model)
-                    if error is not None:
-                        errors.append(error)
+        check_local_against_entries(
+            pre, la, entries_by_rank.get(la.rank, ()), oracle, lock_index,
+            memory_model, errors)
     return errors
+
+
+def check_local_against_entries(pre: PreprocessedTrace, la: LocalAccess,
+                                entries: Iterable[_OpVector],
+                                oracle: ConcurrencyOracle,
+                                lock_index: "_LocalLockIndex",
+                                memory_model: str,
+                                errors: List[ConsistencyError]) -> None:
+    """One local access vs every ``(window, target)`` entry at its rank —
+    the pairwise step-2 inner loop, shared with the sweep engine (which
+    routes the *object* locals through it and handles the packed memory
+    rows columnar)."""
+    for entry in entries:
+        window = pre.window(entry.win_id)
+        la_in_window = la.intervals.intersection(
+            window.exposure(la.rank))
+        if not la_in_window:
+            continue
+        if len(entry.ops) >= _BATCH_MIN:
+            ranks, starts, ends = entry.arrays()
+            concurrent = ~oracle.ordered_batch(ranks, starts, ends,
+                                               la.span)
+            for i in np.nonzero(concurrent)[0]:
+                error = _check_concurrent_local_vs_op(
+                    la, la_in_window, entry.ops[i], lock_index,
+                    memory_model)
+                if error is not None:
+                    errors.append(error)
+        else:
+            for op in entry.ops:
+                error = _check_local_vs_op(la, la_in_window, op, oracle,
+                                           lock_index, memory_model)
+                if error is not None:
+                    errors.append(error)
 
 
 def detect_cross_process_naive(pre: PreprocessedTrace, model: AccessModel,

@@ -35,12 +35,13 @@ def _desc_op(op: RMAOpView, origin_side: bool) -> AccessDesc:
     fn = op.fn or {"put": "Put", "get": "Get", "acc": "Accumulate"}[op.kind]
     return AccessDesc(
         rank=op.rank, kind=op.kind, fn=fn, var=op.origin_var, loc=op.loc,
-        intervals=op.origin_intervals if origin_side else op.target_intervals)
+        intervals=op.origin_intervals if origin_side else op.target_intervals,
+        seq=op.seq)
 
 
 def _desc_local(la: LocalAccess) -> AccessDesc:
     return AccessDesc(rank=la.rank, kind=la.access, fn=la.fn, var=la.var,
-                      loc=la.loc, intervals=la.intervals)
+                      loc=la.loc, intervals=la.intervals, seq=la.seq)
 
 
 def _spans_unordered(a: Span, b: Span) -> bool:
@@ -195,4 +196,4 @@ def _check_attached_pair(acc_a: LocalAccess,
 def _desc_attached(la: LocalAccess) -> AccessDesc:
     op = la.origin_of
     return AccessDesc(rank=la.rank, kind=op.kind, fn=la.fn, var=la.var,
-                      loc=la.loc, intervals=la.intervals)
+                      loc=la.loc, intervals=la.intervals, seq=la.seq)

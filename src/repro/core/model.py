@@ -15,17 +15,21 @@ Detection reasons about two access populations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.clocks import Span
 from repro.core.compat import ACC, GET, LOAD, PUT, STORE
-from repro.core.epochs import Epoch, EpochIndex, OPEN_ENDED
+from repro.core.epochs import (Epoch, EpochIndex, KIND_LOCK,
+                               KIND_PSCW_ACCESS, OPEN_ENDED)
 from repro.core.preprocess import PreprocessedTrace
 from repro.profiler.events import ACCESS_NAMES as _ACCESS_NAMES
 from repro.profiler.events import CallEvent, MemEvent
 from repro.util.errors import AnalysisError
-from repro.util.intervals import IntervalSet
+from repro.util.intervals import Interval, IntervalSet
 from repro.util.location import SourceLocation
 
 _RMA_KIND = {"Put": PUT, "Get": GET, "Accumulate": ACC,
@@ -109,12 +113,115 @@ class LocalAccess:
         return f"{what} at rank {self.rank}, {self.loc.short}"
 
 
+class MemRows:
+    """One rank's instrumented loads/stores as parallel columns.
+
+    The sweep engine's representation of plain memory events: numpy
+    arrays straight out of the packed v2 :class:`MemBlock`s (``seq`` is
+    strictly increasing, so epoch/region membership is a
+    ``searchsorted`` range, not a scan), with string-valued fields kept
+    as ids into the rank's shared string ``table``.  A
+    :class:`LocalAccess` object is materialized per row only when a row
+    actually lands in a finding (:meth:`local_access`) — never for the
+    bulk of the trace.
+    """
+
+    __slots__ = ("rank", "table", "seq", "addr", "size", "var", "loc",
+                 "access")
+
+    def __init__(self, rank: int, table, seq, addr, size, var, loc, access):
+        self.rank = rank
+        self.table = table
+        self.seq = seq
+        self.addr = addr
+        self.size = size
+        self.var = var
+        self.loc = loc
+        self.access = access
+
+    @classmethod
+    def from_struct(cls, rank: int, table, arr: np.ndarray) -> "MemRows":
+        # contiguous copies detach the columns from any mmap backing
+        return cls(rank, table,
+                   np.ascontiguousarray(arr["seq"]),
+                   np.ascontiguousarray(arr["addr"]),
+                   np.ascontiguousarray(arr["size"]),
+                   np.ascontiguousarray(arr["var"]),
+                   np.ascontiguousarray(arr["loc"]),
+                   np.ascontiguousarray(arr["access"]))
+
+    @classmethod
+    def from_blocks(cls, rank: int, blocks: List) -> "MemRows":
+        if not blocks:
+            empty64 = np.empty(0, dtype=np.int64)
+            return cls(rank, None, empty64, empty64, empty64,
+                       np.empty(0, dtype=np.int32),
+                       np.empty(0, dtype=np.int32),
+                       np.empty(0, dtype=np.uint8))
+        arrays = [block.array for block in blocks]
+        arr = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+        return cls.from_struct(rank, blocks[0].table, arr)
+
+    @classmethod
+    def concat(cls, pieces: List["MemRows"]) -> "MemRows":
+        pieces = [p for p in pieces if len(p)]
+        if len(pieces) == 1:
+            return pieces[0]
+        if not pieces:
+            return cls.from_blocks(-1, [])
+        return cls(pieces[0].rank, pieces[0].table,
+                   *(np.concatenate([getattr(p, col) for p in pieces])
+                     for col in ("seq", "addr", "size", "var", "loc",
+                                 "access")))
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def slice(self, lo: int, hi: int) -> "MemRows":
+        """A zero-copy row-range view (columns are array slices)."""
+        return MemRows(self.rank, self.table, self.seq[lo:hi],
+                       self.addr[lo:hi], self.size[lo:hi], self.var[lo:hi],
+                       self.loc[lo:hi], self.access[lo:hi])
+
+    def row_range(self, lo_seq: int, hi_seq: int) -> Tuple[int, int]:
+        """Row indices with ``lo_seq < seq < hi_seq`` (both exclusive —
+        the bound convention of epochs and concurrent regions)."""
+        lo = int(np.searchsorted(self.seq, lo_seq, side="right"))
+        hi = int(np.searchsorted(self.seq, hi_seq, side="left"))
+        return lo, hi
+
+    def local_access(self, i: int) -> LocalAccess:
+        """Materialize row ``i`` as the identical LocalAccess object the
+        pairwise lift would have built."""
+        return LocalAccess(
+            rank=self.rank, seq=int(self.seq[i]),
+            access=_ACCESS_NAMES[int(self.access[i])],
+            intervals=IntervalSet.single(int(self.addr[i]),
+                                         int(self.size[i])),
+            var=self.table.string(int(self.var[i])),
+            loc=self.table.loc(int(self.loc[i])), fn="mem")
+
+
 @dataclass
 class AccessModel:
-    """All lifted accesses of a trace set."""
+    """All lifted accesses of a trace set.
+
+    ``mems`` is the sweep engine's columnar population: instrumented
+    loads/stores kept as per-rank :class:`MemRows` instead of
+    one :class:`LocalAccess` object per event.  The pairwise build
+    leaves it empty and puts every access in ``local``; either way the
+    two populations partition the same accesses, so
+    :attr:`total_local_accesses` is engine-invariant.
+    """
 
     ops: List[RMAOpView]
     local: List[LocalAccess]
+    mems: Dict[int, MemRows] = field(default_factory=dict)
+
+    @property
+    def total_local_accesses(self) -> int:
+        return len(self.local) + sum(len(rows)
+                                     for rows in self.mems.values())
 
     def ops_by_rank(self) -> Dict[int, List[RMAOpView]]:
         out: Dict[int, List[RMAOpView]] = {}
@@ -190,12 +297,54 @@ def lift_rank_stream(pre: PreprocessedTrace, epoch_index: EpochIndex,
     equivalent typed event list."""
     ops: List[RMAOpView] = []
     local: List[LocalAccess] = []
+    cache: Dict = {}
     for item in stream:
         if isinstance(item, CallEvent):
-            _lift_call(pre, epoch_index, rank, item, ops, local)
+            _lift_call(pre, epoch_index, rank, item, ops, local, cache)
         else:
             _lift_mem_block(rank, item, local)
     return ops, local
+
+
+def build_access_model_sweep(pre: PreprocessedTrace,
+                             epoch_index: EpochIndex,
+                             traces: "TraceSet") -> AccessModel:
+    """The sweep engine's model build: RMA ops and call-derived local
+    accesses lift as usual (they are few), but instrumented loads/stores
+    never become per-event objects — each rank's packed memory blocks
+    concatenate into one columnar :class:`MemRows`.
+
+    The call events were already decoded by the preprocess pass
+    (``pre.events``), so only the packed memory columns are read back
+    from the trace — no second call-decode pass."""
+    ops: List[RMAOpView] = []
+    local: List[LocalAccess] = []
+    mems: Dict[int, MemRows] = {}
+    for rank in range(pre.nranks):
+        with traces.reader(rank) as reader:
+            blocks = list(reader.mem_blocks())
+        rank_ops, rank_local, rows = lift_rank_sweep(
+            pre, epoch_index, rank, pre.events[rank], blocks)
+        ops.extend(rank_ops)
+        local.extend(rank_local)
+        mems[rank] = rows
+    return AccessModel(ops=ops, local=local, mems=mems)
+
+
+def lift_rank_sweep(pre: PreprocessedTrace, epoch_index: EpochIndex,
+                    rank: int, events, blocks) -> Tuple[
+                        List[RMAOpView], List[LocalAccess], MemRows]:
+    """Columnar lift of one rank: call events become views (through the
+    sweep-only :class:`LiftCache`), packed memory blocks become
+    :class:`MemRows` columns.  Non-call items in ``events`` are ignored,
+    so a mixed typed event list works too."""
+    ops: List[RMAOpView] = []
+    local: List[LocalAccess] = []
+    cache = LiftCache(epoch_index, rank)
+    for event in events:
+        if isinstance(event, CallEvent):
+            _lift_call(pre, epoch_index, rank, event, ops, local, cache)
+    return ops, local, MemRows.from_blocks(rank, blocks)
 
 
 def lift_rank(pre: PreprocessedTrace, epoch_index: EpochIndex,
@@ -207,6 +356,7 @@ def lift_rank(pre: PreprocessedTrace, epoch_index: EpochIndex,
     """
     ops: List[RMAOpView] = []
     local: List[LocalAccess] = []
+    cache: Dict = {}
     for event in pre.events[rank]:
         if isinstance(event, MemEvent):
             local.append(LocalAccess(
@@ -215,30 +365,170 @@ def lift_rank(pre: PreprocessedTrace, epoch_index: EpochIndex,
                 var=event.var, loc=event.loc, fn="mem"))
             continue
         assert isinstance(event, CallEvent)
-        _lift_call(pre, epoch_index, rank, event, ops, local)
+        _lift_call(pre, epoch_index, rank, event, ops, local, cache)
     return ops, local
+
+
+class LiftCache:
+    """Sweep-only per-rank lift accelerator.
+
+    Two shortcuts the plain dict cache of the pairwise reference path
+    does not attempt:
+
+    * **pre-sorted data-map application**: nearly every datatype's
+      data-map is already sorted and gap-separated, and consecutive
+      repetitions don't overlap when the extent covers the map — so the
+      intervals come out of the loop already in
+      :class:`~repro.util.intervals.IntervalSet` normal form and the
+      ``sorted``-based ``_normalize`` pass is skipped (it dominates the
+      model phase: loop nests register a fresh derived datatype per
+      iteration, so *no* memo key repeats there).  Resolved sets are
+      still memoized by ``(type_id, base, count)`` for the buffers that
+      do repeat verbatim (origin/result buffers).
+    * **epoch lookup**: per ``(win_id, target)``, the rank's access
+      epochs that cover the target, pre-filtered once and bisected by
+      ``open_seq`` — replacing the per-op linear scan of
+      :meth:`~repro.core.epochs.EpochIndex.enclosing`.  Lock/PSCW
+      epochs keep their precedence over fences by living in a separate,
+      first-consulted list; within a list the scan walks back from the
+      bisect point, so nested open-ended epochs still resolve.
+    """
+
+    __slots__ = ("_epochs", "_rank", "_placed", "_enclosing")
+
+    def __init__(self, epoch_index: EpochIndex, rank: int):
+        self._epochs = epoch_index
+        self._rank = rank
+        self._placed: Dict[Tuple[int, int, int], IntervalSet] = {}
+        self._enclosing: Dict[Tuple[int, int], tuple] = {}
+
+    def intervals(self, dtype, base: int, count: int) -> IntervalSet:
+        key = (dtype.type_id, base, count)
+        placed = self._placed.get(key)
+        if placed is None:
+            placed = self._placed[key] = self._apply_datamap(
+                dtype, base, count)
+        return placed
+
+    @staticmethod
+    def _apply_datamap(dtype, base: int, count: int) -> IntervalSet:
+        """Sorted-input :func:`~repro.util.intervals.datamap_intervals`:
+        coalesces adjacent/overlapping segments on the fly, so the
+        result is already in normal form and the ``sorted``-based
+        ``_normalize`` pass (plus one :class:`Interval` per raw segment)
+        is skipped.  Unsorted data-maps fall back to the general path.
+        """
+        ivs: List[Interval] = []
+        append = ivs.append
+        extent = dtype.extent
+        datamap = dtype.datamap
+        cur_start = None
+        cur_stop = 0
+        for rep in range(count):
+            origin = base + rep * extent
+            for disp, length in datamap:
+                if length <= 0:
+                    continue
+                start = origin + disp
+                if cur_start is None:
+                    cur_start, cur_stop = start, start + length
+                elif start > cur_stop:
+                    append(Interval(cur_start, cur_stop))
+                    cur_start, cur_stop = start, start + length
+                elif start >= cur_start:
+                    stop = start + length
+                    if stop > cur_stop:
+                        cur_stop = stop
+                else:
+                    return dtype.intervals(base, count)
+        if cur_start is not None:
+            append(Interval(cur_start, cur_stop))
+        placed = IntervalSet.__new__(IntervalSet)
+        placed._ivs = ivs
+        return placed
+
+    def target_intervals(self, win, target: int, target_disp: int,
+                         count: int, dtype) -> IntervalSet:
+        base = win.bases[target] + target_disp * win.disp_units[target]
+        return self.intervals(dtype, base, count)
+
+    def enclosing(self, win_id: int, seq: int,
+                  target: int) -> Optional[Epoch]:
+        """Bisect-backed :meth:`EpochIndex.enclosing` for this rank."""
+        key = (win_id, target)
+        index = self._enclosing.get(key)
+        if index is None:
+            priority: List[Epoch] = []
+            fences: List[Epoch] = []
+            for epoch in self._epochs.of_rank_win(self._rank, win_id):
+                if not (epoch.is_access and epoch.covers_target(target)):
+                    continue
+                if epoch.kind in (KIND_LOCK, KIND_PSCW_ACCESS):
+                    priority.append(epoch)
+                else:
+                    fences.append(epoch)
+            priority.sort(key=lambda e: e.open_seq)
+            fences.sort(key=lambda e: e.open_seq)
+            index = self._enclosing[key] = (
+                [e.open_seq for e in priority], priority,
+                [e.open_seq for e in fences], fences)
+        for opens, epochs in ((index[0], index[1]), (index[2], index[3])):
+            # epochs with open_seq >= seq cannot contain seq; the usual
+            # hit is immediately at the bisect point, walking further
+            # back only past closed epochs nested inside an open one
+            for k in range(bisect_right(opens, seq) - 1, -1, -1):
+                if epochs[k].contains_seq(seq):
+                    return epochs[k]
+        return None
 
 
 def _lift_call(pre: PreprocessedTrace, epoch_index: EpochIndex, rank: int,
                event: CallEvent, ops: List[RMAOpView],
-               local: List[LocalAccess]) -> None:
+               local: List[LocalAccess],
+               cache: Optional[Union[Dict, LiftCache]] = None) -> None:
     """Lift one MPI call into RMA op / local-access views (shared by the
-    typed and streaming paths)."""
+    typed and streaming paths).
+
+    ``cache`` memoizes window/datatype address resolution per rank:
+    loops re-issue the same RMA call shape every iteration, and
+    :class:`~repro.util.intervals.IntervalSet` is immutable, so repeat
+    resolutions of ``(window, target, disp, count, dtype)`` — the model
+    phase's hottest allocation — are shared instead of rebuilt."""
+    if cache is None:
+        cache = {}
+    fast = isinstance(cache, LiftCache)
     fn, args = event.fn, event.args
     if fn in _RMA_KIND:
         win = pre.window(int(args["win"]))
         target = int(args["target"])
         origin_dtype = pre.datatype(rank, int(args["origin_dtype"]))
         target_dtype = pre.datatype(rank, int(args["target_dtype"]))
-        target_ivs = win.target_intervals(
-            target, int(args["target_disp"]),
-            int(args["target_count"]), target_dtype)
         origin_base = int(args["origin_base"]) + \
             int(args["origin_offset"])
-        origin_ivs = origin_dtype.intervals(
-            origin_base, int(args["origin_count"]))
-        epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
-                                      target)
+        if fast:
+            target_ivs = cache.target_intervals(
+                win, target, int(args["target_disp"]),
+                int(args["target_count"]), target_dtype)
+            origin_ivs = cache.intervals(origin_dtype, origin_base,
+                                         int(args["origin_count"]))
+            epoch = cache.enclosing(win.win_id, event.seq, target)
+        else:
+            target_key = ("t", win.win_id, target,
+                          int(args["target_disp"]),
+                          int(args["target_count"]), target_dtype.type_id)
+            target_ivs = cache.get(target_key)
+            if target_ivs is None:
+                target_ivs = cache[target_key] = win.target_intervals(
+                    target, int(args["target_disp"]),
+                    int(args["target_count"]), target_dtype)
+            origin_key = ("o", origin_dtype.type_id, origin_base,
+                          int(args["origin_count"]))
+            origin_ivs = cache.get(origin_key)
+            if origin_ivs is None:
+                origin_ivs = cache[origin_key] = origin_dtype.intervals(
+                    origin_base, int(args["origin_count"]))
+            epoch = epoch_index.enclosing(rank, win.win_id, event.seq,
+                                          target)
         acc_op = str(args["op"]) if "op" in args else None
         if fn == "Compare_and_swap":
             acc_op = "CAS"
@@ -269,8 +559,17 @@ def _lift_call(pre: PreprocessedTrace, epoch_index: EpochIndex, rank: int,
         if "result_base" in args:
             result_base = int(args["result_base"]) + \
                 int(args.get("result_offset", 0))
-            result_ivs = target_dtype.intervals(
-                result_base, int(args["target_count"]))
+            if fast:
+                result_ivs = cache.intervals(target_dtype, result_base,
+                                             int(args["target_count"]))
+            else:
+                result_key = ("r", target_dtype.type_id, result_base,
+                              int(args["target_count"]))
+                result_ivs = cache.get(result_key)
+                if result_ivs is None:
+                    result_ivs = cache[result_key] = \
+                        target_dtype.intervals(result_base,
+                                               int(args["target_count"]))
             local.append(LocalAccess(
                 rank=rank, seq=event.seq, access=STORE,
                 intervals=result_ivs,

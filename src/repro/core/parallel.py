@@ -50,9 +50,15 @@ from repro import obs
 from repro.core.clocks import ConcurrencyOracle
 from repro.core.diagnostics import ConsistencyError
 from repro.core.epochs import EpochIndex
+from repro.core.engine import (
+    bucket_by_epoch_sweep, bucket_by_region_sweep, check_epoch_sweep,
+    detect_region_sweep,
+)
 from repro.core.inter import _LocalLockIndex, bucket_by_region, detect_region
 from repro.core.intra import bucket_by_epoch, check_epoch
-from repro.core.model import AccessModel, lift_rank_stream
+from repro.core.model import (
+    AccessModel, MemRows, lift_rank_stream, lift_rank_sweep,
+)
 from repro.core.preprocess import PreprocessedTrace, scan_rank
 from repro.core.regions import RegionIndex
 from repro.obs.recorder import NullRecorder, Recorder
@@ -145,50 +151,79 @@ def _lift_task(rank: int):
     rec = _task_recorder()
     traces: TraceSet = _WORKER["traces"]
     pre: PreprocessedTrace = _WORKER["pre"]
+    sweep = _WORKER.get("engine") == "sweep"
     with rec.span("analyzer.worker.lift", rank=rank, pid=os.getpid()):
         with traces.reader(rank) as reader:
             items = list(reader.stream())
         calls = [item for item in items if isinstance(item, CallEvent)]
         view = _RankView(pre, rank, calls)
         epochs = EpochIndex(view, ranks=[rank])
-        ops, local = lift_rank_stream(view, epochs, rank, items)
+        if sweep:
+            blocks = [item for item in items
+                      if not isinstance(item, CallEvent)]
+            ops, local, rows = lift_rank_sweep(view, epochs, rank, calls,
+                                               blocks)
+        else:
+            ops, local = lift_rank_stream(view, epochs, rank, items)
+            rows = None
     rec.count("parallel_tasks_total", phase="lift")
-    return rank, ops, local, _export(rec)
+    return rank, ops, local, rows, _export(rec)
 
 
 def _intra_task(bounds: Tuple[int, int]):
-    """Intra-epoch shard: run :func:`check_epoch` over a contiguous chunk
-    of epoch units."""
+    """Intra-epoch shard: run :func:`check_epoch` (or its sweep
+    counterpart) over a contiguous chunk of epoch units."""
     rec = _task_recorder()
     units = _WORKER["intra_units"]
     memory_model = _WORKER["memory_model"]
+    sweep = _WORKER.get("engine") == "sweep"
+    mems: Dict[int, MemRows] = _WORKER.get("mems") or {}
     lo, hi = bounds
     findings: List[ConsistencyError] = []
     with rec.span("analyzer.worker.intra", units=hi - lo, pid=os.getpid()):
-        for epoch, ops, attached, mems in units[lo:hi]:
-            findings.extend(
-                check_epoch(epoch, ops, attached, mems, memory_model))
+        if sweep:
+            for epoch, ops, attached, obj_mems, rank, rlo, rhi \
+                    in units[lo:hi]:
+                rows = mems.get(rank)
+                rows = rows.slice(rlo, rhi) if rows is not None else None
+                findings.extend(check_epoch_sweep(
+                    epoch, ops, attached, obj_mems, rows, memory_model))
+        else:
+            for epoch, ops, attached, epoch_mems in units[lo:hi]:
+                findings.extend(check_epoch(
+                    epoch, ops, attached, epoch_mems, memory_model))
     rec.count("parallel_tasks_total", phase="intra")
     return findings, _export(rec)
 
 
 def _inter_task(bounds: Tuple[int, int]):
-    """Cross-process shard: run :func:`detect_region` over a contiguous
-    chunk of concurrent-region units."""
+    """Cross-process shard: run :func:`detect_region` (or its sweep
+    counterpart) over a contiguous chunk of concurrent-region units."""
     rec = _task_recorder()
     pre = _WORKER["pre"]
     oracle = _WORKER["oracle"]
     lock_index = _WORKER["lock_index"]
     memory_model = _WORKER["memory_model"]
     units = _WORKER["inter_units"]
+    sweep = _WORKER.get("engine") == "sweep"
+    mems: Dict[int, MemRows] = _WORKER.get("mems") or {}
     lo, hi = bounds
     findings: List[ConsistencyError] = []
     with rec.span("analyzer.worker.inter", regions=hi - lo,
                   pid=os.getpid()):
-        for region_ops, region_locals in units[lo:hi]:
-            findings.extend(detect_region(
-                pre, region_ops, region_locals, oracle, lock_index,
-                memory_model))
+        if sweep:
+            for region_ops, region_locals, bounds_by_rank in units[lo:hi]:
+                region_mems = {
+                    rank: mems[rank].slice(rlo, rhi)
+                    for rank, (rlo, rhi) in bounds_by_rank.items()}
+                findings.extend(detect_region_sweep(
+                    pre, region_ops, region_locals, region_mems, oracle,
+                    lock_index, memory_model))
+        else:
+            for region_ops, region_locals in units[lo:hi]:
+                findings.extend(detect_region(
+                    pre, region_ops, region_locals, oracle, lock_index,
+                    memory_model))
     rec.count("parallel_tasks_total", phase="inter")
     return findings, _export(rec)
 
@@ -206,10 +241,11 @@ class ParallelEngine:
     """
 
     def __init__(self, traces: TraceSet, jobs: int,
-                 memory_model: str = "separate"):
+                 memory_model: str = "separate", engine: str = "sweep"):
         self.traces = traces
         self.jobs = resolve_jobs(jobs)
         self.memory_model = memory_model
+        self.engine = engine
         #: total trace events (calls + loads/stores) seen by the scan
         #: phase; the parent's event dict holds call events only
         self.total_events = 0
@@ -242,15 +278,16 @@ class ParallelEngine:
     def build_model(self, pre: PreprocessedTrace,
                     epoch_index: EpochIndex) -> AccessModel:
         """Lift every rank in parallel; concatenate in rank order."""
-        with self._pool({"traces": self.traces, "pre": pre}) as pool:
+        state = {"traces": self.traces, "pre": pre, "engine": self.engine}
+        with self._pool(state) as pool:
             results = pool.map(_lift_task, range(pre.nranks))
         # worker ops carry pickled *copies* of their per-rank epochs;
         # re-intern them onto the parent's canonical index so the
         # identity-keyed bucketing downstream sees one object per epoch
         canonical = {(e.rank, e.win_id, e.kind, e.open_seq): e
                      for e in epoch_index.epochs}
-        ops, local = [], []
-        for rank, rank_ops, rank_local, export in results:
+        ops, local, mems = [], [], {}
+        for rank, rank_ops, rank_local, rank_rows, export in results:
             for op in rank_ops:
                 if op.epoch is not None:
                     key = (op.epoch.rank, op.epoch.win_id, op.epoch.kind,
@@ -258,16 +295,22 @@ class ParallelEngine:
                     op.epoch = canonical[key]
             ops.extend(rank_ops)
             local.extend(rank_local)
+            if rank_rows is not None:
+                mems[rank] = rank_rows
             self._absorb(export)
-        return AccessModel(ops=ops, local=local)
+        return AccessModel(ops=ops, local=local, mems=mems)
 
     def detect_intra(self, model: AccessModel,
                      epoch_index: EpochIndex) -> List[ConsistencyError]:
         """Fan :func:`check_epoch` out over chunks of epoch units."""
-        units = bucket_by_epoch(model, epoch_index)
+        if self.engine == "sweep":
+            units = bucket_by_epoch_sweep(model, epoch_index)
+        else:
+            units = bucket_by_epoch(model, epoch_index)
         if not units:
             return []
-        state = {"intra_units": units, "memory_model": self.memory_model}
+        state = {"intra_units": units, "memory_model": self.memory_model,
+                 "engine": self.engine, "mems": model.mems}
         with self._pool(state) as pool:
             results = pool.map(_intra_task,
                                _chunk_bounds(len(units), self.jobs))
@@ -282,18 +325,23 @@ class ParallelEngine:
                      epoch_index: EpochIndex) -> List[ConsistencyError]:
         """Fan :func:`detect_region` out over chunks of region units."""
         lock_index = _LocalLockIndex(epoch_index, pre.nranks)
-        ops_by_region, locals_by_region = bucket_by_region(model, regions)
-        units = []
-        for region in regions:
-            region_ops = ops_by_region.get(region.index, [])
-            if not region_ops:
-                continue
-            units.append((region_ops,
-                          locals_by_region.get(region.index, [])))
+        if self.engine == "sweep":
+            units = bucket_by_region_sweep(model, regions)
+        else:
+            ops_by_region, locals_by_region = bucket_by_region(model,
+                                                               regions)
+            units = []
+            for region in regions:
+                region_ops = ops_by_region.get(region.index, [])
+                if not region_ops:
+                    continue
+                units.append((region_ops,
+                              locals_by_region.get(region.index, [])))
         if not units:
             return []
         state = {"pre": pre, "oracle": oracle, "lock_index": lock_index,
-                 "inter_units": units, "memory_model": self.memory_model}
+                 "inter_units": units, "memory_model": self.memory_model,
+                 "engine": self.engine, "mems": model.mems}
         with self._pool(state) as pool:
             results = pool.map(_inter_task,
                                _chunk_bounds(len(units), self.jobs))

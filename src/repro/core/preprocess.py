@@ -35,13 +35,20 @@ class WindowInfo:
     sizes: Dict[int, int] = field(default_factory=dict)
     disp_units: Dict[int, int] = field(default_factory=dict)
     var_names: Dict[int, str] = field(default_factory=dict)
+    #: memoized per-rank exposure sets (IntervalSet is immutable; the
+    #: detectors query the same (window, rank) exposure per access)
+    _exposure_cache: Dict[int, IntervalSet] = \
+        field(default_factory=dict, repr=False, compare=False)
 
     def exposure(self, rank: int) -> IntervalSet:
         """The byte interval rank ``rank`` exposes (empty if none)."""
-        size = self.sizes.get(rank, 0)
-        if size <= 0:
-            return IntervalSet()
-        return IntervalSet.single(self.bases[rank], size)
+        cached = self._exposure_cache.get(rank)
+        if cached is None:
+            size = self.sizes.get(rank, 0)
+            cached = (IntervalSet.single(self.bases[rank], size)
+                      if size > 0 else IntervalSet())
+            self._exposure_cache[rank] = cached
+        return cached
 
     def target_intervals(self, target: int, target_disp: int, count: int,
                          dtype: Datatype) -> IntervalSet:

@@ -33,15 +33,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.clocks import ConcurrencyOracle
 from repro.core.diagnostics import (
-    SEVERITY_ERROR, ConsistencyError, dedupe,
+    SEVERITY_ERROR, ConsistencyError, dedupe, sort_findings,
+)
+from repro.core.engine import (
+    check_epoch_sweep, detect_region_sweep, resolve_engine,
 )
 from repro.core.epochs import Epoch, EpochIndex
 from repro.core.inter import LocalLockIndex, bucket_by_region, detect_region
 from repro.core.intra import check_epoch
 from repro.core.matching import match_synchronization
-from repro.core.model import AccessModel, LocalAccess, build_access_model
+from repro.core.model import (
+    AccessModel, LocalAccess, MemRows, build_access_model,
+)
 from repro.core.preprocess import PreprocessedTrace
 from repro.core.regions import RegionIndex
 from repro.profiler.events import ACCESS_NAMES, CallEvent
@@ -61,9 +68,11 @@ class RegionReport:
 class StreamingChecker:
     """Region-at-a-time DN-Analyzer with bounded data-event memory."""
 
-    def __init__(self, traces: TraceSet, memory_model: str = "separate"):
+    def __init__(self, traces: TraceSet, memory_model: str = "separate",
+                 engine: str = "sweep"):
         self.traces = traces
         self.memory_model = memory_model
+        self.engine = resolve_engine(engine)
         self.peak_buffered_mems = 0
         self._control_pass()
 
@@ -118,8 +127,21 @@ class StreamingChecker:
                         var=table.string(var_ids[i]),
                         loc=table.loc(loc_ids[i]), fn="mem")
 
+    def _rank_blocks(self, rank: int):
+        """One rank's packed memory blocks ``(table, struct array)``, in
+        seq order, never decoded to objects (sweep data pass)."""
+        with self.traces.reader(rank) as reader:
+            for block in reader.mem_blocks():
+                yield block.table, block.array
+
     def run(self) -> Iterator[RegionReport]:
         """Pass 2: stream memory events, yielding per-region findings."""
+        if self.engine == "sweep":
+            yield from self._run_sweep()
+        else:
+            yield from self._run_pairwise()
+
+    def _run_pairwise(self) -> Iterator[RegionReport]:
         readers = [self._rank_accesses(rank)
                    for rank in range(self.pre.nranks)]
         lookahead: List[Optional[LocalAccess]] = [None] * self.pre.nranks
@@ -198,14 +220,139 @@ class StreamingChecker:
                 yield RegionReport(index=len(self.regions), mem_events=0,
                                    findings=findings)
 
+    def _run_sweep(self) -> Iterator[RegionReport]:
+        """Sweep data pass: memory events stay packed as struct-array
+        pieces — sliced per region (and per open epoch) with
+        ``searchsorted``, handed to the sweep detectors, then discarded.
+        The region walk, buffering bound, and epoch-close points mirror
+        :meth:`_run_pairwise` exactly."""
+        nranks = self.pre.nranks
+        streams = [self._rank_blocks(rank) for rank in range(nranks)]
+        tables: List = [None] * nranks
+        pending: List[Optional[np.ndarray]] = [None] * nranks
+        # per-epoch buffered row pieces, freed at epoch close
+        epoch_pieces: Dict[int, List[np.ndarray]] = {}
+        open_epochs: List[Epoch] = sorted(
+            self.epochs.access_epochs(),
+            key=lambda e: (e.rank, e.open_seq))
+
+        def take(rank: int, upto: int) -> List[np.ndarray]:
+            """Drain rank's packed rows with seq < upto."""
+            pieces: List[np.ndarray] = []
+            arr = pending[rank]
+            if arr is not None:
+                cut = int(np.searchsorted(arr["seq"], upto, side="left"))
+                pieces.append(arr[:cut])
+                if cut < len(arr):
+                    pending[rank] = arr[cut:]
+                    return pieces
+                pending[rank] = None
+            for table, block_arr in streams[rank]:
+                tables[rank] = table
+                block_arr = np.array(block_arr)  # detach from the mmap
+                cut = int(np.searchsorted(block_arr["seq"], upto,
+                                          side="left"))
+                pieces.append(block_arr[:cut])
+                if cut < len(block_arr):
+                    pending[rank] = block_arr[cut:]
+                    break
+            return [p for p in pieces if len(p)]
+
+        for region in self.regions:
+            findings: List[ConsistencyError] = []
+            region_pieces: Dict[int, List[np.ndarray]] = {}
+            consumed_upto = {}
+            for rank in range(nranks):
+                _lo, hi = region.bounds[rank]
+                upto = min(hi + 1, 1 << 62)
+                consumed_upto[rank] = upto
+                pieces = take(rank, upto)
+                if not pieces:
+                    continue
+                region_pieces[rank] = pieces
+                for epoch in open_epochs:
+                    if epoch.rank != rank:
+                        continue
+                    for piece in pieces:
+                        seqs = piece["seq"]
+                        lo = int(np.searchsorted(seqs, epoch.open_seq,
+                                                 side="right"))
+                        hi_row = int(np.searchsorted(seqs, epoch.close_seq,
+                                                     side="left"))
+                        if hi_row > lo:
+                            epoch_pieces.setdefault(id(epoch), []).append(
+                                piece[lo:hi_row])
+
+            mem_events = sum(len(p) for pieces in region_pieces.values()
+                             for p in pieces)
+            buffered = mem_events + sum(
+                len(p) for plist in epoch_pieces.values() for p in plist)
+            self.peak_buffered_mems = max(self.peak_buffered_mems, buffered)
+
+            # cross-process pass over this region
+            region_ops = self._ops_by_region.get(region.index, [])
+            if region_ops:
+                region_mems = {
+                    rank: MemRows.from_struct(
+                        rank, tables[rank],
+                        pieces[0] if len(pieces) == 1
+                        else np.concatenate(pieces))
+                    for rank, pieces in region_pieces.items()}
+                findings.extend(detect_region_sweep(
+                    self.pre, region_ops,
+                    self._call_locals_by_region.get(region.index, []),
+                    region_mems, self.oracle, self.lock_index,
+                    self.memory_model))
+
+            # close every epoch whose closing sync has been passed
+            still_open: List[Epoch] = []
+            for epoch in open_epochs:
+                if epoch.close_seq < consumed_upto.get(epoch.rank, 0):
+                    findings.extend(self._close_epoch_sweep(epoch,
+                                                            epoch_pieces,
+                                                            tables))
+                else:
+                    still_open.append(epoch)
+            open_epochs = still_open
+
+            yield RegionReport(index=region.index, findings=findings,
+                               mem_events=mem_events)
+
+        # epochs never closed in the trace (truncated programs)
+        for epoch in open_epochs:
+            findings = self._close_epoch_sweep(epoch, epoch_pieces, tables)
+            if findings:
+                yield RegionReport(index=len(self.regions), mem_events=0,
+                                   findings=findings)
+
+    def _close_epoch_sweep(self, epoch: Epoch,
+                           epoch_pieces: Dict[int, List[np.ndarray]],
+                           tables: List) -> List[ConsistencyError]:
+        """Run the sweep within-epoch check and free the epoch's rows.
+
+        Like the pairwise data pass, only *instrumented* rows are
+        buffered per epoch, so ``obj_mems`` stays empty."""
+        pieces = epoch_pieces.pop(id(epoch), [])
+        rows = None
+        if pieces:
+            rows = MemRows.from_struct(
+                epoch.rank, tables[epoch.rank],
+                pieces[0] if len(pieces) == 1 else np.concatenate(pieces))
+        return check_epoch_sweep(
+            epoch, self._ops_by_epoch.get(id(epoch), []),
+            self._attached_by_epoch.get(id(epoch), []), [], rows,
+            self.memory_model)
+
 
 def check_streaming(traces: TraceSet,
-                    memory_model: str = "separate"
+                    memory_model: str = "separate",
+                    engine: str = "sweep"
                     ) -> Tuple[List[ConsistencyError], StreamingChecker]:
     """Run the streaming pipeline to completion; returns deduplicated
     findings plus the checker (for its memory statistics)."""
-    checker = StreamingChecker(traces, memory_model=memory_model)
+    checker = StreamingChecker(traces, memory_model=memory_model,
+                               engine=engine)
     findings: List[ConsistencyError] = []
     for report in checker.run():
         findings.extend(report.findings)
-    return dedupe(findings), checker
+    return dedupe(sort_findings(findings)), checker

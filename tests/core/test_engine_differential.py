@@ -1,0 +1,171 @@
+"""Sweep-engine differential tests.
+
+The contract of ``MCChecker(engine="sweep")`` is *byte-identical reports
+to the pairwise reference engine* over the whole bundled bug corpus,
+under both memory models, in every execution mode (serial, parallel,
+streaming).  The joins may only prune pairs the per-pair checkers would
+reject anyway, so any divergence is a completeness bug in the sweep.
+
+Alongside the corpus differential, the sweep-only fast paths are pinned
+to their reference implementations directly: ``LiftCache``'s inline
+data-map application vs :meth:`Datatype.intervals`, its bisect-backed
+epoch lookup vs :meth:`EpochIndex.enclosing`, and the pair-batched
+``ConcurrencyOracle.ordered_pairs`` vs the scalar :meth:`ordered`.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.registry import BUG_CASES, EXTRA_CASES
+from repro.core.checker import check_traces
+from repro.core.clocks import ConcurrencyOracle, Span
+from repro.core.engine import resolve_engine
+from repro.core.epochs import EpochIndex
+from repro.core.matching import match_synchronization
+from repro.core.model import LiftCache, build_access_model
+from repro.core.preprocess import preprocess_calls
+from repro.core.streaming import check_streaming
+from repro.profiler.events import CallEvent
+from repro.profiler.session import profile_run
+from repro.simmpi.datatypes import Datatype
+from repro.util.intervals import datamap_intervals
+
+ALL_CASES = list(BUG_CASES) + list(EXTRA_CASES)
+RANKS_CAP = 8
+MEMORY_MODELS = ("separate", "unified")
+
+_TRACES = {}
+
+
+def traces_for(case):
+    """Profile each buggy case once and reuse the traces across tests."""
+    if case.name not in _TRACES:
+        nranks = min(case.nranks, RANKS_CAP)
+        _TRACES[case.name] = profile_run(
+            case.app, nranks, params=case.params(True)).traces
+    return _TRACES[case.name]
+
+
+def canonical(report) -> str:
+    """Byte-comparable form of a report, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.name)
+    def test_sweep_matches_pairwise(self, case):
+        traces = traces_for(case)
+        for memory_model in MEMORY_MODELS:
+            reports = {
+                engine: check_traces(traces, memory_model=memory_model,
+                                     engine=engine)
+                for engine in ("sweep", "pairwise")
+            }
+            assert canonical(reports["sweep"]) == \
+                canonical(reports["pairwise"]), (
+                    f"{case.name}/{memory_model}: sweep report diverged")
+
+    @pytest.mark.parametrize("case", ALL_CASES[:4], ids=lambda c: c.name)
+    def test_parallel_sweep_matches_serial_pairwise(self, case):
+        traces = traces_for(case)
+        ref = canonical(check_traces(traces, engine="pairwise"))
+        assert canonical(check_traces(traces, engine="sweep",
+                                      jobs=2)) == ref, (
+            f"{case.name}: jobs=2 sweep report diverged")
+
+    @pytest.mark.parametrize("case", list(BUG_CASES)[:4],
+                             ids=lambda c: c.name)
+    def test_streaming_sweep_matches_streaming_pairwise(self, case):
+        traces = traces_for(case)
+        outs = {}
+        for engine in ("sweep", "pairwise"):
+            findings, checker = check_streaming(traces, engine=engine)
+            outs[engine] = (
+                json.dumps([f.to_dict() for f in findings],
+                           sort_keys=True),
+                checker.peak_buffered_mems)
+        assert outs["sweep"][0] == outs["pairwise"][0], (
+            f"{case.name}: streaming sweep findings diverged")
+        assert outs["sweep"][1] == outs["pairwise"][1], (
+            f"{case.name}: streaming sweep peak accounting diverged")
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("quadratic")
+
+    def test_known_engines_resolve(self):
+        assert resolve_engine("sweep") == "sweep"
+        assert resolve_engine("pairwise") == "pairwise"
+
+
+# ----------------------------------------------------------------------
+# the sweep-only fast paths vs their reference implementations
+# ----------------------------------------------------------------------
+
+datamap_strategy = st.lists(
+    st.tuples(st.integers(0, 48), st.integers(0, 12)), max_size=5)
+
+
+@given(st.integers(0, 200), datamap_strategy, st.integers(0, 4),
+       st.integers(1, 64))
+def test_prop_liftcache_datamap_matches_reference(base, datamap, count,
+                                                 extent):
+    dt = Datatype(name="t", datamap=tuple(datamap), extent=extent,
+                  base=None, type_id=1)
+    fast = LiftCache._apply_datamap(dt, base, count)
+    assert fast == datamap_intervals(base, tuple(datamap), count, extent)
+
+
+def _pre_and_calls(case):
+    traces = traces_for(case)
+    pre = preprocess_calls(traces)
+    return pre, {
+        rank: [e for e in pre.events[rank] if isinstance(e, CallEvent)]
+        for rank in range(pre.nranks)
+    }
+
+
+@pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.name)
+def test_liftcache_enclosing_matches_epoch_index(case):
+    pre, calls = _pre_and_calls(case)
+    epoch_index = EpochIndex(pre)
+    checked = 0
+    for rank, events in calls.items():
+        cache = LiftCache(epoch_index, rank)
+        for event in events:
+            args = event.args
+            if "win" not in args or "target" not in args:
+                continue
+            win_id = int(args["win"])
+            target = int(args["target"])
+            assert cache.enclosing(win_id, event.seq, target) is \
+                epoch_index.enclosing(rank, win_id, event.seq, target)
+            checked += 1
+    assert checked > 0  # every bug case issues at least one RMA op
+
+
+@pytest.mark.parametrize("case", ALL_CASES[:6], ids=lambda c: c.name)
+def test_ordered_pairs_matches_scalar_ordered(case):
+    traces = traces_for(case)
+    pre = preprocess_calls(traces)
+    oracle = ConcurrencyOracle(pre, match_synchronization(pre))
+    model = build_access_model(pre, EpochIndex(pre))
+    spans = [op.span for op in model.ops][:24]
+    if len(spans) < 2:
+        pytest.skip("case issues fewer than two RMA ops")
+    pairs = [(a, b) for a in spans for b in spans]
+    a_spans, b_spans = zip(*pairs)
+    got = oracle.ordered_pairs(
+        [s.rank for s in a_spans], [s.start_seq for s in a_spans],
+        [s.end_seq for s in a_spans],
+        [s.rank for s in b_spans], [s.start_seq for s in b_spans],
+        [s.end_seq for s in b_spans])
+    want = np.array([oracle.ordered(a, b) for a, b in pairs])
+    assert (got == want).all()

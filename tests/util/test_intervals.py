@@ -3,7 +3,9 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util.intervals import Interval, IntervalSet, datamap_intervals
+from repro.util.intervals import (Interval, IntervalSet, IntervalTable,
+                                  datamap_intervals, naive_overlap_join,
+                                  overlap_join)
 
 
 # ----------------------------------------------------------------------
@@ -206,3 +208,92 @@ def test_prop_datamap_byte_count(base, datamap, count, extent):
     # bytes covered never exceeds count * sum(lengths); equality holds when
     # segments don't self-overlap across replications
     assert s.byte_count() <= count * sum(n for _d, n in datamap)
+
+
+# ----------------------------------------------------------------------
+# IntervalTable + the sweep join
+# ----------------------------------------------------------------------
+
+class TestIntervalTable:
+    def test_zero_length_rows_dropped(self):
+        t = IntervalTable([0, 5, 9], [4, 5, 12])
+        assert len(t) == 2  # [5,5) vanishes
+        assert list(t.owner) == [0, 2]  # owners keep their original ids
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalTable([0, 1], [2])
+        with pytest.raises(ValueError):
+            IntervalTable([0, 1], [2, 3], owner=[0])
+
+    def test_from_columns(self):
+        t = IntervalTable.from_columns([10, 20], [4, 0])
+        assert len(t) == 1
+        assert (t.lo[0], t.hi[0]) == (10, 14)
+
+    def test_from_sets_explicit_owners(self):
+        sets = [IntervalSet([Interval(0, 4), Interval(8, 12)]),
+                IntervalSet([Interval(20, 24)])]
+        t = IntervalTable.from_sets(sets, owners=[7, 9])
+        assert list(t.owner) == [7, 7, 9]
+
+    def test_concat(self):
+        a = IntervalTable([0], [4], owner=[1])
+        b = IntervalTable([10], [14], owner=[2])
+        c = IntervalTable.concat([a, IntervalTable((), ()), b])
+        assert list(c.owner) == [1, 2]
+
+    def test_concat_empty(self):
+        assert len(IntervalTable.concat([])) == 0
+
+    def test_join_empty_sides(self):
+        t = IntervalTable([0], [4])
+        empty = IntervalTable((), ())
+        for a, b in ((t, empty), (empty, t), (empty, empty)):
+            ai, bi = overlap_join(a, b)
+            assert len(ai) == 0 and len(bi) == 0
+
+    def test_join_adjacent_not_overlapping(self):
+        # half-open ranges: [0,10) vs [10,20) share no byte
+        ai, bi = overlap_join(IntervalTable([0], [10]),
+                              IntervalTable([10], [20]))
+        assert len(ai) == 0
+
+    def test_join_duplicate_rows_unique_pairs(self):
+        # two rows of the same owner overlapping one b row -> one pair
+        a = IntervalTable([0, 2], [4, 6], owner=[5, 5])
+        b = IntervalTable([3], [10], owner=[8])
+        ai, bi = overlap_join(a, b)
+        assert list(ai) == [5] and list(bi) == [8]
+
+    def test_self_join_reports_self_pairs(self):
+        t = IntervalTable([0, 2], [4, 6])
+        ai, bi = overlap_join(t, t)
+        pairs = set(zip(ai.tolist(), bi.tolist()))
+        assert pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+table_strategy = st.lists(
+    st.tuples(st.integers(0, 300), st.integers(0, 40),
+              st.integers(0, 6)),
+    max_size=16).map(
+        lambda rows: IntervalTable([r[0] for r in rows],
+                                   [r[0] + r[1] for r in rows],
+                                   owner=[r[2] for r in rows]))
+
+
+def _pair_set(ai, bi):
+    return set(zip(ai.tolist(), bi.tolist()))
+
+
+@given(table_strategy, table_strategy)
+def test_prop_overlap_join_matches_naive(a, b):
+    assert _pair_set(*overlap_join(a, b)) == \
+        _pair_set(*naive_overlap_join(a, b))
+
+
+@given(table_strategy, table_strategy)
+def test_prop_overlap_join_symmetric(a, b):
+    ab = _pair_set(*overlap_join(a, b))
+    ba = _pair_set(*overlap_join(b, a))
+    assert ab == {(x, y) for (y, x) in ba}
