@@ -1,0 +1,269 @@
+"""Perf harness for the incremental checker's result cache.
+
+Profiles one LU run into binary traces, then measures three cache
+temperatures of ``CheckConfig(incremental=True)``:
+
+* **cold** — empty cache: the full pipeline runs and every shard is
+  stored (median over fresh cache dirs);
+* **warm** — unchanged traces: every shard must be a cache hit, no
+  mem-event block is decoded, and the report must be byte-identical to
+  the cold one;
+* **perturbed** — one load/store event in one rank's trace is altered
+  and the trace rewritten: only the shards whose content keys cover the
+  change may re-run, and the report must match a cold run over the
+  perturbed traces byte for byte.
+
+Two entry points:
+
+* ``python benchmarks/bench_incremental.py`` — the full configuration
+  (16-rank LU); artifact at the repo root.  Gate: warm >= 3x faster
+  than cold.
+* ``python benchmarks/bench_incremental.py --smoke`` — a small CI
+  configuration; same identity and reuse checks, the speed gate is
+  recorded but not enforced (tiny traces make ratios noisy), artifact
+  under ``benchmarks/results/``.
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+from repro import obs
+from repro.apps.lu import lu
+from repro.core.checker import check_traces
+from repro.core.config import CheckConfig
+from repro.profiler.events import MemEvent
+from repro.profiler.session import profile_run
+from repro.profiler.tracer import (
+    FORMAT_BINARY, TraceReader, TraceSet, TraceWriter,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_incremental.json")
+SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_incremental_smoke.json")
+
+SPEEDUP_GATE = 3.0
+
+CONFIGS = {
+    "full": dict(nranks=16, n=192, reps=3),
+    "smoke": dict(nranks=4, n=48, reps=1),
+}
+
+
+def canonical(report):
+    """Byte-comparable report form, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def counted_check(traces, config):
+    """Run one incremental check with metrics on; returns
+    (report, shard outcome counts, region state counts)."""
+    rec = obs.configure(enabled=True)
+    try:
+        report = check_traces(traces, config)
+    finally:
+        obs.reset()
+    shards = rec.registry.get("incremental_cache_shards_total")
+    regions = rec.registry.get("incremental_regions_total")
+    return report, {
+        outcome: shards.value(outcome=outcome)
+        for outcome in ("hit", "miss", "invalidated", "corrupt")
+    }, {state: regions.value(state=state) for state in ("clean", "dirty")}
+
+
+def perturb(src_dir, out_dir, rank):
+    """Copy the trace set, altering the address of one late load/store
+    event in ``rank``'s trace (the same mutation a recompiled kernel or
+    changed allocation would produce)."""
+    shutil.copytree(src_dir, out_dir)
+    path = TraceSet.rank_path(out_dir, rank, FORMAT_BINARY)
+    with TraceReader(path) as reader:
+        header, events = reader.header, reader.events()
+    mem_positions = [i for i, ev in enumerate(events)
+                     if isinstance(ev, MemEvent)]
+    target = mem_positions[(3 * len(mem_positions)) // 4]
+    events[target] = dataclasses.replace(
+        events[target], addr=events[target].addr + events[target].size)
+    with TraceWriter(path, rank, header.nranks, app=header.app,
+                     format=FORMAT_BINARY) as writer:
+        for event in events:
+            writer.write(event)
+
+
+def run_bench(mode, out_path):
+    cfg = CONFIGS[mode]
+    cpus = os.cpu_count() or 1
+    print(f"[bench_incremental] mode={mode} nranks={cfg['nranks']} "
+          f"n={cfg['n']} reps={cfg['reps']} cpus={cpus}")
+
+    workdir = tempfile.mkdtemp(prefix="bench-incremental-")
+    try:
+        run = profile_run(lu, cfg["nranks"], params=dict(n=cfg["n"]),
+                          scope="report", delivery="eager",
+                          trace_dir=os.path.join(workdir, "traces"),
+                          trace_format=FORMAT_BINARY)
+        traces = run.traces
+        counts = traces.event_counts()
+        print(f"[bench_incremental] workload: {counts['call']} calls, "
+              f"{counts['mem']} load/store events")
+
+        cache_dir = os.path.join(workdir, "cache")
+        config = CheckConfig(incremental=True, cache_dir=cache_dir)
+
+        # cold: median over runs against fresh cache directories (the
+        # last one leaves ``cache_dir`` populated for the warm arm)
+        cold_times = []
+        for rep in range(cfg["reps"]):
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            start = time.perf_counter()
+            cold_report = check_traces(traces, config)
+            cold_times.append(time.perf_counter() - start)
+        cold_seconds = statistics.median(cold_times)
+        cold_canon = canonical(cold_report)
+        print(f"[bench_incremental] cold: {cold_seconds:.3f}s")
+
+        warm_times = []
+        for rep in range(cfg["reps"]):
+            start = time.perf_counter()
+            warm_report = check_traces(traces, config)
+            warm_times.append(time.perf_counter() - start)
+        warm_seconds = statistics.median(warm_times)
+        identical_warm = canonical(warm_report) == cold_canon
+        speedup = cold_seconds / warm_seconds
+        print(f"[bench_incremental] warm: {warm_seconds:.3f}s "
+              f"(speedup {speedup:.1f}x, identical={identical_warm})")
+
+        _report, warm_shards, warm_regions = counted_check(traces, config)
+        total_shards = sum(warm_shards.values())
+        fully_reused = (warm_shards["hit"] == total_shards
+                        and warm_regions["dirty"] == 0)
+        if not fully_reused:
+            print(f"[bench_incremental] FAIL: warm run re-ran shards: "
+                  f"{warm_shards}", file=sys.stderr)
+
+        # perturbation: one mem event in one rank changes; the warm run
+        # over the perturbed traces may only re-run the shards that can
+        # see the change, yet must match a cold run byte for byte
+        perturbed_dir = os.path.join(workdir, "perturbed")
+        perturb(traces.directory, perturbed_dir, rank=0)
+        perturbed = TraceSet(perturbed_dir)
+
+        start = time.perf_counter()
+        warm_p, shards_p, regions_p = counted_check(perturbed, config)
+        perturbed_seconds = time.perf_counter() - start
+        cold_p = check_traces(perturbed, CheckConfig(
+            incremental=True,
+            cache_dir=os.path.join(workdir, "cache-perturbed")))
+        identical_perturbed = canonical(warm_p) == canonical(cold_p)
+        dirty_shards = (shards_p["miss"] + shards_p["invalidated"]
+                        + shards_p["corrupt"])
+        partial_reuse = (shards_p["hit"] >= 1
+                         and dirty_shards >= 1
+                         and dirty_shards < total_shards)
+        print(f"[bench_incremental] perturbed: {perturbed_seconds:.3f}s, "
+              f"shards {shards_p}, regions {regions_p}, "
+              f"identical={identical_perturbed}")
+        if not partial_reuse:
+            print(f"[bench_incremental] FAIL: perturbed run did not "
+                  f"partially reuse the cache: {shards_p}",
+                  file=sys.stderr)
+
+        speed_applies = mode == "full"
+        speed_gate = {
+            "required_speedup": SPEEDUP_GATE,
+            "measured_speedup": round(speedup, 2),
+            "applies": speed_applies,
+            "passed": speedup >= SPEEDUP_GATE if speed_applies else None,
+        }
+        if not speed_applies:
+            speed_gate["skipped_because"] = (
+                "smoke traces are too small for a stable ratio")
+        if speed_gate["passed"] is False:
+            print(f"[bench_incremental] FAIL: warm speedup "
+                  f"{speedup:.2f}x below {SPEEDUP_GATE}x",
+                  file=sys.stderr)
+        elif speed_gate["passed"]:
+            print("[bench_incremental] warm-speedup gate passed")
+
+        payload = {
+            "benchmark": "incremental",
+            "mode": mode,
+            "workload": {"app": "lu", "nranks": cfg["nranks"],
+                         "n": cfg["n"], "reps": cfg["reps"],
+                         "call_events": counts["call"],
+                         "mem_events": counts["mem"]},
+            "machine": {"cpu_count": cpus},
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup": round(speedup, 2),
+            "identical_warm_report": identical_warm,
+            "warm_shards": warm_shards,
+            "total_shards": total_shards,
+            "fully_reused_warm": fully_reused,
+            "perturbed": {
+                "seconds": round(perturbed_seconds, 4),
+                "shards": shards_p,
+                "regions": regions_p,
+                "identical_report": identical_perturbed,
+                "partial_reuse": partial_reuse,
+            },
+            "warm_speedup_gate": speed_gate,
+        }
+        os.makedirs(os.path.dirname(out_path), exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[bench_incremental] wrote {out_path}")
+
+        ok = (identical_warm and identical_perturbed and fully_reused
+              and partial_reuse and speed_gate["passed"] is not False)
+        return payload, ok
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI configuration (artifact goes to "
+                         "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--out", default=None,
+                    help="artifact path (default: BENCH_incremental.json "
+                         "at the repo root, or benchmarks/results/ with "
+                         "--smoke)")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    _payload, ok = run_bench(mode, out_path)
+    return 0 if ok else 1
+
+
+def test_incremental_bench_smoke(record, benchmark):
+    """pytest entry point: the smoke configuration as a benchmark-suite
+    row (``pytest benchmarks/bench_incremental.py``)."""
+    payload, ok = benchmark.pedantic(
+        lambda: run_bench("smoke", SMOKE_OUT), rounds=1, iterations=1)
+    assert ok, "incremental differential or cache-reuse check failed"
+    record("incremental",
+           f"cold={payload['cold_seconds']:7.3f}s "
+           f"warm={payload['warm_seconds']:7.3f}s "
+           f"speedup={payload['warm_speedup']:5.1f}x "
+           f"shards={payload['total_shards']}",
+           cold_seconds=payload["cold_seconds"],
+           warm_seconds=payload["warm_seconds"],
+           warm_speedup=payload["warm_speedup"],
+           total_shards=payload["total_shards"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ findings.  It also materializes the Figure 4 data-access DAG.
 Run:  python examples/custom_checker.py
 """
 
+from repro import api
 from repro.core.clocks import ConcurrencyOracle, Span
 from repro.core.dag import build_dag
 from repro.core.epochs import EpochIndex
@@ -20,7 +21,6 @@ from repro.core.matching import match_synchronization
 from repro.core.model import build_access_model
 from repro.core.preprocess import preprocess
 from repro.core.regions import RegionIndex
-from repro.profiler.session import profile_run
 from repro.simmpi import DOUBLE, INT
 
 
@@ -48,7 +48,7 @@ def figure3(mpi):
 
 
 def main():
-    run = profile_run(figure3, nranks=3, delivery="random")
+    run = api.run(figure3, nranks=3, delivery="random")
 
     pre = preprocess(run.traces)
     print("communicators:", pre.comms)
@@ -86,6 +86,10 @@ def main():
         pre, model, regions, oracle, epochs)
     print(f"\n{len(findings)} raw findings; first:")
     print(findings[0].format())
+
+    # the facade runs the same stages end to end (and deduplicates)
+    report = api.check(run.traces)
+    print(f"\nfacade cross-check: {report.summary()}")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ written before the epoch closes.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import check_app
+from repro import api
 from repro.simmpi import DOUBLE, LOCK_SHARED, run_app
 
 
@@ -46,8 +46,9 @@ def main():
           "read produced 1.0)" if results[0] != 11.0 else
           f"rank 0 computed: {results[0]}")
 
-    # 2. Now let MC-Checker find the defect: profile + analyze in one call.
-    report = check_app(figure1, nranks=2, delivery="lazy")
+    # 2. Now let MC-Checker find the defect: profile + analyze in one
+    #    call through the stable facade (repro.api).
+    report = api.run_check(figure1, nranks=2, delivery="lazy")
     print()
     print(report.format())
 

@@ -1,9 +1,10 @@
 """MC-Checker reproduction — memory consistency checking for (simulated)
 MPI one-sided applications.
 
-Top-level conveniences re-export the two things most users need: the
-simulated MPI runtime to write programs against, and the checker to
-analyze them.
+Top-level conveniences re-export the things most users need: the
+simulated MPI runtime to write programs against, the checker to analyze
+them, and the :mod:`repro.api` facade (``api.run`` / ``api.check`` /
+``api.run_check``) configured through :class:`CheckConfig`.
 
     from repro import check_app, run_app
 
@@ -21,13 +22,18 @@ Subpackages: :mod:`repro.simmpi` (the MPI-2.2/3 simulator),
 statistics / filtering / diffing / minimization).
 """
 
-from repro.core import CheckReport, ConsistencyError, check_app, check_traces
+from repro.core import (
+    CheckConfig, CheckReport, ConsistencyError, check_app, check_traces,
+)
 from repro.simmpi import MPIContext, run_app
+from repro import api  # noqa: E402  (imports repro.core; keep it last)
+from repro.api import run_check
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "CheckReport", "ConsistencyError", "check_app", "check_traces",
+    "CheckConfig", "CheckReport", "ConsistencyError", "check_app",
+    "check_traces", "api", "run_check",
     "MPIContext", "run_app",
     "__version__",
 ]

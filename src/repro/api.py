@@ -1,0 +1,81 @@
+"""Stable high-level facade: ``run``, ``check``, ``run_check``.
+
+Three verbs cover the paper's workflow end to end, each configured by a
+single :class:`~repro.core.config.CheckConfig` value instead of the
+per-function kwarg lists the internals grew over time:
+
+    from repro import api, CheckConfig
+
+    run = api.run(my_app, nranks=4, trace_format="binary")
+    report = api.check(run.traces,
+                       CheckConfig(jobs=4, cache_dir=".mc-cache",
+                                   incremental=True))
+    print(report.format())
+
+``check`` accepts either a :class:`~repro.profiler.tracer.TraceSet` or a
+trace-directory path, and field overrides as keyword arguments
+(``api.check(traces, jobs=4)`` is ``CheckConfig(jobs=4)``); overrides on
+top of an explicit config derive a new one with
+:meth:`CheckConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.core.checker import CheckReport, check_traces
+from repro.core.config import CheckConfig
+from repro.profiler.session import ProfiledRun, profile_run
+from repro.profiler.tracer import TraceSet
+
+__all__ = ["run", "check", "run_check"]
+
+
+def run(app: Callable, nranks: int, *,
+        trace_dir: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        scope: str = "report",
+        delivery: str = "random",
+        sched_policy: str = "round_robin",
+        seed: int = 0,
+        trace_format: str = "text",
+        app_name: Optional[str] = None) -> ProfiledRun:
+    """Profile ``app`` on the simulated runtime; returns the run (its
+    ``.traces`` feed :func:`check`)."""
+    return profile_run(app, nranks, trace_dir=trace_dir, params=params,
+                       scope=scope, delivery=delivery,
+                       sched_policy=sched_policy, seed=seed,
+                       trace_format=trace_format, app_name=app_name)
+
+
+def check(traces: Union[TraceSet, str, "os.PathLike[str]"],
+          config: Optional[CheckConfig] = None,
+          **overrides) -> CheckReport:
+    """Analyze a trace set (or trace directory) for consistency errors."""
+    if not isinstance(traces, TraceSet):
+        traces = TraceSet(os.fspath(traces))
+    cfg = config if config is not None else CheckConfig()
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return check_traces(traces, cfg)
+
+
+def run_check(app: Callable, nranks: int, *,
+              trace_dir: Optional[str] = None,
+              params: Optional[Dict[str, Any]] = None,
+              scope: str = "report",
+              delivery: str = "random",
+              sched_policy: str = "round_robin",
+              seed: int = 0,
+              trace_format: str = "text",
+              app_name: Optional[str] = None,
+              config: Optional[CheckConfig] = None,
+              **overrides) -> CheckReport:
+    """Profile and analyze in one call (the ``mc-checker run-check``
+    workflow)."""
+    profiled = run(app, nranks, trace_dir=trace_dir, params=params,
+                   scope=scope, delivery=delivery,
+                   sched_policy=sched_policy, seed=seed,
+                   trace_format=trace_format, app_name=app_name)
+    return check(profiled.traces, config, **overrides)

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro import obs
 from repro.core.checker import check_traces
+from repro.core.config import CheckConfig
 from repro.core.compat import KINDS, TABLE
 from repro.obs.export import write_chrome_trace, write_metrics
 from repro.obs.logging import LOG_LEVEL_CHOICES
@@ -73,6 +74,53 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
                              "sweep-line interval joins (default) or the "
                              "pairwise reference; reports are byte-"
                              "identical either way")
+
+
+def _analysis_parent() -> argparse.ArgumentParser:
+    """Shared parent parser: the analysis flags every checking-capable
+    subcommand (``run``, ``check``, ``run-check``) accepts with identical
+    help and defaults."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("analysis options")
+    group.add_argument("--memory-model", default="separate",
+                       choices=("separate", "unified"),
+                       help="MPI RMA memory model for Table-I verdicts")
+    group.add_argument("--engine", default="sweep",
+                       choices=("sweep", "pairwise"),
+                       help="conflict-detection engine: vectorized "
+                            "sweep-line interval joins (default) or the "
+                            "pairwise reference; reports are byte-"
+                            "identical either way")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sharded analyzer "
+                            "(1 = serial, -1 = one per CPU); findings "
+                            "are identical at any job count")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="on-disk result cache for incremental "
+                            "checking")
+    group.add_argument("--incremental", action="store_true",
+                       help="reuse cached per-region findings; only "
+                            "re-analyze regions whose inputs changed "
+                            "(requires --cache-dir)")
+    return parent
+
+
+def _config_from_args(args) -> CheckConfig:
+    """Build the :class:`CheckConfig` a subcommand's flags describe."""
+    if getattr(args, "incremental", False) and \
+            not getattr(args, "cache_dir", None):
+        raise SystemExit("mc-checker: --incremental requires --cache-dir")
+    try:
+        return CheckConfig(
+            memory_model=getattr(args, "memory_model", "separate"),
+            engine=getattr(args, "engine", "sweep"),
+            jobs=getattr(args, "jobs", 1),
+            streaming=getattr(args, "streaming", False),
+            naive_inter=getattr(args, "naive_inter", False),
+            cache_dir=getattr(args, "cache_dir", None),
+            incremental=getattr(args, "incremental", False))
+    except ValueError as exc:
+        raise SystemExit(f"mc-checker: {exc}") from None
 
 
 def _add_obs_args(parser: argparse.ArgumentParser,
@@ -178,31 +226,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="Detect memory consistency errors in (simulated) MPI "
                     "one-sided applications.")
     sub = parser.add_subparsers(dest="command", required=True)
+    analysis = _analysis_parent()
 
-    p_run = sub.add_parser("run", help="profile an application run")
+    p_run = sub.add_parser("run", help="profile an application run",
+                           parents=[analysis])
     _add_run_args(p_run)
     _add_obs_args(p_run, exports=True)
 
-    p_check = sub.add_parser("check", help="analyze an existing trace set")
+    p_check = sub.add_parser("check", help="analyze an existing trace set",
+                             parents=[analysis])
     p_check.add_argument("trace_dir")
     p_check.add_argument("--naive-inter", action="store_true",
                          help="use the combinatorial cross-process detector")
     p_check.add_argument("--streaming", action="store_true",
                          help="region-at-a-time analysis with bounded "
                               "data-event memory")
-    p_check.add_argument("--memory-model", default="separate",
-                         choices=("separate", "unified"),
-                         help="MPI RMA memory model for Table-I verdicts")
     p_check.add_argument("--json", action="store_true",
                          help="emit the report as JSON (for CI tooling)")
-    _add_jobs_arg(p_check)
-    _add_engine_arg(p_check)
     _add_obs_args(p_check, exports=True)
 
-    p_rc = sub.add_parser("run-check", help="profile and analyze in one go")
+    p_rc = sub.add_parser("run-check", help="profile and analyze in one go",
+                          parents=[analysis])
     _add_run_args(p_rc)
-    _add_jobs_arg(p_rc)
-    _add_engine_arg(p_rc)
     _add_obs_args(p_rc, exports=True)
 
     p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
@@ -282,21 +327,15 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command in ("check", "run-check"):
-        if args.command == "run-check":
-            trace_dir = _do_run(args)
-            naive = streaming = False
-            memory_model = "separate"
-        else:
-            trace_dir = args.trace_dir
-            naive = args.naive_inter
-            streaming = args.streaming
-            memory_model = args.memory_model
+        trace_dir = (_do_run(args) if args.command == "run-check"
+                     else args.trace_dir)
+        config = _config_from_args(args)
         traces = TraceSet(trace_dir)
-        if streaming:
+        if config.streaming:
             from repro.core.streaming import check_streaming
-            findings, checker = check_streaming(traces,
-                                                memory_model=memory_model,
-                                                engine=args.engine)
+            findings, checker = check_streaming(
+                traces, memory_model=config.memory_model,
+                engine=config.engine)
             errors = [f for f in findings if f.severity == "error"]
             log.info(f"MC-Checker (streaming): {len(errors)} error(s), "
                      f"{len(findings) - len(errors)} warning(s); peak "
@@ -306,9 +345,7 @@ def _dispatch(args) -> int:
                 log.info("")
                 log.info(finding.format())
             return 1 if errors else 0
-        report = check_traces(traces, naive_inter=naive,
-                              memory_model=memory_model, jobs=args.jobs,
-                              engine=args.engine)
+        report = check_traces(traces, config)
         if getattr(args, "json", False):
             # machine output: always printed verbatim, bypassing log level
             print(json.dumps(report.to_dict(), indent=2))
@@ -337,8 +374,8 @@ def _dispatch(args) -> int:
         log.info(_per_rank_table(stats))
         if not args.no_phases:
             try:
-                report = check_traces(traces, jobs=args.jobs,
-                                      engine=args.engine)
+                report = check_traces(traces, CheckConfig(
+                    jobs=args.jobs, engine=args.engine))
             except Exception as exc:  # noqa: BLE001 - stats must not die
                 log.warning(f"analyzer phases unavailable: {exc}")
             else:

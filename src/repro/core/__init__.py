@@ -23,11 +23,12 @@ from repro.core.checker import CheckReport, MCChecker, check_app, check_traces
 from repro.core.compat import (
     BOTH, ERROR, NONOV, MODEL_SEPARATE, MODEL_UNIFIED, compat_verdict,
 )
+from repro.core.config import CheckConfig
 from repro.core.diagnostics import ConsistencyError
 from repro.core.streaming import StreamingChecker, check_streaming
 
 __all__ = [
-    "CheckReport", "MCChecker", "check_app", "check_traces",
+    "CheckConfig", "CheckReport", "MCChecker", "check_app", "check_traces",
     "BOTH", "ERROR", "NONOV", "MODEL_SEPARATE", "MODEL_UNIFIED",
     "compat_verdict",
     "ConsistencyError",

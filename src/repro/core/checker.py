@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro import obs
 from repro.core.clocks import ConcurrencyOracle
+from repro.core.config import CheckConfig, _UNSET, coerce_config
 from repro.core.diagnostics import (
     SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, dedupe,
     sort_findings,
@@ -107,16 +108,22 @@ class CheckReport:
 class MCChecker:
     """Configurable DN-Analyzer pipeline over one trace set."""
 
-    def __init__(self, traces: TraceSet, naive_inter: bool = False,
-                 memory_model: str = "separate", jobs: int = 1,
-                 engine: str = "sweep"):
+    def __init__(self, traces: TraceSet,
+                 config: Optional[CheckConfig] = None, *,
+                 naive_inter=_UNSET, memory_model=_UNSET, jobs=_UNSET,
+                 engine=_UNSET):
+        self.config = coerce_config(config, "MCChecker",
+                                    naive_inter=naive_inter,
+                                    memory_model=memory_model,
+                                    jobs=jobs, engine=engine)
         self.traces = traces
-        self.naive_inter = naive_inter
-        self.memory_model = memory_model
-        self.jobs = resolve_jobs(jobs)
+        self.naive_inter = self.config.naive_inter
+        self.memory_model = self.config.memory_model
+        self.jobs = resolve_jobs(self.config.jobs)
         # the naive strawman iterates the access model's objects directly,
         # so it implies the object-building pairwise pipeline
-        self.engine = "pairwise" if naive_inter else resolve_engine(engine)
+        self.engine = ("pairwise" if self.naive_inter
+                       else resolve_engine(self.config.engine))
         # populated by run(); kept public for tests and the CLI
         self.pre: Optional[PreprocessedTrace] = None
         self.matches = None
@@ -134,7 +141,7 @@ class MCChecker:
         with obs.span("analyzer.run",
                       memory_model=self.memory_model) as run_span:
             report = self._run_phases()
-        self._publish_obs(report, run_span.duration)
+        publish_report_obs(report, run_span.duration)
         return report
 
     def _run_phases(self) -> CheckReport:
@@ -234,42 +241,87 @@ class MCChecker:
         warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
         return CheckReport(errors=errors, warnings=warnings, stats=stats)
 
-    def _publish_obs(self, report: CheckReport, elapsed: float) -> None:
-        rec = obs.get_recorder()
-        if not rec.enabled:
-            return
-        stats = report.stats
-        rec.count("analyzer_events_total", stats.events,
-                  help="Trace events consumed by DN-Analyzer")
-        rec.count("analyzer_rma_ops_total", stats.rma_ops,
-                  help="RMA operations lifted into the access model")
-        rec.count("analyzer_local_accesses_total", stats.local_accesses,
-                  help="Local accesses lifted into the access model")
-        rec.count("analyzer_findings_total", len(report.errors),
-                  severity="error", help="Deduplicated findings")
-        rec.count("analyzer_findings_total", len(report.warnings),
-                  severity="warning", help="Deduplicated findings")
-        rec.gauge("analyzer_regions", stats.regions,
-                  help="Concurrent regions of the last analysis")
-        rec.gauge("analyzer_epochs", stats.epochs,
-                  help="Epochs of the last analysis")
-        rec.gauge("analyzer_sync_matches", stats.sync_matches,
-                  help="Synchronization matches of the last analysis")
-        for phase, seconds in stats.phase_seconds.items():
-            rec.observe("analyzer_phase_seconds", seconds, phase=phase,
-                        help="DN-Analyzer per-phase wall-clock seconds")
-        if elapsed > 0:
-            rec.gauge("analyzer_events_per_second", stats.events / elapsed,
-                      help="Events analyzed per second, last analysis")
+def publish_report_obs(report: CheckReport, elapsed: float) -> None:
+    """Publish one finished report's metrics (shared by every analysis
+    mode: batch, parallel, streaming, incremental)."""
+    rec = obs.get_recorder()
+    if not rec.enabled:
+        return
+    stats = report.stats
+    rec.count("analyzer_events_total", stats.events,
+              help="Trace events consumed by DN-Analyzer")
+    rec.count("analyzer_rma_ops_total", stats.rma_ops,
+              help="RMA operations lifted into the access model")
+    rec.count("analyzer_local_accesses_total", stats.local_accesses,
+              help="Local accesses lifted into the access model")
+    rec.count("analyzer_findings_total", len(report.errors),
+              severity="error", help="Deduplicated findings")
+    rec.count("analyzer_findings_total", len(report.warnings),
+              severity="warning", help="Deduplicated findings")
+    rec.gauge("analyzer_regions", stats.regions,
+              help="Concurrent regions of the last analysis")
+    rec.gauge("analyzer_epochs", stats.epochs,
+              help="Epochs of the last analysis")
+    rec.gauge("analyzer_sync_matches", stats.sync_matches,
+              help="Synchronization matches of the last analysis")
+    for phase, seconds in stats.phase_seconds.items():
+        rec.observe("analyzer_phase_seconds", seconds, phase=phase,
+                    help="DN-Analyzer per-phase wall-clock seconds")
+    if elapsed > 0:
+        rec.gauge("analyzer_events_per_second", stats.events / elapsed,
+                  help="Events analyzed per second, last analysis")
 
 
-def check_traces(traces: TraceSet, naive_inter: bool = False,
-                 memory_model: str = "separate",
-                 jobs: int = 1, engine: str = "sweep") -> CheckReport:
-    """Analyze an existing trace set."""
-    return MCChecker(traces, naive_inter=naive_inter,
-                     memory_model=memory_model, jobs=jobs,
-                     engine=engine).run()
+def _check_streaming(traces: TraceSet, config: CheckConfig) -> CheckReport:
+    """Streaming route: bounded-memory pipeline, full CheckReport (the
+    control pass knows every count the batch pipeline reports)."""
+    from repro.core.streaming import check_streaming
+
+    with obs.span("analyzer.run", memory_model=config.memory_model,
+                  streaming=True) as run_span:
+        findings, checker = check_streaming(
+            traces, memory_model=config.memory_model,
+            engine=config.engine)
+        control = checker.control
+        stats = CheckStats(
+            nranks=control.pre.nranks,
+            events=control.pre.total_events,
+            rma_ops=len(control.call_model.ops),
+            local_accesses=(len(control.call_model.local)
+                            + control.total_mem_events),
+            sync_matches=len(control.matches),
+            regions=len(control.regions),
+            epochs=len(control.epochs.epochs))
+        report = CheckReport(
+            errors=[f for f in findings
+                    if f.severity == SEVERITY_ERROR],
+            warnings=[f for f in findings
+                      if f.severity == SEVERITY_WARNING],
+            stats=stats)
+    publish_report_obs(report, run_span.duration)
+    return report
+
+
+def check_traces(traces: TraceSet,
+                 config: Optional[CheckConfig] = None, *,
+                 naive_inter=_UNSET, memory_model=_UNSET, jobs=_UNSET,
+                 engine=_UNSET) -> CheckReport:
+    """Analyze an existing trace set.
+
+    Routes on the config: ``incremental`` → the cached checker,
+    ``streaming`` → the bounded-memory pipeline, else the batch
+    :class:`MCChecker` (serial or sharded per ``jobs``)."""
+    cfg = coerce_config(config, "check_traces", naive_inter=naive_inter,
+                        memory_model=memory_model, jobs=jobs,
+                        engine=engine)
+    if cfg.incremental:
+        # imported lazily: incremental imports this module for
+        # CheckReport/CheckStats
+        from repro.core.incremental import check_incremental
+        return check_incremental(traces, cfg)
+    if cfg.streaming:
+        return _check_streaming(traces, cfg)
+    return MCChecker(traces, cfg).run()
 
 
 def check_app(app: Callable, nranks: int,
@@ -279,13 +331,16 @@ def check_app(app: Callable, nranks: int,
               delivery: str = "random",
               sched_policy: str = "round_robin",
               seed: int = 0,
-              memory_model: str = "separate",
-              engine: str = "sweep") -> CheckReport:
+              config: Optional[CheckConfig] = None,
+              trace_format: str = "text", *,
+              memory_model=_UNSET, engine=_UNSET) -> CheckReport:
     """Profile ``app`` on the simulated runtime, then analyze the traces."""
     from repro.profiler.session import profile_run
 
+    cfg = coerce_config(config, "check_app", memory_model=memory_model,
+                        engine=engine)
     run = profile_run(app, nranks, trace_dir=trace_dir, params=params,
                       scope=scope, delivery=delivery,
-                      sched_policy=sched_policy, seed=seed)
-    return check_traces(run.traces, memory_model=memory_model,
-                        engine=engine)
+                      sched_policy=sched_policy, seed=seed,
+                      trace_format=trace_format)
+    return check_traces(run.traces, cfg)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.util.intervals import IntervalSet
+from repro.util.intervals import Interval, IntervalSet
 from repro.util.location import SourceLocation
 
 # error kinds
@@ -140,6 +140,52 @@ class ConsistencyError:
             "suggestion": self.suggestion(),
             "occurrences": self.occurrences,
         }
+
+    def to_payload(self) -> dict:
+        """Lossless JSON-ready form (the incremental result cache).
+
+        Unlike :meth:`to_dict` — a presentation format that flattens
+        locations and derives the suggestion — this round-trips through
+        :meth:`from_payload` into a finding that is indistinguishable
+        from the original: same dedup key, same sort key, same
+        ``to_dict()`` output."""
+        def side(desc: AccessDesc) -> dict:
+            return {
+                "rank": desc.rank, "kind": desc.kind, "fn": desc.fn,
+                "var": desc.var, "seq": desc.seq,
+                "loc": desc.loc.encode(),
+                "iv": [[iv.start, iv.stop] for iv in desc.intervals],
+            }
+
+        return {
+            "kind": self.kind, "severity": self.severity,
+            "rule": self.rule, "win": self.win_id,
+            "a": side(self.a), "b": side(self.b),
+            "overlap": [[iv.start, iv.stop] for iv in self.overlap],
+            "note": self.note, "occurrences": self.occurrences,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConsistencyError":
+        def side(data: dict) -> AccessDesc:
+            return AccessDesc(
+                rank=int(data["rank"]), kind=str(data["kind"]),
+                fn=str(data["fn"]), var=str(data["var"]),
+                loc=SourceLocation.decode(str(data["loc"])),
+                intervals=IntervalSet(
+                    Interval(int(s), int(t)) for s, t in data["iv"]),
+                seq=int(data["seq"]))
+
+        win = payload["win"]
+        return cls(
+            kind=str(payload["kind"]), severity=str(payload["severity"]),
+            rule=str(payload["rule"]),
+            win_id=None if win is None else int(win),
+            a=side(payload["a"]), b=side(payload["b"]),
+            overlap=IntervalSet(
+                Interval(int(s), int(t)) for s, t in payload["overlap"]),
+            note=str(payload["note"]),
+            occurrences=int(payload["occurrences"]))
 
     def format(self) -> str:
         head = ("WARNING" if self.severity == SEVERITY_WARNING else "ERROR")

@@ -105,6 +105,28 @@ def _export(rec: NullRecorder) -> Optional[dict]:
     return rec.export_state() if rec.enabled else None
 
 
+def absorb_export(export: Optional[dict]) -> None:
+    """Fold a worker recorder's exported state into the parent recorder."""
+    if export is not None:
+        obs.get_recorder().absorb(export)
+
+
+def pool_map(task, n_items: int, state: Dict[str, Any], jobs: int) -> list:
+    """Run ``task(i)`` for ``i in range(n_items)`` over a fresh worker
+    pool with ``state`` installed (plus the parent's obs flag), returning
+    results in item order — the one-shot counterpart of
+    :class:`ParallelEngine`'s per-phase pools."""
+    methods = mp.get_all_start_methods()
+    ctx = (mp.get_context("fork") if "fork" in methods
+           else mp.get_context())
+    state = dict(state)
+    state["obs"] = obs.is_enabled()
+    workers = max(1, min(jobs, n_items))
+    with ctx.Pool(workers, initializer=_init_worker,
+                  initargs=(state,)) as pool:
+        return pool.map(task, range(n_items))
+
+
 # ---------------------------------------------------------------- tasks
 
 

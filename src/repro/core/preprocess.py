@@ -260,12 +260,24 @@ def preprocess_calls(traces: TraceSet) -> PreprocessedTrace:
     — are never turned into Python objects here.  Exact event totals
     still land in ``total_events`` via the readers' per-class counts
     (free for v2 traces, one cheap scan for text)."""
+    pre, _counts = preprocess_calls_with_counts(traces)
+    return pre
+
+
+def preprocess_calls_with_counts(
+        traces: TraceSet
+) -> Tuple[PreprocessedTrace, Dict[int, Dict[str, int]]]:
+    """:func:`preprocess_calls` plus the per-rank per-class event counts
+    the readers produced along the way — the incremental checker needs
+    them to derive report statistics without touching memory events."""
     call_events: Dict[int, List[Event]] = {}
     scans: List[RankScan] = []
+    counts_by_rank: Dict[int, Dict[str, int]] = {}
     for rank in range(traces.nranks):
         with traces.reader(rank) as reader:
             calls, counts = reader.read_calls()
         call_events[rank] = calls
+        counts_by_rank[rank] = counts
         scans.append(scan_rank(rank, calls,
                                n_events=counts["call"] + counts["mem"]))
-    return PreprocessedTrace(call_events, scans=scans)
+    return PreprocessedTrace(call_events, scans=scans), counts_by_rank

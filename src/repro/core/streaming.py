@@ -49,9 +49,11 @@ from repro.core.matching import match_synchronization
 from repro.core.model import (
     AccessModel, LocalAccess, MemRows, build_access_model,
 )
-from repro.core.preprocess import PreprocessedTrace
+from repro.core.preprocess import (
+    PreprocessedTrace, preprocess_calls_with_counts,
+)
 from repro.core.regions import RegionIndex
-from repro.profiler.events import ACCESS_NAMES, CallEvent
+from repro.profiler.events import ACCESS_NAMES
 from repro.profiler.tracer import TraceSet
 from repro.util.intervals import IntervalSet
 
@@ -63,6 +65,76 @@ class RegionReport:
     index: int
     findings: List[ConsistencyError]
     mem_events: int
+
+
+@dataclass
+class ControlState:
+    """Everything the control pass derives from call events alone.
+
+    Shared by the streaming checker (pass 1) and the incremental checker
+    (whose cache planning is exactly a control pass): registries,
+    synchronization matches, the happens-before oracle, epochs, the
+    call-derived access model, concurrent regions, and the call-derived
+    accesses pre-bucketed by region and epoch."""
+
+    pre: PreprocessedTrace
+    matches: list
+    oracle: ConcurrencyOracle
+    epochs: EpochIndex
+    call_model: AccessModel
+    regions: RegionIndex
+    lock_index: LocalLockIndex
+    #: per-rank per-class event counts from the trace readers
+    counts: Dict[int, Dict[str, int]]
+    ops_by_region: Dict[int, list]
+    call_locals_by_region: Dict[int, List[LocalAccess]]
+    #: keyed by ``id(epoch)`` (epochs are interned in ``epochs``)
+    ops_by_epoch: Dict[int, list]
+    attached_by_epoch: Dict[int, List[LocalAccess]]
+
+    @property
+    def total_mem_events(self) -> int:
+        return sum(c["mem"] for c in self.counts.values())
+
+
+def build_control_state(traces: TraceSet,
+                        timed=None) -> ControlState:
+    """Run the call-only control pass over a trace set.
+
+    ``timed(name, fn, **attrs)`` optionally wraps each phase (the
+    incremental checker threads its phase-timing helper through); the
+    default runs the phases untimed."""
+    if timed is None:
+        def timed(_name, fn, **_attrs):
+            return fn()
+    pre, counts = timed("preprocess",
+                        lambda: preprocess_calls_with_counts(traces))
+    matches = timed("matching", lambda: match_synchronization(pre),
+                    nranks=pre.nranks, events=pre.total_events)
+    oracle = timed("clocks", lambda: ConcurrencyOracle(pre, matches))
+    epochs = timed("epochs", lambda: EpochIndex(pre))
+    call_model = timed("model", lambda: build_access_model(pre, epochs))
+    regions = timed("regions", lambda: RegionIndex(pre, matches))
+    lock_index = LocalLockIndex(epochs, pre.nranks)
+
+    # pre-bucket the call-derived accesses by region / epoch
+    ops_by_region, call_locals_by_region = \
+        bucket_by_region(call_model, regions)
+    ops_by_epoch: Dict[int, list] = {}
+    attached_by_epoch: Dict[int, List[LocalAccess]] = {}
+    for op in call_model.ops:
+        if op.epoch is not None:
+            ops_by_epoch.setdefault(id(op.epoch), []).append(op)
+    for la in call_model.local:
+        if la.origin_of is not None and la.origin_of.epoch is not None:
+            attached_by_epoch.setdefault(
+                id(la.origin_of.epoch), []).append(la)
+    return ControlState(
+        pre=pre, matches=matches, oracle=oracle, epochs=epochs,
+        call_model=call_model, regions=regions, lock_index=lock_index,
+        counts=counts, ops_by_region=ops_by_region,
+        call_locals_by_region=call_locals_by_region,
+        ops_by_epoch=ops_by_epoch, attached_by_epoch=attached_by_epoch)
 
 
 class StreamingChecker:
@@ -82,30 +154,19 @@ class StreamingChecker:
         """Pass 1: everything derivable from call events alone.  Memory
         events are skipped without decoding (binary traces step over
         whole packed blocks via their frame length)."""
-        call_events: Dict[int, List[CallEvent]] = {}
-        for rank in range(self.traces.nranks):
-            with self.traces.reader(rank) as reader:
-                call_events[rank], _counts = reader.read_calls()
-        self.pre = PreprocessedTrace(call_events)
-        self.matches = match_synchronization(self.pre)
-        self.oracle = ConcurrencyOracle(self.pre, self.matches)
-        self.epochs = EpochIndex(self.pre)
-        self.call_model = build_access_model(self.pre, self.epochs)
-        self.regions = RegionIndex(self.pre, self.matches)
-        self.lock_index = LocalLockIndex(self.epochs, self.pre.nranks)
-
-        # pre-bucket the call-derived accesses by region / epoch
-        self._ops_by_region, self._call_locals_by_region = \
-            bucket_by_region(self.call_model, self.regions)
-        self._ops_by_epoch: Dict[int, List] = {}
-        self._attached_by_epoch: Dict[int, List[LocalAccess]] = {}
-        for op in self.call_model.ops:
-            if op.epoch is not None:
-                self._ops_by_epoch.setdefault(id(op.epoch), []).append(op)
-        for la in self.call_model.local:
-            if la.origin_of is not None and la.origin_of.epoch is not None:
-                self._attached_by_epoch.setdefault(
-                    id(la.origin_of.epoch), []).append(la)
+        state = build_control_state(self.traces)
+        self.control = state
+        self.pre = state.pre
+        self.matches = state.matches
+        self.oracle = state.oracle
+        self.epochs = state.epochs
+        self.call_model = state.call_model
+        self.regions = state.regions
+        self.lock_index = state.lock_index
+        self._ops_by_region = state.ops_by_region
+        self._call_locals_by_region = state.call_locals_by_region
+        self._ops_by_epoch = state.ops_by_epoch
+        self._attached_by_epoch = state.attached_by_epoch
 
     # ------------------------------------------------------------------
 

@@ -24,6 +24,7 @@ identically over both formats.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import mmap
 import os
@@ -39,6 +40,7 @@ from repro.profiler.events import (
     ACCESS_CODES, ACCESS_NAMES, CallEvent, Event, MemEvent, decode_event,
 )
 from repro.util.errors import TraceFormatError
+from repro.util.hashing import hash_file, hash_strings, stable_hash
 from repro.util.location import SourceLocation
 from repro.util.records import decode_record, encode_record
 
@@ -202,6 +204,11 @@ class TraceWriter:
             self._table = _StringTable()
             #: pending mem columns: seq, addr, size, var, loc, access
             self._pending: Tuple[list, ...] = tuple([] for _ in range(6))
+            # content digests accumulated at write time and recorded in
+            # the footer, so incremental checking can detect unchanged
+            # ranks without re-reading event payloads
+            self._hash_calls = hashlib.sha256()
+            self._hash_mems = hashlib.sha256()
         else:
             self._buffer: List[str] = [
                 encode_record("H", {"v": TRACE_VERSION, "rank": rank,
@@ -229,7 +236,11 @@ class TraceWriter:
             self._flush_mem_block()
             footer = json.dumps(
                 {"version": BINARY_VERSION, "counts": self._counts,
-                 "strings": self._table.strings},
+                 "strings": self._table.strings,
+                 "digests": {
+                     "calls": self._hash_calls.hexdigest(),
+                     "mems": self._hash_mems.hexdigest(),
+                     "strings": hash_strings(self._table.strings)}},
                 ensure_ascii=False, separators=(",", ":")).encode("utf-8")
             footer_offset = self._offset + len(self._out)
             self._frame(b"F", footer)
@@ -297,7 +308,10 @@ class TraceWriter:
                 self._flush_mem_block()
         else:
             self._flush_mem_block()  # preserve on-disk event order
-            self._frame(b"C", event.encode().encode("utf-8"))
+            payload = event.encode().encode("utf-8")
+            self._frame(b"C", payload)
+            self._hash_calls.update(_U32.pack(len(payload)))
+            self._hash_calls.update(payload)
             counts["call"] += 1
             if len(self._out) >= 1 << 20:
                 self._drain()
@@ -312,7 +326,12 @@ class TraceWriter:
             arr[name] = col
         self._out += b"M"
         self._out += _U32.pack(len(seqs))
-        self._out += arr.tobytes()
+        payload = arr.tobytes()
+        self._out += payload
+        # no length prefix: rows are fixed-width, so the mems digest is a
+        # pure function of the packed content regardless of where the
+        # writer happened to cut its blocks
+        self._hash_mems.update(payload)
         for col in self._pending:
             col.clear()
         if len(self._out) >= 1 << 20:
@@ -396,6 +415,7 @@ class TraceReader:
         self._data_pos = self._fh.tell()
         self._table = _StringTable()
         self._counts: Optional[Dict[str, int]] = None
+        self._digests: Optional[Dict[str, str]] = None
 
     def _init_binary(self, fh) -> None:
         self._fh = fh
@@ -425,6 +445,10 @@ class TraceReader:
                             for k in ("call", "mem", "load", "store")}
             self._table = _StringTable(
                 [str(s) for s in footer["strings"]])
+            digests = footer.get("digests")
+            self._digests = (
+                {k: str(digests[k]) for k in ("calls", "mems", "strings")}
+                if isinstance(digests, dict) else None)
         except (ValueError, KeyError, TypeError) as exc:
             raise TraceFormatError(
                 f"{self.path}: corrupt footer: {exc}") from exc
@@ -552,6 +576,64 @@ class TraceReader:
         if self._counts is None:
             self.read_calls()
         return dict(self._counts)
+
+    # -- content digests ------------------------------------------------
+
+    def digests(self) -> Dict[str, str]:
+        """Content digests identifying this rank's trace.
+
+        Binary traces report the ``calls``/``mems``/``strings`` digests
+        the writer recorded in the footer; v2 files predating digest
+        recording get the same values recomputed from the mapped frames
+        (identical formulas, so old and new files with the same content
+        agree).  Text traces hash the raw file bytes.  Digests of
+        different formats are never comparable — :meth:`content_digest`
+        folds the format in."""
+        if self._digests is None:
+            if self.format == FORMAT_BINARY:
+                self._digests = self._recompute_binary_digests()
+            else:
+                self._digests = {"file": hash_file(self.path)}
+        return dict(self._digests)
+
+    def content_digest(self) -> str:
+        """One digest summarizing format + content of this rank's file."""
+        return stable_hash({"format": self.format,
+                            "digests": self.digests()})
+
+    def _recompute_binary_digests(self) -> Dict[str, str]:
+        mm = self._mm
+        if mm is None:
+            raise TraceFormatError(f"{self.path}: reader is closed")
+        hash_calls = hashlib.sha256()
+        hash_mems = hashlib.sha256()
+        pos = self._data_pos
+        end = self._footer_off
+        itemsize = MEM_DTYPE.itemsize
+        while pos < end:
+            tag = mm[pos:pos + 1]
+            length = _U32.unpack_from(mm, pos + 1)[0]
+            start = pos + 5
+            if tag == b"M":
+                pos = start + length * itemsize
+                if pos > end:
+                    raise TraceFormatError(
+                        f"{self.path}: memory block overruns the footer")
+                hash_mems.update(mm[start:pos])
+            elif tag == b"C":
+                pos = start + length
+                if pos > end:
+                    raise TraceFormatError(
+                        f"{self.path}: call record overruns the footer")
+                hash_calls.update(_U32.pack(length))
+                hash_calls.update(mm[start:pos])
+            else:
+                raise TraceFormatError(
+                    f"{self.path}: unknown frame tag {tag!r} at byte "
+                    f"{pos}")
+        return {"calls": hash_calls.hexdigest(),
+                "mems": hash_mems.hexdigest(),
+                "strings": hash_strings(self._table.strings)}
 
     def mem_blocks(self) -> Iterator[MemBlock]:
         """Memory events only, packed (the vectorized data pass).

@@ -14,11 +14,27 @@ from repro.util.errors import (
     TraceFormatError,
     AnalysisError,
 )
+from repro.util.cachestore import CacheStore
+from repro.util.hashing import (
+    chain_hash,
+    hash_file,
+    hash_lines,
+    hash_strings,
+    sha256_hex,
+    stable_hash,
+)
 from repro.util.intervals import Interval, IntervalSet, datamap_intervals
 from repro.util.location import SourceLocation, capture_location
 from repro.util.records import Record, encode_record, decode_record
 
 __all__ = [
+    "CacheStore",
+    "chain_hash",
+    "hash_file",
+    "hash_lines",
+    "hash_strings",
+    "sha256_hex",
+    "stable_hash",
     "ReproError",
     "SimMPIError",
     "DeadlockError",

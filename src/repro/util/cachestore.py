@@ -1,0 +1,81 @@
+"""Content-addressed on-disk store for incremental-check results.
+
+Layout under the cache root::
+
+    <root>/shards/<key[:2]>/<key>.json     per-shard finding payloads
+    <root>/manifests/<key[:2]>/<key>.json  per-config run manifests
+
+Two properties matter more than speed here:
+
+* **Atomic writes** — a payload is staged to a temp file in the final
+  directory and published with :func:`os.replace`, so readers never see
+  a half-written entry even if the process dies mid-write.
+* **Corruption-safe reads** — any unreadable, unparsable, or
+  key-mismatched entry is reported as ``"corrupt"`` and treated by the
+  caller as a miss (recompute and overwrite), never as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional, Tuple
+
+#: load() statuses
+HIT = "hit"
+MISS = "miss"
+CORRUPT = "corrupt"
+
+
+class CacheStore:
+    """A directory of content-addressed JSON payloads."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # -- paths ---------------------------------------------------------
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, kind, key[:2], f"{key}.json")
+
+    # -- reads ---------------------------------------------------------
+    def load(self, kind: str, key: str) -> Tuple[Optional[dict], str]:
+        """Return ``(payload, status)`` with status hit/miss/corrupt.
+
+        A payload is only a hit if it parses as a JSON object whose
+        ``"key"`` field round-trips, so a torn or tampered entry can
+        never masquerade as a result for a different key.
+        """
+        path = self._path(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None, MISS
+        except (OSError, ValueError):
+            return None, CORRUPT
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None, CORRUPT
+        return payload, HIT
+
+    # -- writes --------------------------------------------------------
+    def store(self, kind: str, key: str, payload: dict) -> str:
+        """Atomically publish ``payload`` under ``key``; returns the path."""
+        payload = dict(payload)
+        payload["key"] = key
+        path = self._path(kind, key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path

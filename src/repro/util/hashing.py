@@ -1,0 +1,76 @@
+"""Content hashing for the incremental-checking cache.
+
+Every cache decision reduces to "are these bytes the same bytes we saw
+last time": per-rank trace digests, per-region call/memory slice digests,
+and the rolled-up shard keys are all SHA-256 over a *canonical* byte
+serialization.  Canonical means collision-resistant by construction —
+variable-length parts are length-prefixed, structured values go through
+sorted-key JSON — so two different inputs can never serialize to the
+same byte stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Sequence
+
+_LEN_SEP = b"\x00"
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_file(path: str, chunk_size: int = 1 << 20) -> str:
+    """Digest of a file's raw bytes (the v1/text whole-trace digest)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def hash_strings(strings: Sequence[str]) -> str:
+    """Digest of an ordered string sequence (the v2 string table).
+
+    Each string is length-prefixed, so ``["ab", "c"]`` and ``["a", "bc"]``
+    digest differently.
+    """
+    digest = hashlib.sha256()
+    for text in strings:
+        raw = text.encode("utf-8")
+        digest.update(str(len(raw)).encode("ascii"))
+        digest.update(_LEN_SEP)
+        digest.update(raw)
+    return digest.hexdigest()
+
+
+def hash_lines(lines: Iterable[str]) -> str:
+    """Digest of an ordered line sequence (per-region call slices)."""
+    digest = hashlib.sha256()
+    for line in lines:
+        raw = line.encode("utf-8")
+        digest.update(str(len(raw)).encode("ascii"))
+        digest.update(_LEN_SEP)
+        digest.update(raw)
+    return digest.hexdigest()
+
+
+def stable_hash(obj) -> str:
+    """Digest of a JSON-serializable object in canonical form.
+
+    ``sort_keys`` plus compact separators make the serialization a pure
+    function of the value, independent of dict insertion order.
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                         ensure_ascii=False)
+    return sha256_hex(payload.encode("utf-8"))
+
+
+def chain_hash(previous: str, update: str) -> str:
+    """One link of a rolling (prefix) hash chain."""
+    return sha256_hex(f"{previous}:{update}".encode("ascii"))

@@ -1,0 +1,217 @@
+"""Incremental checking: cache soundness and byte-identical reports.
+
+The contract of ``CheckConfig(incremental=True)`` is *byte-identical
+reports at any cache temperature*: cold (empty cache), fully warm
+(unchanged traces), and partially warm (some inputs changed) runs must
+all produce exactly the report the batch pipeline produces, and warm
+runs must reuse every shard whose inputs did not change.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.apps.registry import BUG_CASES, EXTRA_CASES
+from repro.core import incremental
+from repro.core.checker import check_traces
+from repro.core.config import CheckConfig
+from repro.core.incremental import IncrementalChecker
+from repro.profiler.session import profile_run
+from repro.simmpi import DOUBLE
+
+ALL_CASES = list(BUG_CASES) + list(EXTRA_CASES)
+MEMORY_MODELS = ("separate", "unified")
+RANKS_CAP = 4
+
+_RUNS = {}
+_BATCH = {}
+
+
+def traces_for(case):
+    run = _RUNS.get(case.name)
+    if run is None:
+        run = _RUNS[case.name] = profile_run(
+            case.app, min(case.nranks, RANKS_CAP),
+            params=case.params(True), trace_format="binary")
+    return run.traces
+
+
+def canonical(report) -> str:
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def batch_for(case, memory_model) -> str:
+    key = (case.name, memory_model)
+    if key not in _BATCH:
+        _BATCH[key] = canonical(check_traces(
+            traces_for(case), CheckConfig(memory_model=memory_model)))
+    return _BATCH[key]
+
+
+class TestWarmColdDifferential:
+    @pytest.mark.parametrize("jobs", (1, 2))
+    @pytest.mark.parametrize("memory_model", MEMORY_MODELS)
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.name)
+    def test_cold_and_warm_match_batch(self, case, memory_model, jobs,
+                                       tmp_path):
+        traces = traces_for(case)
+        config = CheckConfig(incremental=True,
+                             cache_dir=str(tmp_path / "cache"),
+                             memory_model=memory_model, jobs=jobs)
+        cold = canonical(check_traces(traces, config))
+        warm = canonical(check_traces(traces, config))
+        assert cold == batch_for(case, memory_model)
+        assert warm == cold
+
+    def test_fully_warm_run_reuses_every_shard(self, tmp_path):
+        case = ALL_CASES[0]
+        config = CheckConfig(incremental=True,
+                             cache_dir=str(tmp_path / "cache"))
+        check_traces(traces_for(case), config)
+        checker = IncrementalChecker(traces_for(case), config)
+        checker.run()
+        assert checker.dirty_shards == []
+
+    def test_text_traces_cache_by_file_digest(self, tmp_path):
+        case = ALL_CASES[0]
+        run = profile_run(case.app, 2, params=case.params(True),
+                          trace_dir=str(tmp_path / "traces"),
+                          trace_format="text")
+        config = CheckConfig(incremental=True,
+                             cache_dir=str(tmp_path / "cache"))
+        cold = canonical(check_traces(run.traces, config))
+        checker = IncrementalChecker(run.traces, config)
+        report = checker.run()
+        assert canonical(report) == cold
+        assert checker.dirty_shards == []
+
+
+def _phased(mpi, extra=False):
+    """Three fence/barrier-separated phases; ``extra`` adds a send/recv
+    in the middle phase.  ``msg`` is allocated in both variants so later
+    buffer addresses never shift between them."""
+    wbuf = mpi.alloc("wbuf", 8, datatype=DOUBLE, fill=0.0)
+    src = mpi.alloc("src", 2, datatype=DOUBLE, fill=1.0)
+    msg = mpi.alloc("msg", 1, datatype=DOUBLE, fill=0.0)
+    win = mpi.win_create(wbuf)
+    win.fence()
+    if mpi.rank == 0:
+        win.put(src, target=1, target_disp=0, origin_count=2)
+    win.fence()
+    mpi.barrier()
+    if extra:
+        if mpi.rank == 0:
+            mpi.send(msg, dest=1, tag=9)
+        elif mpi.rank == 1:
+            mpi.recv(msg, source=0, tag=9)
+    mpi.barrier()
+    if mpi.rank == 1:
+        win.put(src, target=0, target_disp=4, origin_count=2)
+    win.fence()
+    mpi.barrier()
+    win.free()
+
+
+class TestInvalidation:
+    def _traces(self, path, extra):
+        return profile_run(_phased, 2, params=dict(extra=extra),
+                           trace_dir=str(path),
+                           trace_format="binary").traces
+
+    def test_sync_change_dirties_downstream_not_upstream(self, tmp_path):
+        """Adding a send/recv in the middle phase must re-run the
+        regions its happens-before frontier can see — and only those:
+        the phases before the change stay cache hits."""
+        a = self._traces(tmp_path / "a", extra=False)
+        b = self._traces(tmp_path / "b", extra=True)
+        config = CheckConfig(incremental=True,
+                             cache_dir=str(tmp_path / "cache"))
+        check_traces(a, config)
+
+        rec = obs.configure(enabled=True)
+        try:
+            warm_b = check_traces(b, config)
+        finally:
+            obs.reset()
+        shards = rec.registry.get("incremental_cache_shards_total")
+        hits = shards.value(outcome="hit")
+        dirty = (shards.value(outcome="miss")
+                 + shards.value(outcome="invalidated"))
+        assert hits >= 1, "phases before the sync change must be reused"
+        assert dirty >= 1, "the changed phase must be re-analyzed"
+        regions = rec.registry.get("incremental_regions_total")
+        assert regions.value(state="clean") >= 1
+        assert regions.value(state="dirty") >= 1
+
+        cold_b = check_traces(b, CheckConfig(
+            incremental=True, cache_dir=str(tmp_path / "cache-fresh")))
+        assert canonical(warm_b) == canonical(cold_b)
+
+    def test_engine_version_bump_invalidates_everything(self, tmp_path,
+                                                        monkeypatch):
+        traces = self._traces(tmp_path / "t", extra=False)
+        config = CheckConfig(incremental=True,
+                             cache_dir=str(tmp_path / "cache"))
+        cold = canonical(check_traces(traces, config))
+
+        monkeypatch.setattr(incremental, "ENGINE_VERSION", "test-bump")
+        rec = obs.configure(enabled=True)
+        try:
+            bumped = check_traces(traces, config)
+        finally:
+            obs.reset()
+        shards = rec.registry.get("incremental_cache_shards_total")
+        assert shards.value(outcome="hit") == 0
+        assert shards.value(outcome="invalidated") >= 1
+        assert canonical(bumped) == cold
+
+    def test_corrupt_cache_entry_recomputes(self, tmp_path):
+        traces = self._traces(tmp_path / "t", extra=False)
+        config = CheckConfig(incremental=True,
+                             cache_dir=str(tmp_path / "cache"))
+        cold = canonical(check_traces(traces, config))
+
+        # corrupt the manifest (disabling the whole-report fast path)
+        # and two shard entries: a torn write and a key mismatch
+        manifests = sorted(
+            (tmp_path / "cache" / "manifests").rglob("*.json"))
+        assert manifests
+        for path in manifests:
+            path.write_text("{not json", encoding="utf-8")
+        shard_files = sorted((tmp_path / "cache" / "shards").rglob("*.json"))
+        assert shard_files
+        shard_files[0].write_text("{not json", encoding="utf-8")
+        shard_files[-1].write_text(
+            json.dumps({"key": "wrong", "intra": [], "inter": []}),
+            encoding="utf-8")
+
+        rec = obs.configure(enabled=True)
+        try:
+            warm = check_traces(traces, config)
+        finally:
+            obs.reset()
+        shards = rec.registry.get("incremental_cache_shards_total")
+        assert shards.value(outcome="corrupt") >= 1
+        assert canonical(warm) == cold
+
+        # the recompute healed the cache: next run is fully warm again
+        checker = IncrementalChecker(traces, config)
+        report = checker.run()
+        assert checker.dirty_shards == []
+        assert canonical(report) == cold
+
+    def test_jobs_do_not_affect_cache_identity(self, tmp_path):
+        """The manifest key deliberately excludes ``jobs``: a serial cold
+        run must fully warm a parallel run and vice versa."""
+        traces = self._traces(tmp_path / "t", extra=False)
+        cache = str(tmp_path / "cache")
+        serial = CheckConfig(incremental=True, cache_dir=cache, jobs=1)
+        parallel = CheckConfig(incremental=True, cache_dir=cache, jobs=2)
+        cold = canonical(check_traces(traces, serial))
+        checker = IncrementalChecker(traces, parallel)
+        report = checker.run()
+        assert checker.dirty_shards == []
+        assert canonical(report) == cold

@@ -1,0 +1,163 @@
+"""CheckConfig consolidation, deprecation shims, CLI round-trip, and the
+``repro.api`` facade."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import CheckConfig, api
+from repro.cli import _config_from_args, build_parser
+from repro.core.checker import MCChecker, check_app, check_traces
+from repro.core.config import _reset_legacy_warning
+from repro.profiler.session import profile_run
+from repro.simmpi import DOUBLE, LOCK_SHARED
+
+
+def _figure1(mpi):
+    shared = mpi.alloc("shared", 1, datatype=DOUBLE,
+                       fill=float(10 * mpi.rank))
+    out = mpi.alloc("out", 1, datatype=DOUBLE, fill=0.0)
+    win = mpi.win_create(shared)
+    mpi.barrier()
+    if mpi.rank == 0:
+        win.lock(1, LOCK_SHARED)
+        win.get(out, target=1, origin_count=1)
+        out[0] = out[0] + 1.0
+        win.unlock(1)
+    mpi.barrier()
+    win.free()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return profile_run(_figure1, 2).traces
+
+
+class TestCheckConfig:
+    def test_defaults(self):
+        config = CheckConfig()
+        assert config.memory_model == "separate"
+        assert config.engine == "sweep"
+        assert config.jobs == 1
+        assert not config.streaming
+        assert not config.incremental
+        assert config.cache_dir is None
+
+    def test_replace_derives_new_value(self):
+        config = CheckConfig()
+        derived = config.replace(jobs=4)
+        assert derived.jobs == 4 and config.jobs == 1
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CheckConfig().jobs = 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(memory_model="relaxed"),
+        dict(engine="quantum"),
+        dict(incremental=True),  # no cache_dir
+        dict(incremental=True, cache_dir="c", streaming=True),
+        dict(incremental=True, cache_dir="c", naive_inter=True),
+        dict(incremental=True, cache_dir="c", engine="pairwise"),
+    ])
+    def test_invalid_combinations_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            CheckConfig(**kwargs)
+
+
+class TestLegacyShims:
+    def test_legacy_kwargs_warn_once_and_apply(self, traces):
+        _reset_legacy_warning()
+        with pytest.warns(DeprecationWarning):
+            checker = MCChecker(traces, memory_model="unified", jobs=2)
+        assert checker.memory_model == "unified"
+        assert checker.jobs == 2
+        assert checker.config.memory_model == "unified"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            MCChecker(traces, engine="pairwise")  # second time: silent
+
+    def test_legacy_kwargs_override_config(self, traces):
+        _reset_legacy_warning()
+        with pytest.warns(DeprecationWarning):
+            checker = MCChecker(traces, CheckConfig(jobs=4),
+                                memory_model="unified")
+        assert checker.jobs == 4
+        assert checker.memory_model == "unified"
+
+    def test_config_must_be_checkconfig(self, traces):
+        with pytest.raises(TypeError):
+            MCChecker(traces, {"jobs": 2})
+
+    def test_check_traces_legacy_matches_config(self, traces):
+        _reset_legacy_warning()
+        with pytest.warns(DeprecationWarning):
+            legacy = check_traces(traces, memory_model="unified")
+        config = check_traces(traces, CheckConfig(memory_model="unified"))
+        assert json.dumps([f.to_dict() for f in legacy.findings]) == \
+            json.dumps([f.to_dict() for f in config.findings])
+
+    def test_check_app_accepts_config(self):
+        report = check_app(_figure1, 2,
+                           config=CheckConfig(memory_model="unified"))
+        assert report.stats.nranks == 2
+
+
+class TestCliRoundTrip:
+    FLAGS = ["--memory-model", "unified", "--engine", "sweep",
+             "--jobs", "3", "--cache-dir", "/tmp/c", "--incremental"]
+    EXPECTED = CheckConfig(memory_model="unified", engine="sweep", jobs=3,
+                           cache_dir="/tmp/c", incremental=True)
+
+    def test_check_flags_round_trip(self):
+        args = build_parser().parse_args(["check", "dir"] + self.FLAGS)
+        assert _config_from_args(args) == self.EXPECTED
+
+    def test_run_check_flags_round_trip(self):
+        args = build_parser().parse_args(["run-check", "emulate"]
+                                         + self.FLAGS)
+        assert _config_from_args(args) == self.EXPECTED
+
+    def test_run_accepts_the_same_flags(self):
+        args = build_parser().parse_args(["run", "emulate"] + self.FLAGS)
+        assert _config_from_args(args) == self.EXPECTED
+
+    def test_identical_defaults_across_subcommands(self):
+        parser = build_parser()
+        configs = [
+            _config_from_args(parser.parse_args(["check", "dir"])),
+            _config_from_args(parser.parse_args(["run-check", "emulate"])),
+            _config_from_args(parser.parse_args(["run", "emulate"])),
+        ]
+        assert configs[0] == configs[1] == configs[2] == CheckConfig()
+
+    def test_incremental_requires_cache_dir(self):
+        args = build_parser().parse_args(["check", "dir", "--incremental"])
+        with pytest.raises(SystemExit):
+            _config_from_args(args)
+
+
+class TestApiFacade:
+    def test_run_check_finds_figure1_bug(self):
+        report = api.run_check(_figure1, 2, delivery="lazy")
+        assert report.has_errors
+
+    def test_check_accepts_trace_path_and_overrides(self, traces):
+        via_set = api.check(traces, jobs=1)
+        via_path = api.check(traces.directory,
+                             CheckConfig(memory_model="separate"))
+        assert json.dumps([f.to_dict() for f in via_set.findings]) == \
+            json.dumps([f.to_dict() for f in via_path.findings])
+
+    def test_run_then_check(self, tmp_path):
+        run = api.run(_figure1, 2, trace_dir=str(tmp_path),
+                      trace_format="binary")
+        report = api.check(run.traces)
+        assert report.stats.nranks == 2
+
+    def test_facade_exported_from_package_root(self):
+        import repro
+        assert repro.api.check is api.check
+        assert repro.run_check is api.run_check
+        assert repro.CheckConfig is CheckConfig
