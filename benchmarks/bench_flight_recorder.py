@@ -1,0 +1,192 @@
+"""Perf harness for the flight recorder's overhead.
+
+Profiles one LU run into binary traces, then measures the analyzer with
+the observability recorder **off** (the NullRecorder default) and **on**
+(storing recorder plus a full :func:`repro.obs.report.build_run_report`
+distillation per run, i.e. everything ``mc-checker check`` does before
+appending to the ledger).  Asserts the reports are byte-identical in
+both arms — observation must never change the analysis — and gates the
+recorder's overhead at {GATE}% in the full configuration.
+
+Two entry points:
+
+* ``python benchmarks/bench_flight_recorder.py`` — the full
+  configuration (16-rank LU); artifact at the repo root.  Gate:
+  overhead <= {GATE}%.
+* ``python benchmarks/bench_flight_recorder.py --smoke`` — a small CI
+  configuration; identity still enforced, the overhead gate is recorded
+  but not enforced (tiny runs make percentages noisy), artifact under
+  ``benchmarks/results/``.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+from repro import obs
+from repro.apps.lu import lu
+from repro.core.checker import check_traces
+from repro.core.config import CheckConfig
+from repro.obs.report import build_run_report
+from repro.profiler.session import profile_run
+from repro.profiler.tracer import FORMAT_BINARY
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_flight_recorder.json")
+SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_flight_recorder_smoke.json")
+
+OVERHEAD_GATE_PCT = 5.0
+
+CONFIGS = {
+    "full": dict(nranks=16, n=192, reps=3),
+    "smoke": dict(nranks=4, n=48, reps=1),
+}
+
+
+def canonical(report):
+    """Byte-comparable report form, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def timed_check(traces, config, recorder_on):
+    """One analysis run; with the recorder on, also distill the
+    RunReport (the work ``mc-checker check`` adds per run)."""
+    if recorder_on:
+        obs.configure(enabled=True)
+    try:
+        start = time.perf_counter()
+        report = check_traces(traces, config)
+        if recorder_on:
+            build_run_report(report, config, traces=traces,
+                             command="bench", app="lu")
+        elapsed = time.perf_counter() - start
+    finally:
+        obs.reset()
+    return report, elapsed
+
+
+def run_bench(mode, out_path):
+    cfg = CONFIGS[mode]
+    cpus = os.cpu_count() or 1
+    print(f"[bench_flight_recorder] mode={mode} nranks={cfg['nranks']} "
+          f"n={cfg['n']} reps={cfg['reps']} cpus={cpus}")
+
+    workdir = tempfile.mkdtemp(prefix="bench-flightrec-")
+    try:
+        run = profile_run(lu, cfg["nranks"], params=dict(n=cfg["n"]),
+                          scope="report", delivery="eager",
+                          trace_dir=os.path.join(workdir, "traces"),
+                          trace_format=FORMAT_BINARY)
+        traces = run.traces
+        counts = traces.event_counts()
+        print(f"[bench_flight_recorder] workload: {counts['call']} calls, "
+              f"{counts['mem']} load/store events")
+
+        config = CheckConfig()
+        check_traces(traces, config)  # warmup: imports, mmap, allocator
+        off_times, on_times = [], []
+        off_canon = on_canon = None
+        for rep in range(cfg["reps"]):
+            report_off, t_off = timed_check(traces, config, False)
+            report_on, t_on = timed_check(traces, config, True)
+            off_times.append(t_off)
+            on_times.append(t_on)
+            off_canon = canonical(report_off)
+            on_canon = canonical(report_on)
+        off_seconds = statistics.median(off_times)
+        on_seconds = statistics.median(on_times)
+        identical = off_canon == on_canon
+        overhead_pct = (on_seconds - off_seconds) / off_seconds * 100.0
+        print(f"[bench_flight_recorder] off: {off_seconds:.3f}s  "
+              f"on: {on_seconds:.3f}s  overhead: {overhead_pct:+.2f}%  "
+              f"identical={identical}")
+        if not identical:
+            print("[bench_flight_recorder] FAIL: recorder changed the "
+                  "report", file=sys.stderr)
+
+        gate_applies = mode == "full"
+        gate = {
+            "max_overhead_pct": OVERHEAD_GATE_PCT,
+            "measured_overhead_pct": round(overhead_pct, 2),
+            "applies": gate_applies,
+            "passed": (overhead_pct <= OVERHEAD_GATE_PCT
+                       if gate_applies else None),
+        }
+        if not gate_applies:
+            gate["skipped_because"] = (
+                "smoke runs are too short for a stable percentage")
+        if gate["passed"] is False:
+            print(f"[bench_flight_recorder] FAIL: overhead "
+                  f"{overhead_pct:.2f}% above {OVERHEAD_GATE_PCT}%",
+                  file=sys.stderr)
+        elif gate["passed"]:
+            print("[bench_flight_recorder] overhead gate passed")
+
+        payload = {
+            "benchmark": "flight_recorder",
+            "mode": mode,
+            "workload": {"app": "lu", "nranks": cfg["nranks"],
+                         "n": cfg["n"], "reps": cfg["reps"],
+                         "call_events": counts["call"],
+                         "mem_events": counts["mem"]},
+            "machine": {"cpu_count": cpus},
+            "off_seconds": round(off_seconds, 4),
+            "on_seconds": round(on_seconds, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "identical_reports": identical,
+            "overhead_gate": gate,
+        }
+        os.makedirs(os.path.dirname(out_path), exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[bench_flight_recorder] wrote {out_path}")
+
+        ok = identical and gate["passed"] is not False
+        return payload, ok
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI configuration (artifact goes to "
+                         "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--out", default=None,
+                    help="artifact path (default: "
+                         "BENCH_flight_recorder.json at the repo root, "
+                         "or benchmarks/results/ with --smoke)")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    _payload, ok = run_bench(mode, out_path)
+    return 0 if ok else 1
+
+
+def test_flight_recorder_bench_smoke(record, benchmark):
+    """pytest entry point: the smoke configuration as a benchmark-suite
+    row (``pytest benchmarks/bench_flight_recorder.py``)."""
+    payload, ok = benchmark.pedantic(
+        lambda: run_bench("smoke", SMOKE_OUT), rounds=1, iterations=1)
+    assert ok, "flight-recorder identity check failed"
+    record("flight_recorder",
+           f"off={payload['off_seconds']:7.3f}s "
+           f"on={payload['on_seconds']:7.3f}s "
+           f"overhead={payload['overhead_pct']:+6.2f}%",
+           off_seconds=payload["off_seconds"],
+           on_seconds=payload["on_seconds"],
+           overhead_pct=payload["overhead_pct"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

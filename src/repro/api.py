@@ -17,6 +17,12 @@ trace-directory path, and field overrides as keyword arguments
 (``api.check(traces, jobs=4)`` is ``CheckConfig(jobs=4)``); overrides on
 top of an explicit config derive a new one with
 :meth:`CheckConfig.replace`.
+
+Each verb also takes observability parameters — an explicit
+``obs_config=`` (:class:`repro.obs.ObsConfig`), or the ``metrics_out=``
+/ ``chrome_trace=`` shorthands — which scope a recording session around
+the call and flush the exporters even when the analysis raises, so a
+crashed run still leaves its flight record behind.
 """
 
 from __future__ import annotations
@@ -24,12 +30,27 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Dict, Optional, Union
 
+from repro import obs
 from repro.core.checker import CheckReport, check_traces
 from repro.core.config import CheckConfig
 from repro.profiler.session import ProfiledRun, profile_run
 from repro.profiler.tracer import TraceSet
 
 __all__ = ["run", "check", "run_check"]
+
+
+def _obs_config(obs_config: Optional[obs.ObsConfig],
+                metrics_out: Optional[str],
+                chrome_trace: Optional[str]) -> Optional[obs.ObsConfig]:
+    if obs_config is not None:
+        if metrics_out or chrome_trace:
+            raise TypeError("pass either obs_config or the metrics_out/"
+                            "chrome_trace shorthands, not both")
+        return obs_config
+    if metrics_out or chrome_trace:
+        return obs.ObsConfig(metrics_out=metrics_out,
+                             chrome_trace=chrome_trace)
+    return None
 
 
 def run(app: Callable, nranks: int, *,
@@ -40,25 +61,33 @@ def run(app: Callable, nranks: int, *,
         sched_policy: str = "round_robin",
         seed: int = 0,
         trace_format: str = "text",
-        app_name: Optional[str] = None) -> ProfiledRun:
+        app_name: Optional[str] = None,
+        obs_config: Optional[obs.ObsConfig] = None,
+        metrics_out: Optional[str] = None,
+        chrome_trace: Optional[str] = None) -> ProfiledRun:
     """Profile ``app`` on the simulated runtime; returns the run (its
     ``.traces`` feed :func:`check`)."""
-    return profile_run(app, nranks, trace_dir=trace_dir, params=params,
-                       scope=scope, delivery=delivery,
-                       sched_policy=sched_policy, seed=seed,
-                       trace_format=trace_format, app_name=app_name)
+    with obs.session(_obs_config(obs_config, metrics_out, chrome_trace)):
+        return profile_run(app, nranks, trace_dir=trace_dir, params=params,
+                           scope=scope, delivery=delivery,
+                           sched_policy=sched_policy, seed=seed,
+                           trace_format=trace_format, app_name=app_name)
 
 
 def check(traces: Union[TraceSet, str, "os.PathLike[str]"],
           config: Optional[CheckConfig] = None,
+          *, obs_config: Optional[obs.ObsConfig] = None,
+          metrics_out: Optional[str] = None,
+          chrome_trace: Optional[str] = None,
           **overrides) -> CheckReport:
     """Analyze a trace set (or trace directory) for consistency errors."""
-    if not isinstance(traces, TraceSet):
-        traces = TraceSet(os.fspath(traces))
-    cfg = config if config is not None else CheckConfig()
-    if overrides:
-        cfg = cfg.replace(**overrides)
-    return check_traces(traces, cfg)
+    with obs.session(_obs_config(obs_config, metrics_out, chrome_trace)):
+        if not isinstance(traces, TraceSet):
+            traces = TraceSet(os.fspath(traces))
+        cfg = config if config is not None else CheckConfig()
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        return check_traces(traces, cfg)
 
 
 def run_check(app: Callable, nranks: int, *,
@@ -71,11 +100,15 @@ def run_check(app: Callable, nranks: int, *,
               trace_format: str = "text",
               app_name: Optional[str] = None,
               config: Optional[CheckConfig] = None,
+              obs_config: Optional[obs.ObsConfig] = None,
+              metrics_out: Optional[str] = None,
+              chrome_trace: Optional[str] = None,
               **overrides) -> CheckReport:
     """Profile and analyze in one call (the ``mc-checker run-check``
     workflow)."""
-    profiled = run(app, nranks, trace_dir=trace_dir, params=params,
-                   scope=scope, delivery=delivery,
-                   sched_policy=sched_policy, seed=seed,
-                   trace_format=trace_format, app_name=app_name)
-    return check(profiled.traces, config, **overrides)
+    with obs.session(_obs_config(obs_config, metrics_out, chrome_trace)):
+        profiled = run(app, nranks, trace_dir=trace_dir, params=params,
+                       scope=scope, delivery=delivery,
+                       sched_policy=sched_policy, seed=seed,
+                       trace_format=trace_format, app_name=app_name)
+        return check(profiled.traces, config, **overrides)

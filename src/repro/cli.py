@@ -45,15 +45,19 @@ from repro.stanalyzer import analyze_source
 
 
 def _resolve_app(name: str) -> Tuple[Callable, Dict]:
-    """Resolve an app spec to (callable, default params)."""
+    """Resolve an app spec to (callable, default params).
+
+    Bundled names match case-insensitively (``lu`` finds ``LU``);
+    dotted ``module:function`` paths stay exact."""
     from repro.apps.registry import (
         BUG_CASES, EXTRA_CASES, OVERHEAD_APPS, _resolve,
     )
+    wanted = name.lower()
     for case in BUG_CASES + EXTRA_CASES:
-        if case.name == name:
+        if case.name.lower() == wanted:
             return case.app, case.params(buggy=True)
     for app in OVERHEAD_APPS:
-        if app.name == name:
+        if app.name.lower() == wanted:
             return app.app, app.param_dict()
     if ":" in name:
         return _resolve(name), {}
@@ -139,6 +143,17 @@ def _add_obs_args(parser: argparse.ArgumentParser,
                                  "observability)")
 
 
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("run ledger")
+    group.add_argument("--ledger-dir", default=None, metavar="DIR",
+                       help="where to append this run's flight record "
+                            "(default: $MCCHECKER_LEDGER_DIR or "
+                            "~/.mc-checker/ledger)")
+    group.add_argument("--no-ledger", action="store_true",
+                       help="skip the run ledger (also disables the "
+                            "default flight recorder)")
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("app", help="bundled app name or module:function")
     parser.add_argument("--ranks", type=int, default=4)
@@ -220,6 +235,63 @@ def _phase_table(report) -> str:
     return "\n".join(lines)
 
 
+def _record_run(args, report, config, traces) -> None:
+    """Append this run's flight record to the ledger (best-effort: a
+    ledger problem must never fail the analysis that produced it)."""
+    if getattr(args, "no_ledger", False):
+        return
+    log = obs.get_logger()
+    try:
+        from repro.obs.ledger import RunLedger
+        from repro.obs.report import build_run_report
+        run_report = build_run_report(
+            report, config, traces=traces,
+            command=getattr(args, "_command_line", ""),
+            app=getattr(args, "app", None) or "")
+        RunLedger(getattr(args, "ledger_dir", None)).append(run_report)
+        log.debug(f"ledger: recorded run {run_report.run_id}")
+    except Exception as exc:  # noqa: BLE001
+        log.warning(f"ledger: could not record run: {exc}")
+
+
+def _do_report(args) -> int:
+    log = obs.get_logger()
+    from repro.obs.dashboard import (
+        render_compare_text, render_run_html, render_run_text,
+    )
+    from repro.obs.ledger import RunLedger, compare_runs
+    ledger = RunLedger(args.ledger_dir)
+    entry = (ledger.find(args.run_id) if args.run_id else ledger.last())
+    if entry is None:
+        log.error("report: no matching run in the ledger "
+                  f"({ledger.path}); run `mc-checker history`")
+        return 2
+    if args.compare:
+        baseline = ledger.find(args.compare)
+        if baseline is None:
+            log.error(f"report: no run matches baseline {args.compare!r}")
+            return 2
+        comparison = compare_runs(entry, baseline,
+                                  tolerance=args.tolerance)
+        if args.json:
+            print(json.dumps(comparison, indent=2))
+        else:
+            log.info(render_compare_text(comparison))
+        return 0 if comparison["ok"] else 1
+    if args.html:
+        parent = os.path.dirname(args.html)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_run_html(entry))
+        log.info(f"dashboard: {args.html}")
+    if args.json:
+        print(json.dumps(entry.to_dict(), indent=2))
+    elif not args.html:
+        log.info(render_run_text(entry))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mc-checker",
@@ -244,11 +316,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--json", action="store_true",
                          help="emit the report as JSON (for CI tooling)")
     _add_obs_args(p_check, exports=True)
+    _add_ledger_args(p_check)
 
     p_rc = sub.add_parser("run-check", help="profile and analyze in one go",
                           parents=[analysis])
     _add_run_args(p_rc)
     _add_obs_args(p_rc, exports=True)
+    _add_ledger_args(p_rc)
+
+    p_hist = sub.add_parser(
+        "history", help="list past analysis runs from the run ledger")
+    p_hist.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="show only the N most recent runs")
+    p_hist.add_argument("--app", default=None,
+                        help="filter by application name")
+    p_hist.add_argument("--json", action="store_true",
+                        help="emit the entries as JSON")
+    p_hist.add_argument("--ledger-dir", default=None, metavar="DIR")
+    _add_obs_args(p_hist)
+
+    p_rep = sub.add_parser(
+        "report", help="render one ledger entry (flight record)")
+    p_rep.add_argument("run_id", nargs="?", default=None,
+                       help="run id (prefix) to render")
+    p_rep.add_argument("--last", action="store_true",
+                       help="render the most recent run")
+    p_rep.add_argument("--html", default=None, metavar="FILE",
+                       help="write a self-contained HTML dashboard")
+    p_rep.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff against another run id (prefix); exits "
+                            "1 on regression beyond --tolerance")
+    p_rep.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed slowdown fraction for --compare "
+                            "(default 0.25 = 25%%)")
+    p_rep.add_argument("--json", action="store_true",
+                       help="emit the entry (or comparison) as JSON")
+    p_rep.add_argument("--ledger-dir", default=None, metavar="DIR")
+    _add_obs_args(p_rep)
 
     p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
     p_st.add_argument("source_file")
@@ -269,6 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of hottest statements to list")
     p_stats.add_argument("--no-phases", action="store_true",
                          help="skip the DN-Analyzer per-phase timing table")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the statistics (incl. per-rank binary "
+                              "footer counts) as JSON")
     _add_jobs_arg(p_stats)
     _add_engine_arg(p_stats)
     _add_obs_args(p_stats, exports=True)
@@ -297,11 +404,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._command_line = "mc-checker " + " ".join(
+        sys.argv[1:] if argv is None else [str(a) for a in argv])
 
     metrics_out = getattr(args, "metrics_out", None)
     chrome_trace = getattr(args, "chrome_trace", None)
+    # check/run-check record by default — their flight record feeds the
+    # run ledger; --no-ledger opts back out of both
+    recording_commands = args.command in ("check", "run-check") and \
+        not getattr(args, "no_ledger", False)
     enabled = bool(metrics_out or chrome_trace
-                   or os.environ.get("MCCHECKER_OBS"))
+                   or os.environ.get("MCCHECKER_OBS")
+                   or recording_commands)
     obs.configure(enabled=enabled,
                   log_level=getattr(args, "log_level", "info"))
     try:
@@ -346,12 +460,27 @@ def _dispatch(args) -> int:
                 log.info(finding.format())
             return 1 if errors else 0
         report = check_traces(traces, config)
+        _record_run(args, report, config, traces)
         if getattr(args, "json", False):
             # machine output: always printed verbatim, bypassing log level
             print(json.dumps(report.to_dict(), indent=2))
         else:
             log.info(report.format())
         return 1 if report.has_errors else 0
+
+    if args.command == "history":
+        from repro.obs.dashboard import render_history_text
+        from repro.obs.ledger import RunLedger
+        ledger = RunLedger(args.ledger_dir)
+        entries = ledger.entries(app=args.app, limit=args.limit)
+        if args.json:
+            print(json.dumps([e.to_dict() for e in entries], indent=2))
+        else:
+            log.info(render_history_text(entries))
+        return 0
+
+    if args.command == "report":
+        return _do_report(args)
 
     if args.command == "dag":
         from repro.core.dag import build_dag, render_ascii, render_dot
@@ -370,6 +499,9 @@ def _dispatch(args) -> int:
         from repro.tools import compute_stats
         traces = TraceSet(args.trace_dir)
         stats = compute_stats(traces)
+        if getattr(args, "json", False):
+            print(json.dumps(stats.to_dict(hot_limit=args.hot), indent=2))
+            return 0
         log.info(stats.format(hot_limit=args.hot))
         log.info(_per_rank_table(stats))
         if not args.no_phases:

@@ -22,8 +22,8 @@ from repro import obs
 from repro.core.clocks import ConcurrencyOracle
 from repro.core.config import CheckConfig, _UNSET, coerce_config
 from repro.core.diagnostics import (
-    SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, dedupe,
-    sort_findings,
+    SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, annotate_context,
+    dedupe, sort_findings,
 )
 from repro.core.engine import (
     detect_cross_process_sweep, detect_intra_epoch_sweep, resolve_engine,
@@ -237,6 +237,10 @@ class MCChecker:
                 naive=self.naive_inter)
 
         findings = dedupe(sort_findings(findings))
+        annotate_context(
+            findings, engine=self.engine, jobs=self.jobs,
+            mode="parallel" if engine is not None else "batch",
+            cache="none")
         errors = [f for f in findings if f.severity == SEVERITY_ERROR]
         warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
         return CheckReport(errors=errors, warnings=warnings, stats=stats)
@@ -282,6 +286,8 @@ def _check_streaming(traces: TraceSet, config: CheckConfig) -> CheckReport:
         findings, checker = check_streaming(
             traces, memory_model=config.memory_model,
             engine=config.engine)
+        annotate_context(findings, engine=config.engine, jobs=1,
+                         mode="streaming", cache="none")
         control = checker.control
         stats = CheckStats(
             nranks=control.pre.nranks,

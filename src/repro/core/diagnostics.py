@@ -65,6 +65,20 @@ class ConsistencyError:
     overlap: IntervalSet
     note: str = ""
     occurrences: int = 1
+    #: why the pair was flagged: detection phase/pattern, the two
+    #: influence spans (``[rank, start_seq, end_seq]`` trace references),
+    #: the enclosing epoch (intra) and the happens-before edge that
+    #: failed.  Set by the five shared pair checkers from pair-derived
+    #: facts only, so structurally identical findings carry identical
+    #: provenance on every engine / job count / cache path.
+    provenance: dict = field(default_factory=dict)
+    #: run-context annotation (engine, jobs, cache status, shard) — set
+    #: after detection by the run that produced the report.  Never
+    #: serialized and excluded from comparison: it describes *how this
+    #: run found the error*, not the error itself, and varies across
+    #: execution paths that must stay byte-identical.
+    context: Optional[dict] = field(default=None, compare=False,
+                                    repr=False)
 
     def suggestion(self) -> str:
         """A repair hint matched to the conflict class — the paper's goal
@@ -139,6 +153,7 @@ class ConsistencyError:
             "note": self.note,
             "suggestion": self.suggestion(),
             "occurrences": self.occurrences,
+            "provenance": dict(self.provenance),
         }
 
     def to_payload(self) -> dict:
@@ -163,6 +178,7 @@ class ConsistencyError:
             "a": side(self.a), "b": side(self.b),
             "overlap": [[iv.start, iv.stop] for iv in self.overlap],
             "note": self.note, "occurrences": self.occurrences,
+            "prov": dict(self.provenance),
         }
 
     @classmethod
@@ -185,7 +201,28 @@ class ConsistencyError:
             overlap=IntervalSet(
                 Interval(int(s), int(t)) for s, t in payload["overlap"]),
             note=str(payload["note"]),
-            occurrences=int(payload["occurrences"]))
+            occurrences=int(payload["occurrences"]),
+            provenance=dict(payload.get("prov", {})))
+
+    def provenance_line(self) -> str:
+        """One-line rendering of the provenance record (text reports)."""
+        prov = self.provenance
+        parts = [f"{prov.get('phase', '?')}/{prov.get('pattern', '?')}"]
+        spans = prov.get("spans")
+        if spans:
+            def one(span) -> str:
+                rank, start, end = span
+                return f"rank{rank}[{start},{end}]"
+            parts.append(f"spans {one(spans['a'])} vs {one(spans['b'])}")
+        epoch = prov.get("epoch")
+        if epoch:
+            parts.append(
+                f"epoch {epoch['kind']}@rank{epoch['rank']}"
+                f"[{epoch['open_seq']},{epoch['close_seq']}]")
+        hb = prov.get("hb")
+        if hb:
+            parts.append(f"hb={hb.get('edge', '?')}")
+        return "; ".join(parts)
 
     def format(self) -> str:
         head = ("WARNING" if self.severity == SEVERITY_WARNING else "ERROR")
@@ -208,10 +245,23 @@ class ConsistencyError:
                          "erroneous under the MPI memory model")
         if self.note:
             lines.append(f"  note: {self.note}")
+        if self.provenance:
+            lines.append(f"  provenance: {self.provenance_line()}")
         lines.append(f"  suggested fix: {self.suggestion()}")
         if self.occurrences > 1:
             lines.append(f"  seen {self.occurrences} times")
         return "\n".join(lines)
+
+
+def annotate_context(findings: List[ConsistencyError],
+                     **context) -> List[ConsistencyError]:
+    """Overlay run-context keys (engine, jobs, cache status, ...) onto
+    each finding's non-serialized ``context`` annotation."""
+    for finding in findings:
+        merged = dict(finding.context or {})
+        merged.update(context)
+        finding.context = merged
+    return findings
 
 
 def _side_sort_key(desc: AccessDesc) -> Tuple:

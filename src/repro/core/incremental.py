@@ -103,8 +103,8 @@ from repro.core.checker import CheckReport, CheckStats, publish_report_obs
 from repro.core.clocks import Span
 from repro.core.config import CheckConfig
 from repro.core.diagnostics import (
-    SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, dedupe,
-    sort_findings,
+    SEVERITY_ERROR, SEVERITY_WARNING, ConsistencyError, annotate_context,
+    dedupe, sort_findings,
 )
 from repro.core.engine import check_epoch_sweep, detect_region_sweep
 from repro.core.model import MemRows
@@ -118,7 +118,8 @@ from repro.util.hashing import chain_hash, hash_lines, hash_strings, stable_hash
 
 #: bump whenever detector semantics change — it is part of every shard
 #: key, so stale findings can never be served across engine revisions
-ENGINE_VERSION = "1"
+#: ("2": finding payloads gained the provenance record)
+ENGINE_VERSION = "2"
 
 _SHARDS = "shards"
 _MANIFESTS = "manifests"
@@ -358,6 +359,8 @@ class IncrementalChecker:
             rec.gauge("incremental_ranks_loaded", loader.ranks_loaded,
                       help="Ranks whose memory rows were read this run")
 
+        annotate_context(findings, engine=self.config.engine,
+                         jobs=self.jobs, mode="incremental")
         errors = [f for f in findings if f.severity == SEVERITY_ERROR]
         warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
         return CheckReport(errors=errors, warnings=warnings, stats=stats)
@@ -408,6 +411,9 @@ class IncrementalChecker:
                       help="Regions reused vs re-analyzed")
             rec.gauge("incremental_ranks_loaded", 0,
                       help="Ranks whose memory rows were read this run")
+        annotate_context(findings, engine=self.config.engine,
+                         jobs=self.jobs, mode="incremental",
+                         cache="manifest")
         errors = [f for f in findings if f.severity == SEVERITY_ERROR]
         warnings = [f for f in findings
                     if f.severity == SEVERITY_WARNING]
@@ -575,6 +581,7 @@ class IncrementalChecker:
                     decoded = None
                     status = CORRUPT
             if decoded is not None:
+                _annotate_decoded(decoded, shard.index, "hit")
                 cached[shard.index] = decoded
                 outcome = "hit"
             else:
@@ -594,6 +601,9 @@ class IncrementalChecker:
                 rec.count("incremental_regions_total", shard.n_regions,
                           state="clean" if outcome == "hit" else "dirty",
                           help="Regions reused vs re-analyzed")
+                rec.count("incremental_shard_regions", shard.n_regions,
+                          shard=str(shard.index), outcome=outcome,
+                          help="Per-shard region counts by cache outcome")
         return cached, dirty
 
     # ----------------------------------------------------------- detect
@@ -671,8 +681,10 @@ class IncrementalChecker:
             self.store.store(_SHARDS, shard.key, {
                 "regions": [shard.first, shard.last],
                 "intra": intra, "inter": inter})
-            computed[shard.index] = _decode_shard_payload(
+            decoded = _decode_shard_payload(
                 {"intra": intra, "inter": inter})
+            _annotate_decoded(decoded, shard.index, "computed")
+            computed[shard.index] = decoded
         return computed
 
     # ------------------------------------------------------------ merge
@@ -757,6 +769,16 @@ def _shard_task(i: int):
             _WORKER["memory_model"])
     rec.count("parallel_tasks_total", phase="incremental")
     return intra, inter, _export(rec)
+
+
+def _annotate_decoded(decoded: Tuple[list, list], shard_index: int,
+                      cache_status: str) -> None:
+    """Stamp one shard's findings with how the cache resolved them."""
+    intra, inter = decoded
+    for _pos, findings in intra:
+        annotate_context(findings, cache=cache_status, shard=shard_index)
+    for _r, findings in inter:
+        annotate_context(findings, cache=cache_status, shard=shard_index)
 
 
 def _decode_shard_payload(payload: dict) -> Tuple[list, list]:

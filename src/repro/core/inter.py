@@ -61,6 +61,12 @@ def _desc_local(la: LocalAccess) -> AccessDesc:
                       loc=la.loc, intervals=la.intervals, seq=la.seq)
 
 
+def _span_ref(span) -> list:
+    """Trace reference of an influence span: ``[rank, start, end]`` in
+    trace sequence numbers (the record indices of the rank's trace)."""
+    return [span.rank, span.start_seq, span.end_seq]
+
+
 def _op_exclusive(op: RMAOpView) -> bool:
     return (op.epoch is not None and op.epoch.kind == KIND_LOCK
             and op.epoch.lock_type == LOCK_EXCLUSIVE)
@@ -137,7 +143,16 @@ def _check_concurrent_ops(op_a: RMAOpView, op_b: RMAOpView,
         win_id=op_a.win_id, a=_desc_op(op_a), b=_desc_op(op_b),
         overlap=overlap,
         note=(f"concurrent one-sided operations on the window at rank "
-              f"{op_a.target}"))
+              f"{op_a.target}"),
+        provenance={
+            "phase": "inter", "pattern": "op_pair",
+            "spans": {"a": _span_ref(op_a.span),
+                      "b": _span_ref(op_b.span)},
+            "target": op_a.target,
+            "hb": {"edge": "concurrent",
+                   "detail": "no happens-before path orders the two "
+                             "operations' influence spans"},
+        })
 
 
 def _check_local_vs_op(la: LocalAccess, la_in_window: IntervalSet,
@@ -178,7 +193,16 @@ def _check_concurrent_local_vs_op(la: LocalAccess,
         win_id=op.win_id, a=_desc_local(la), b=_desc_op(op),
         overlap=overlap,
         note=(f"local access at target rank {la.rank} concurrent with a "
-              "remote one-sided operation on the same window"))
+              "remote one-sided operation on the same window"),
+        provenance={
+            "phase": "inter", "pattern": "local_vs_op",
+            "spans": {"a": _span_ref(la.span),
+                      "b": _span_ref(op.span)},
+            "target": la.rank,
+            "hb": {"edge": "concurrent",
+                   "detail": "no happens-before path orders the local "
+                             "access against the remote operation"},
+        })
 
 
 def bucket_by_region(model: AccessModel, regions: RegionIndex

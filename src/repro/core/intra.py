@@ -49,6 +49,17 @@ def _spans_unordered(a: Span, b: Span) -> bool:
     return not (a.end_seq <= b.start_seq or b.end_seq <= a.start_seq)
 
 
+def _span_ref(span: Span) -> list:
+    """Trace reference of an influence span: ``[rank, start, end]`` in
+    trace sequence numbers (the record indices of the rank's trace)."""
+    return [span.rank, span.start_seq, span.end_seq]
+
+
+def _epoch_prov(epoch: Epoch) -> dict:
+    return {"rank": epoch.rank, "win": epoch.win_id, "kind": epoch.kind,
+            "open_seq": epoch.open_seq, "close_seq": epoch.close_seq}
+
+
 #: one epoch's worth of intra-epoch detection work
 EpochUnit = Tuple[Epoch, List[RMAOpView], List[LocalAccess],
                   List[LocalAccess]]
@@ -152,7 +163,18 @@ def _check_target_pair(op_a: RMAOpView, op_b: RMAOpView,
         a=_desc_op(op_a, origin_side=False),
         b=_desc_op(op_b, origin_side=False),
         overlap=overlap,
-        note="unordered same-epoch operations on the same target")
+        note="unordered same-epoch operations on the same target",
+        provenance={
+            "phase": "intra", "pattern": "op_pair",
+            "spans": {"a": _span_ref(op_a.span),
+                      "b": _span_ref(op_b.span)},
+            "epoch": (_epoch_prov(op_a.epoch)
+                      if op_a.epoch is not None else None),
+            "target": op_a.target,
+            "hb": {"edge": "same-epoch-unordered",
+                   "detail": "no flush or epoch close separates the "
+                             "operations' completion points"},
+        })
 
 
 def _check_attached_vs_plain(attached: LocalAccess,
@@ -173,7 +195,17 @@ def _check_attached_vs_plain(attached: LocalAccess,
         a=_desc_attached(attached), b=_desc_local(la), overlap=overlap,
         note=("the one-sided operation is not complete until "
               f"seq {op.complete_seq}; the local access may observe or "
-              "corrupt in-flight data"))]
+              "corrupt in-flight data"),
+        provenance={
+            "phase": "intra", "pattern": "origin_vs_plain",
+            "spans": {"a": _span_ref(op.span),
+                      "b": _span_ref(la.span)},
+            "epoch": (_epoch_prov(op.epoch)
+                      if op.epoch is not None else None),
+            "hb": {"edge": "origin-in-flight",
+                   "detail": "the local access falls inside the "
+                             "operation's issue-to-completion window"},
+        })]
 
 
 def _check_attached_pair(acc_a: LocalAccess,
@@ -190,7 +222,17 @@ def _check_attached_pair(acc_a: LocalAccess,
         win_id=acc_a.origin_of.win_id,
         a=_desc_attached(acc_a), b=_desc_attached(acc_b), overlap=overlap,
         note="overlapping local buffers of unordered same-epoch "
-             "operations, at least one of which writes locally")]
+             "operations, at least one of which writes locally",
+        provenance={
+            "phase": "intra", "pattern": "origin_pair",
+            "spans": {"a": _span_ref(acc_a.span),
+                      "b": _span_ref(acc_b.span)},
+            "epoch": (_epoch_prov(acc_a.origin_of.epoch)
+                      if acc_a.origin_of.epoch is not None else None),
+            "hb": {"edge": "same-epoch-unordered",
+                   "detail": "both owning operations are in flight "
+                             "over overlapping local buffers"},
+        })]
 
 
 def _desc_attached(la: LocalAccess) -> AccessDesc:

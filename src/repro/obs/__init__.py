@@ -28,7 +28,9 @@ per event.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
 
 from repro.obs.logging import LEVELS, LOG_LEVEL_CHOICES, ObsLogger
 from repro.obs.metrics import (
@@ -40,6 +42,7 @@ from repro.obs.spans import Span, SpanRecord, SpanTracker
 __all__ = [
     "configure", "reset", "get_recorder", "get_logger", "is_enabled",
     "span", "count", "gauge", "observe",
+    "ObsConfig", "session",
     "NullRecorder", "Recorder",
     "Span", "SpanRecord", "SpanTracker",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
@@ -79,6 +82,54 @@ def get_logger() -> ObsLogger:
 
 def is_enabled() -> bool:
     return _STATE.recorder.enabled
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Declarative per-call observability: what to record, where to flush.
+
+    Any export path implies recording — ``active`` is what
+    :func:`session` keys off.  Used by ``repro.api.run/check/run_check``
+    so library callers get the same flight-recorder semantics as the
+    CLI's ``--metrics-out``/``--chrome-trace`` flags.
+    """
+
+    enabled: bool = False
+    log_level: str = "info"
+    metrics_out: Optional[str] = None
+    chrome_trace: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.enabled or self.metrics_out or self.chrome_trace)
+
+
+@contextmanager
+def session(config: Optional[ObsConfig]) -> Iterator[NullRecorder]:
+    """Scoped recorder: enable for the block, flush exporters, restore.
+
+    Flushing happens in a ``finally`` so a raising analysis still writes
+    whatever was observed up to the failure — that partial flight record
+    is exactly what's needed to debug the failure.  An inactive (or
+    ``None``) config yields the current recorder untouched, so callers
+    can wrap unconditionally.
+    """
+    if config is None or not config.active:
+        yield _STATE.recorder
+        return
+    previous = _STATE.recorder
+    recorder = configure(enabled=True, log_level=config.log_level)
+    try:
+        yield recorder
+    finally:
+        try:
+            from repro.obs.export import write_chrome_trace, write_metrics
+            if config.metrics_out:
+                write_metrics(recorder, config.metrics_out)
+            if config.chrome_trace:
+                write_chrome_trace(recorder, config.chrome_trace)
+        finally:
+            _STATE.recorder = previous
 
 
 # -- convenience forwarding to the active recorder ----------------------

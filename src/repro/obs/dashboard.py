@@ -1,0 +1,350 @@
+"""Render ledger entries: terminal text and self-contained HTML.
+
+The HTML dashboard is a single file with inline CSS and no JavaScript —
+``repro report --last --html out.html`` produces something that opens
+anywhere (CI artifact viewers included).  Panels: phase timeline,
+engine candidate-pair funnel, incremental cache hit-rate with per-shard
+heat strip, worker utilization, and the findings with their provenance.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List
+
+from repro.obs.report import RunReport
+
+# ----------------------------------------------------------------------
+# text rendering
+# ----------------------------------------------------------------------
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def _bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_run_text(entry: RunReport) -> str:
+    lines = [
+        f"run {entry.run_id}  ({entry.created})",
+        f"  app:     {entry.app or '-'}",
+        f"  command: {entry.command or '-'}",
+        f"  config:  {entry.config_digest[:12]}  "
+        f"engine={entry.config.get('engine')} "
+        f"jobs={entry.config.get('jobs')} "
+        f"incremental={entry.config.get('incremental')}",
+        f"  traces:  {len(entry.trace_digests)} rank(s) in "
+        f"{entry.trace_dir or '-'}",
+        f"  elapsed: {entry.elapsed_seconds:.3f}s   "
+        f"peak rss: {_fmt_bytes(entry.peak_rss_bytes)}",
+    ]
+    if entry.phases:
+        lines.append("  phases:")
+        longest = max(t.get("wall", 0.0) for t in entry.phases.values()) or 1.0
+        for phase, timing in entry.phases.items():
+            wall = timing.get("wall", 0.0)
+            lines.append(f"    {phase:<12} {wall:8.4f}s "
+                         f"(cpu {timing.get('cpu', 0.0):.4f}s) "
+                         f"|{_bar(wall / longest, 24)}|")
+    if entry.funnel:
+        lines.append("  candidate-pair funnel:")
+        for stage, count in sorted(entry.funnel.items()):
+            lines.append(f"    {stage:<22} {int(count):>10}")
+    if entry.cache:
+        shards = entry.cache.get("shards", {})
+        total = sum(shards.values())
+        hits = shards.get("hit", 0)
+        rate = (hits / total * 100.0) if total else 0.0
+        lines.append(f"  cache: {int(hits)}/{int(total)} shard(s) hit "
+                     f"({rate:.0f}%)  outcomes: "
+                     + ", ".join(f"{k}={int(v)}"
+                                 for k, v in sorted(shards.items())))
+    if entry.workers:
+        tasks = entry.workers.get("tasks", {})
+        pids = entry.workers.get("pids", {})
+        lines.append(f"  workers: {len(pids)} pid(s), "
+                     f"{int(sum(tasks.values()))} task(s)")
+        for pid, usage in pids.items():
+            lines.append(f"    pid {pid}: {usage.get('spans', 0)} span(s), "
+                         f"busy {usage.get('busy_seconds', 0.0):.4f}s")
+    ingest = entry.ingest
+    if ingest:
+        lines.append(f"  ingest: {ingest.get('events', 0)} events, "
+                     f"{ingest.get('rma_ops', 0)} RMA ops, "
+                     f"{ingest.get('local_accesses', 0)} local accesses, "
+                     f"{ingest.get('regions', 0)} regions")
+    findings = entry.findings
+    lines.append(f"  findings: {findings.get('errors', 0)} error(s), "
+                 f"{findings.get('warnings', 0)} warning(s)")
+    for detail in findings.get("details", []):
+        a, b = detail.get("a", {}), detail.get("b", {})
+        lines.append(f"    [{detail.get('severity', '?')}] "
+                     f"{detail.get('kind', '?')}/{detail.get('rule', '?')} "
+                     f"rank{a.get('rank', '?')} vs rank{b.get('rank', '?')} "
+                     f"on '{a.get('var', '?')}'")
+        prov = detail.get("provenance") or {}
+        if prov:
+            lines.append(f"      provenance: {_prov_line(prov)}")
+    return "\n".join(lines)
+
+
+def _prov_line(prov: Dict[str, Any]) -> str:
+    parts = [f"{prov.get('phase', '?')}/{prov.get('pattern', '?')}"]
+    spans = prov.get("spans") or {}
+    if spans:
+        refs = []
+        for key in sorted(spans):
+            ref = spans[key]
+            refs.append(f"rank{ref[0]}[{ref[1]},{ref[2]}]")
+        parts.append(" vs ".join(refs))
+    hb = prov.get("hb") or {}
+    if hb.get("edge"):
+        parts.append(f"hb={hb['edge']}")
+    return "; ".join(parts)
+
+
+def render_history_text(entries: List[RunReport]) -> str:
+    if not entries:
+        return "ledger is empty"
+    header = (f"{'RUN':<12}  {'CREATED':<20}  {'APP':<12}  "
+              f"{'ELAPSED':>9}  FINDINGS")
+    lines = [header, "-" * len(header)]
+    for entry in entries:
+        lines.append(entry.summary_line())
+    return "\n".join(lines)
+
+
+def render_compare_text(comparison: Dict[str, Any]) -> str:
+    lines = [
+        f"compare {comparison['current']} vs baseline "
+        f"{comparison['baseline']} "
+        f"(tolerance {comparison['tolerance'] * 100:.0f}%)",
+    ]
+    if not comparison.get("same_config", True):
+        lines.append("  note: configs differ — timings measure "
+                     "different work")
+    if not comparison.get("same_traces", True):
+        lines.append("  note: trace digests differ")
+    for delta in comparison["deltas"]:
+        marker = "!!" if delta["status"] == "regression" else "ok"
+        ratio = delta["ratio"]
+        ratio_s = f"{ratio:6.2f}x" if ratio != float("inf") else "   inf"
+        lines.append(f"  [{marker}] {delta['metric']:<22} "
+                     f"{delta['current']:12.4f} vs {delta['baseline']:12.4f} "
+                     f"({ratio_s})")
+    lines.append("result: " + ("OK" if comparison["ok"] else
+                               "REGRESSION in " +
+                               ", ".join(comparison["regressions"])))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML dashboard (self-contained: inline CSS, SVG bars, no JS)
+# ----------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a2330; padding: 0 1rem; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.8rem;
+     border-bottom: 1px solid #d8dee6; padding-bottom: .2rem; }
+table { border-collapse: collapse; width: 100%; }
+td, th { text-align: left; padding: .2rem .6rem .2rem 0;
+         vertical-align: top; }
+th { color: #5a6472; font-weight: 600; }
+.num { text-align: right; font-variant-numeric: tabular-nums; }
+.meta { color: #5a6472; }
+.bar { fill: #4878b0; } .bar.hit { fill: #3d8a4f; }
+.bar.miss { fill: #c0583a; } .bar.computed { fill: #c0583a; }
+.bar.invalidated { fill: #d8a23a; } .bar.corrupt { fill: #8a3d6e; }
+.finding { border-left: 3px solid #c0583a; padding: .4rem .8rem;
+           margin: .8rem 0; background: #f7f3f1; }
+.finding.warning { border-color: #d8a23a; }
+.prov { font-family: ui-monospace, monospace; font-size: .85em;
+        color: #5a6472; }
+code { font-family: ui-monospace, monospace; font-size: .9em; }
+""".strip()
+
+
+def _svg_bar(fraction: float, cls: str = "bar", width: int = 260,
+             height: int = 12) -> str:
+    w = max(0.0, min(1.0, fraction)) * width
+    return (f'<svg width="{width}" height="{height}">'
+            f'<rect width="{width}" height="{height}" fill="#eceff3"/>'
+            f'<rect class="{cls}" width="{w:.1f}" height="{height}"/>'
+            f'</svg>')
+
+
+def _phase_timeline(entry: RunReport) -> str:
+    if not entry.phases:
+        return "<p class=meta>no phase timings recorded</p>"
+    longest = max(t.get("wall", 0.0) for t in entry.phases.values()) or 1.0
+    rows = []
+    for phase, timing in entry.phases.items():
+        wall = timing.get("wall", 0.0)
+        rows.append(
+            f"<tr><td>{html.escape(phase)}</td>"
+            f"<td class=num>{wall:.4f}s</td>"
+            f"<td class=num>{timing.get('cpu', 0.0):.4f}s</td>"
+            f"<td>{_svg_bar(wall / longest)}</td></tr>")
+    return ("<table><tr><th>phase</th><th class=num>wall</th>"
+            "<th class=num>cpu</th><th></th></tr>" + "".join(rows)
+            + "</table>")
+
+
+def _funnel_panel(entry: RunReport) -> str:
+    if not entry.funnel:
+        return "<p class=meta>no candidate-pair counters recorded</p>"
+    top = max(entry.funnel.values()) or 1.0
+    rows = []
+    for stage, count in sorted(entry.funnel.items()):
+        rows.append(
+            f"<tr><td><code>{html.escape(stage)}</code></td>"
+            f"<td class=num>{int(count)}</td>"
+            f"<td>{_svg_bar(count / top)}</td></tr>")
+    return ("<table><tr><th>stage</th><th class=num>pairs</th><th></th>"
+            "</tr>" + "".join(rows) + "</table>")
+
+
+def _cache_panel(entry: RunReport) -> str:
+    cache = entry.cache
+    if not cache:
+        return "<p class=meta>not an incremental run</p>"
+    shards = cache.get("shards", {})
+    total = sum(shards.values())
+    hits = shards.get("hit", 0)
+    rate = (hits / total * 100.0) if total else 0.0
+    parts = [f"<p>shard hit-rate: <strong>{rate:.0f}%</strong> "
+             f"({int(hits)}/{int(total)})</p>"]
+    parts.append("<table><tr><th>outcome</th><th class=num>shards</th>"
+                 "<th></th></tr>")
+    for outcome, count in sorted(shards.items()):
+        cls = "bar hit" if outcome == "hit" else f"bar {outcome}"
+        parts.append(f"<tr><td>{html.escape(outcome)}</td>"
+                     f"<td class=num>{int(count)}</td>"
+                     f"<td>{_svg_bar(count / (total or 1), cls)}</td></tr>")
+    parts.append("</table>")
+    per_shard = cache.get("per_shard") or []
+    if per_shard:
+        # heat strip: one cell per shard, colored by cache outcome
+        cells = []
+        for shard in per_shard:
+            outcome = shard.get("outcome", "?")
+            cls = "bar hit" if outcome == "hit" else f"bar {outcome}"
+            title = (f"shard {shard.get('shard')}: {outcome}, "
+                     f"{int(shard.get('regions', 0))} region(s)")
+            cells.append(
+                f'<svg width="18" height="18"><title>{html.escape(title)}'
+                f'</title><rect class="{cls}" width="16" height="16" '
+                f'x="1" y="1"/></svg>')
+        parts.append("<p>per-shard heat (hover for detail):<br>"
+                     + "".join(cells) + "</p>")
+    return "".join(parts)
+
+
+def _workers_panel(entry: RunReport) -> str:
+    workers = entry.workers
+    if not workers:
+        return "<p class=meta>serial run — no worker pool</p>"
+    parts = []
+    tasks = workers.get("tasks", {})
+    if tasks:
+        parts.append("<p>tasks by phase: " + ", ".join(
+            f"<code>{html.escape(k)}</code>={int(v)}"
+            for k, v in sorted(tasks.items())) + "</p>")
+    pids = workers.get("pids", {})
+    if pids:
+        busiest = max(u.get("busy_seconds", 0.0)
+                      for u in pids.values()) or 1.0
+        parts.append("<table><tr><th>pid</th><th class=num>spans</th>"
+                     "<th class=num>busy</th><th></th></tr>")
+        for pid, usage in pids.items():
+            busy = usage.get("busy_seconds", 0.0)
+            parts.append(f"<tr><td>{html.escape(str(pid))}</td>"
+                         f"<td class=num>{usage.get('spans', 0)}</td>"
+                         f"<td class=num>{busy:.4f}s</td>"
+                         f"<td>{_svg_bar(busy / busiest)}</td></tr>")
+        parts.append("</table>")
+    return "".join(parts) or "<p class=meta>no worker spans recorded</p>"
+
+
+def _findings_panel(entry: RunReport) -> str:
+    findings = entry.findings
+    details = findings.get("details", [])
+    parts = [f"<p><strong>{findings.get('errors', 0)}</strong> error(s), "
+             f"<strong>{findings.get('warnings', 0)}</strong> "
+             f"warning(s)</p>"]
+    for detail in details:
+        severity = detail.get("severity", "error")
+        a, b = detail.get("a", {}), detail.get("b", {})
+        parts.append(f'<div class="finding {html.escape(severity)}">')
+        parts.append(
+            f"<strong>[{html.escape(severity)}] "
+            f"{html.escape(str(detail.get('kind', '?')))}/"
+            f"{html.escape(str(detail.get('rule', '?')))}</strong> — "
+            f"rank {html.escape(str(a.get('rank', '?')))} "
+            f"{html.escape(str(a.get('kind', '?')))} vs "
+            f"rank {html.escape(str(b.get('rank', '?')))} "
+            f"{html.escape(str(b.get('kind', '?')))} on "
+            f"<code>{html.escape(str(a.get('var', '?')))}</code>")
+        note = detail.get("note")
+        if note:
+            parts.append(f"<br>{html.escape(str(note))}")
+        prov = detail.get("provenance") or {}
+        if prov:
+            parts.append(f'<br><span class=prov>provenance: '
+                         f"{html.escape(_prov_line(prov))}</span>")
+            hb = prov.get("hb") or {}
+            if hb.get("detail"):
+                parts.append(f'<br><span class=prov>hb detail: '
+                             f"{html.escape(str(hb['detail']))}</span>")
+        context = detail.get("context") or {}
+        if context:
+            ctx = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+            parts.append(f'<br><span class=prov>run context: '
+                         f"{html.escape(ctx)}</span>")
+        parts.append("</div>")
+    return "".join(parts)
+
+
+def render_run_html(entry: RunReport) -> str:
+    """One run as a self-contained HTML dashboard."""
+    meta_rows = "".join(
+        f"<tr><th>{html.escape(k)}</th><td>{html.escape(str(v))}</td></tr>"
+        for k, v in (
+            ("created", entry.created),
+            ("app", entry.app or "-"),
+            ("command", entry.command or "-"),
+            ("config digest", entry.config_digest),
+            ("engine / jobs", f"{entry.config.get('engine')} / "
+                              f"{entry.config.get('jobs')}"),
+            ("incremental", entry.config.get("incremental")),
+            ("trace dir", entry.trace_dir or "-"),
+            ("ranks", len(entry.trace_digests)),
+            ("elapsed", f"{entry.elapsed_seconds:.3f}s"),
+            ("peak RSS", _fmt_bytes(entry.peak_rss_bytes)),
+            ("events / RMA ops",
+             f"{entry.ingest.get('events', 0)} / "
+             f"{entry.ingest.get('rma_ops', 0)}"),
+        ))
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>mc-checker run {html.escape(entry.run_id)}</title>
+<style>{_CSS}</style></head><body>
+<h1>mc-checker flight record <code>{html.escape(entry.run_id)}</code></h1>
+<table>{meta_rows}</table>
+<h2>Phase timeline</h2>{_phase_timeline(entry)}
+<h2>Candidate-pair funnel</h2>{_funnel_panel(entry)}
+<h2>Incremental cache</h2>{_cache_panel(entry)}
+<h2>Worker pool</h2>{_workers_panel(entry)}
+<h2>Findings</h2>{_findings_panel(entry)}
+</body></html>
+"""

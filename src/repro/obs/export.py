@@ -31,6 +31,12 @@ def _escape_label(value: str) -> str:
             .replace("\n", "\\n"))
 
 
+def _escape_help(value: str) -> str:
+    # HELP text escapes backslash and newline only (exposition format);
+    # quotes are legal verbatim outside a label position
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
@@ -49,8 +55,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     """Render every metric family in the exposition text format."""
     lines: List[str] = []
     for metric in registry:
-        if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+        # every family gets both headers, even with empty help — scrapers
+        # and the OpenMetrics parsers key family metadata off these lines
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}"
+                     .rstrip())
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             for labels, value in metric.samples():
@@ -95,29 +103,44 @@ def write_metrics(recorder: NullRecorder, path: str) -> None:
 
 def chrome_trace(recorder: NullRecorder,
                  process_name: str = "mc-checker") -> dict:
-    """Span log as a Chrome ``trace_event`` JSON document."""
+    """Span log as a Chrome ``trace_event`` JSON document.
+
+    Spans absorbed from parallel workers carry their recording pid, so
+    each worker renders as its own process lane (``worker-<pid>``) with
+    per-``(pid, thread)`` tids — concurrent shards never overlap on one
+    track, which is what makes the merged timeline readable."""
     records = recorder.spans.records()
-    tids: Dict[str, int] = {}
-    events: List[dict] = [{
-        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
-        "args": {"name": process_name},
-    }]
+    main_pid = os.getpid()
+    pids_named = set()
+    tids: Dict[tuple, int] = {}
+    events: List[dict] = []
     for record in records:
-        if record.thread not in tids:
-            tid = tids[record.thread] = len(tids)
+        pid = record.pid or main_pid
+        if pid not in pids_named:
+            pids_named.add(pid)
+            name = (process_name if pid == main_pid
+                    else f"{process_name} worker-{pid}")
             events.append({
-                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+        key = (pid, record.thread)
+        if key not in tids:
+            tid = tids[key] = len(tids)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                 "args": {"name": record.thread},
             })
     for record in records:
+        pid = record.pid or main_pid
         events.append({
             "name": record.name,
             "cat": record.name.split(".", 1)[0],
             "ph": "X",
             "ts": (record.start - recorder.epoch) * 1e6,
             "dur": record.duration * 1e6,
-            "pid": 0,
-            "tid": tids[record.thread],
+            "pid": pid,
+            "tid": tids[(pid, record.thread)],
             "args": {k: str(v) for k, v in record.attrs.items()},
         })
     return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,141 @@
+"""Persistent append-only run ledger (JSON-lines).
+
+Every analysis run appends its :class:`~repro.obs.report.RunReport` as
+one JSON line to ``<ledger-dir>/ledger.jsonl``.  Appends go through a
+single ``os.write`` on an ``O_APPEND`` descriptor, so concurrent runs
+interleave whole lines rather than bytes — the same durability posture
+as :mod:`repro.util.cachestore` (readers skip any line that fails to
+parse instead of aborting the history).
+
+The ledger is what powers ``repro history`` (list/filter runs),
+``repro report`` (re-render one run, optionally as an HTML dashboard)
+and ``repro report --compare`` (regression gate between two runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.report import RunReport
+
+LEDGER_FILENAME = "ledger.jsonl"
+
+#: metrics compared by :func:`compare_runs`; ``(label, getter)`` pairs
+_SCALARS = (
+    ("elapsed_seconds", lambda r: r.elapsed_seconds),
+    ("peak_rss_bytes", lambda r: float(r.peak_rss_bytes)),
+)
+
+
+def default_ledger_dir() -> str:
+    """``$MCCHECKER_LEDGER_DIR`` or ``~/.mc-checker/ledger``."""
+    env = os.environ.get("MCCHECKER_LEDGER_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".mc-checker", "ledger")
+
+
+class RunLedger:
+    """Append-only store of RunReports under one directory."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or default_ledger_dir()
+        self.path = os.path.join(self.directory, LEDGER_FILENAME)
+
+    def append(self, report: RunReport) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        line = json.dumps(report.to_dict(), sort_keys=True) + "\n"
+        fd = os.open(self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def _iter_raw(self) -> Iterator[dict]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue  # torn or corrupt line — skip, don't abort
+                if isinstance(payload, dict) and "run_id" in payload:
+                    yield payload
+
+    def entries(self, app: Optional[str] = None,
+                limit: Optional[int] = None) -> List[RunReport]:
+        """All runs, oldest first; optionally filtered and tail-limited."""
+        out = [RunReport.from_dict(payload) for payload in self._iter_raw()]
+        if app is not None:
+            wanted = app.lower()
+            out = [r for r in out if r.app.lower() == wanted]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def last(self, app: Optional[str] = None) -> Optional[RunReport]:
+        entries = self.entries(app=app)
+        return entries[-1] if entries else None
+
+    def find(self, run_id_prefix: str) -> Optional[RunReport]:
+        """Latest run whose id starts with ``run_id_prefix``."""
+        match: Optional[RunReport] = None
+        for payload in self._iter_raw():
+            if str(payload.get("run_id", "")).startswith(run_id_prefix):
+                match = RunReport.from_dict(payload)
+        return match
+
+
+def _delta(label: str, current: float, baseline: float,
+           tolerance: float) -> Dict[str, Any]:
+    if baseline > 0:
+        ratio = current / baseline
+    else:
+        ratio = 1.0 if current == baseline else float("inf")
+    regressed = ratio > 1.0 + tolerance
+    return {
+        "metric": label, "current": current, "baseline": baseline,
+        "ratio": ratio, "status": "regression" if regressed else "ok",
+    }
+
+
+def compare_runs(current: RunReport, baseline: RunReport,
+                 tolerance: float = 0.25) -> Dict[str, Any]:
+    """Per-metric deltas between two ledger entries.
+
+    A metric regresses when ``current > baseline * (1 + tolerance)``.
+    Phase timings are compared per phase; runs whose config digests
+    differ are still compared but flagged, since the numbers then
+    measure different work.
+    """
+    deltas: List[Dict[str, Any]] = []
+    for label, getter in _SCALARS:
+        cur, base = getter(current), getter(baseline)
+        if cur or base:
+            deltas.append(_delta(label, cur, base, tolerance))
+    for phase, timing in current.phases.items():
+        base_timing = baseline.phases.get(phase)
+        if base_timing is None:
+            continue
+        wall = timing.get("wall", 0.0)
+        base_wall = base_timing.get("wall", 0.0)
+        if wall < 0.01 and base_wall < 0.01:
+            continue  # sub-10ms phases are all scheduler noise
+        deltas.append(_delta(f"phase/{phase}", wall, base_wall, tolerance))
+    regressions = [d for d in deltas if d["status"] == "regression"]
+    return {
+        "current": current.run_id, "baseline": baseline.run_id,
+        "same_config": current.config_digest == baseline.config_digest,
+        "same_traces": current.trace_digests == baseline.trace_digests,
+        "tolerance": tolerance,
+        "deltas": deltas,
+        "regressions": [d["metric"] for d in regressions],
+        "ok": not regressions,
+    }

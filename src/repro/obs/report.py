@@ -1,0 +1,231 @@
+"""Structured :class:`RunReport` — one analysis run's flight record.
+
+Every ``repro.api.check``/CLI run can distill its observations into a
+single JSON-ready artifact: what was checked (config digest, per-rank
+trace digests), how the pipeline spent its time (per-phase wall and CPU
+seconds), how hard the engine worked (the candidate-pair funnel), what
+the incremental cache contributed (hit/miss/dirty-shard attribution),
+how the worker pool was used, ingest sizes, peak RSS, and the findings
+with their provenance.  The report is what the run ledger persists and
+what ``repro report`` renders — the durable record behind the paper's
+overhead/diagnosis story (Figs. 8–10).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.util.hashing import stable_hash
+
+#: RunReport schema version (bump on breaking layout changes)
+SCHEMA_VERSION = 1
+
+#: span names whose pids identify parallel workers
+_WORKER_SPAN_PREFIX = "analyzer.worker."
+
+
+@dataclass
+class RunReport:
+    """One analysis run, summarized for the ledger and dashboards."""
+
+    run_id: str
+    created: str                   # ISO-8601 UTC timestamp
+    command: str = ""              # CLI invocation (empty for API runs)
+    app: str = ""                  # application name, when known
+    config: Dict[str, Any] = field(default_factory=dict)
+    config_digest: str = ""
+    trace_dir: str = ""
+    trace_digests: Dict[str, str] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    #: per-phase ``{"wall": s, "cpu": s}`` in pipeline order
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: candidate-pair funnel: ``{"intra/op_pair": n, ...}``
+    funnel: Dict[str, float] = field(default_factory=dict)
+    #: incremental-cache attribution (empty for non-incremental runs)
+    cache: Dict[str, Any] = field(default_factory=dict)
+    #: worker-pool utilization (empty for serial runs)
+    workers: Dict[str, Any] = field(default_factory=dict)
+    #: trace-ingest sizes (events, ops, locals, matches, ...)
+    ingest: Dict[str, int] = field(default_factory=dict)
+    peak_rss_bytes: int = 0
+    #: findings summary: counts plus per-finding detail w/ provenance
+    findings: Dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def summary_line(self) -> str:
+        f = self.findings
+        return (f"{self.run_id}  {self.created}  "
+                f"{(self.app or '-'):12s}  "
+                f"{self.elapsed_seconds:8.3f}s  "
+                f"{f.get('errors', 0)}E/{f.get('warnings', 0)}W")
+
+
+def _peak_rss_bytes() -> int:
+    try:
+        import resource
+    except ImportError:              # non-POSIX platform
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def _phase_cpu(recorder) -> Dict[str, float]:
+    """Per-phase CPU seconds from the ``analyzer.<phase>`` spans."""
+    cpu: Dict[str, float] = {}
+    for record in recorder.spans.records():
+        if not record.name.startswith("analyzer."):
+            continue
+        phase = record.name[len("analyzer."):]
+        if "." in phase or phase == "run":
+            continue
+        cpu[phase] = cpu.get(phase, 0.0) + record.cpu
+    return cpu
+
+
+def _funnel(recorder) -> Dict[str, float]:
+    metric = recorder.registry.get("engine_candidate_pairs_total")
+    if metric is None:
+        return {}
+    return {f"{labels.get('phase', '?')}/{labels.get('stage', '?')}": value
+            for labels, value in metric.samples()}
+
+
+def _cache_attribution(recorder) -> Dict[str, Any]:
+    shards = recorder.registry.get("incremental_cache_shards_total")
+    if shards is None:
+        return {}
+    out: Dict[str, Any] = {
+        "shards": {labels.get("outcome", "?"): value
+                   for labels, value in shards.samples()},
+    }
+    regions = recorder.registry.get("incremental_regions_total")
+    if regions is not None:
+        out["regions"] = {labels.get("state", "?"): value
+                          for labels, value in regions.samples()}
+    loaded = recorder.registry.get("incremental_ranks_loaded")
+    if loaded is not None:
+        value = loaded.value()
+        if value is not None:
+            out["ranks_loaded"] = value
+    per_shard = recorder.registry.get("incremental_shard_regions")
+    if per_shard is not None:
+        out["per_shard"] = [
+            {"shard": int(labels.get("shard", -1)),
+             "outcome": labels.get("outcome", "?"),
+             "regions": value}
+            for labels, value in per_shard.samples()]
+        out["per_shard"].sort(key=lambda entry: entry["shard"])
+    return out
+
+
+def _worker_utilization(recorder) -> Dict[str, Any]:
+    tasks = recorder.registry.get("parallel_tasks_total")
+    by_pid: Dict[int, Dict[str, float]] = {}
+    for record in recorder.spans.records():
+        if not record.name.startswith(_WORKER_SPAN_PREFIX):
+            continue
+        entry = by_pid.setdefault(record.pid, {"spans": 0,
+                                               "busy_seconds": 0.0,
+                                               "cpu_seconds": 0.0})
+        entry["spans"] += 1
+        entry["busy_seconds"] += record.duration
+        entry["cpu_seconds"] += record.cpu
+    if tasks is None and not by_pid:
+        return {}
+    out: Dict[str, Any] = {}
+    if tasks is not None:
+        out["tasks"] = {labels.get("phase", "?"): value
+                        for labels, value in tasks.samples()}
+    if by_pid:
+        out["pids"] = {str(pid): entry
+                       for pid, entry in sorted(by_pid.items())}
+    return out
+
+
+def _findings_summary(report) -> Dict[str, Any]:
+    details: List[dict] = []
+    for finding in report.findings:
+        entry = finding.to_dict()
+        if finding.context:
+            entry["context"] = dict(finding.context)
+        details.append(entry)
+    return {"errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "details": details}
+
+
+def build_run_report(report, config, *, traces=None, recorder=None,
+                     command: str = "", app: str = "",
+                     elapsed: float = 0.0) -> RunReport:
+    """Distill one finished :class:`CheckReport` into a RunReport.
+
+    ``recorder`` defaults to the active ``repro.obs`` recorder; on a
+    disabled recorder the span- and metric-derived sections come out
+    empty but the report stays well-formed (timings come from
+    ``CheckStats``, which is populated unconditionally).
+    """
+    from repro import obs
+
+    rec = recorder if recorder is not None else obs.get_recorder()
+    stats = report.stats
+
+    config_dict = {
+        "memory_model": config.memory_model, "engine": config.engine,
+        "jobs": config.jobs, "streaming": config.streaming,
+        "naive_inter": config.naive_inter,
+        "cache_dir": config.cache_dir, "incremental": config.incremental,
+    }
+    config_digest = stable_hash(config_dict)
+
+    trace_digests: Dict[str, str] = {}
+    trace_dir = ""
+    if traces is not None:
+        trace_dir = str(getattr(traces, "directory", ""))
+        for rank in range(traces.nranks):
+            with traces.reader(rank) as reader:
+                trace_digests[str(rank)] = reader.content_digest()
+
+    cpu = _phase_cpu(rec)
+    phases = {
+        phase: {"wall": seconds, "cpu": cpu.get(phase, 0.0)}
+        for phase, seconds in stats.phase_seconds.items()
+    }
+
+    created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    run_id = stable_hash({
+        "created": created, "pid": os.getpid(),
+        "monotonic_ns": time.monotonic_ns(),
+        "config": config_digest, "traces": trace_digests,
+    })[:12]
+
+    ingest = {
+        "nranks": stats.nranks, "events": stats.events,
+        "rma_ops": stats.rma_ops,
+        "local_accesses": stats.local_accesses,
+        "sync_matches": stats.sync_matches,
+        "regions": stats.regions, "epochs": stats.epochs,
+    }
+
+    return RunReport(
+        run_id=run_id, created=created, command=command, app=app,
+        config=config_dict, config_digest=config_digest,
+        trace_dir=trace_dir, trace_digests=trace_digests,
+        elapsed_seconds=(elapsed or stats.total_seconds),
+        phases=phases, funnel=_funnel(rec),
+        cache=_cache_attribution(rec),
+        workers=_worker_utilization(rec),
+        ingest=ingest, peak_rss_bytes=_peak_rss_bytes(),
+        findings=_findings_summary(report))

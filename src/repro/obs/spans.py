@@ -11,6 +11,7 @@ unconditionally while the export machinery stays a no-op by default.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -27,6 +28,9 @@ class SpanRecord:
     thread: str         # recording thread's name
     depth: int          # nesting depth within that thread (0 = root)
     attrs: Dict[str, object] = field(default_factory=dict)
+    pid: int = 0        # recording process (workers ship spans to the
+                        # parent; the pid keeps their timelines apart)
+    cpu: float = 0.0    # process CPU seconds consumed during the span
 
     @property
     def end(self) -> float:
@@ -37,6 +41,7 @@ class SpanRecord:
             "type": "span", "name": self.name, "start": self.start,
             "duration": self.duration, "thread": self.thread,
             "depth": self.depth, "attrs": dict(self.attrs),
+            "pid": self.pid, "cpu": self.cpu,
         }
 
 
@@ -88,7 +93,8 @@ class Span:
     ``start``/``duration`` but nothing is stored or published.
     """
 
-    __slots__ = ("name", "attrs", "tracker", "start", "duration", "_depth")
+    __slots__ = ("name", "attrs", "tracker", "start", "duration", "cpu",
+                 "_depth", "_cpu_start")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None,
                  tracker: Optional[SpanTracker] = None):
@@ -97,7 +103,9 @@ class Span:
         self.tracker = tracker
         self.start = 0.0
         self.duration = 0.0
+        self.cpu = 0.0
         self._depth = 0
+        self._cpu_start = 0.0
 
     def set_attr(self, key: str, value: object) -> None:
         """Attach an attribute discovered mid-span (recorded at exit)."""
@@ -108,11 +116,13 @@ class Span:
     def __enter__(self) -> "Span":
         if self.tracker is not None:
             self._depth = self.tracker._push()
+        self._cpu_start = time.process_time()
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.duration = time.perf_counter() - self.start
+        self.cpu = time.process_time() - self._cpu_start
         if self.tracker is not None:
             self.tracker._pop()
             if exc_type is not None:
@@ -120,4 +130,4 @@ class Span:
             self.tracker.add(SpanRecord(
                 name=self.name, start=self.start, duration=self.duration,
                 thread=threading.current_thread().name, depth=self._depth,
-                attrs=dict(self.attrs)))
+                attrs=dict(self.attrs), pid=os.getpid(), cpu=self.cpu))

@@ -32,6 +32,10 @@ class RankStats:
     by_category: Counter = field(default_factory=Counter)
     by_fn: Counter = field(default_factory=Counter)
     rma_bytes: int = 0  # bytes named by Put/Get/Accumulate signatures
+    trace_format: str = ""
+    #: the reader's authoritative per-class counts — footer-served for
+    #: binary (v2) traces, so they cross-check the streamed totals
+    footer_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mems(self) -> int:
@@ -40,6 +44,18 @@ class RankStats:
     @property
     def events(self) -> int:
         return self.calls + self.mems
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank, "format": self.trace_format,
+            "calls": self.calls, "loads": self.loads,
+            "stores": self.stores, "events": self.events,
+            "load_bytes": self.load_bytes, "store_bytes": self.store_bytes,
+            "rma_bytes": self.rma_bytes,
+            "by_category": dict(self.by_category),
+            "by_fn": dict(self.by_fn),
+            "footer_counts": dict(self.footer_counts),
+        }
 
 
 @dataclass
@@ -73,6 +89,26 @@ class TraceStats:
         for rank_stats in self.per_rank:
             mix.update(rank_stats.by_category)
         return dict(mix)
+
+    def to_dict(self, hot_limit: int = 8) -> dict:
+        """JSON-ready statistics (``mc-checker stats --json``)."""
+        return {
+            "nranks": self.nranks,
+            "totals": {
+                "events": self.total_events,
+                "calls": self.total_calls,
+                "mems": self.total_mems,
+                "rma_bytes": sum(r.rma_bytes for r in self.per_rank),
+                "mem_bytes": sum(r.load_bytes + r.store_bytes
+                                 for r in self.per_rank),
+            },
+            "category_mix": self.category_mix(),
+            "per_rank": [r.to_dict() for r in self.per_rank],
+            "hot_statements": [
+                {"where": where, "events": count}
+                for where, count in self.hot_statements[:hot_limit]
+            ],
+        }
 
     def format(self, hot_limit: int = 8) -> str:
         lines = [
@@ -145,6 +181,10 @@ def compute_stats(traces: TraceSet) -> TraceStats:
                     # bound only when the dtype is unknown
                     stats.rma_bytes += count * _dtype_size(
                         int(event.args.get("origin_dtype", -7)))
+            stats.trace_format = reader.format
+            # cheap after streaming: the footer for binary, the cached
+            # scan for text — an independent check on the streamed totals
+            stats.footer_counts = reader.counts()
         per_rank.append(stats)
     return TraceStats(nranks=traces.nranks, per_rank=per_rank,
                       hot_statements=hot.most_common())
@@ -155,3 +195,30 @@ def _dtype_size(type_id: int) -> int:
 
     dtype = PRIMITIVES_BY_ID.get(type_id)
     return dtype.size if dtype is not None else 0
+
+
+def main(argv=None) -> int:
+    """``python -m repro.tools.trace_stats <trace-dir> [--json]``."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="trace-stats",
+        description="Per-rank / aggregate statistics of a trace set.")
+    parser.add_argument("trace_dir")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the statistics as JSON")
+    parser.add_argument("--hot", type=int, default=8,
+                        help="number of hottest statements to include")
+    args = parser.parse_args(argv)
+
+    stats = compute_stats(TraceSet(args.trace_dir))
+    if args.json:
+        print(json.dumps(stats.to_dict(hot_limit=args.hot), indent=2))
+    else:
+        print(stats.format(hot_limit=args.hot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Suite-wide fixtures: hermetic run-ledger placement.
+
+``mc-checker check``/``run-check`` append a flight record to the run
+ledger by default; pointing ``MCCHECKER_LEDGER_DIR`` at a per-test tmp
+dir keeps tests from writing to (or reading) the developer's real
+``~/.mc-checker/ledger``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_ledger(tmp_path, monkeypatch):
+    ledger_dir = tmp_path / "ledger"
+    monkeypatch.setenv("MCCHECKER_LEDGER_DIR", str(ledger_dir))
+    return ledger_dir

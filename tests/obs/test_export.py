@@ -1,8 +1,11 @@
 """Exporter tests: Prometheus text, Chrome trace_event, JSON-lines."""
 
 import json
+import os
 import re
+from collections import defaultdict
 
+from repro import obs
 from repro.obs.export import (
     chrome_trace, jsonl_lines, prometheus_text, write_chrome_trace,
     write_jsonl, write_metrics,
@@ -29,16 +32,123 @@ def populated_recorder():
     return rec
 
 
+# ----------------------------------------------------------------------
+# a minimal OpenMetrics-style exposition parser (the round-trip oracle:
+# if this can't parse a line, neither can a real scraper)
+# ----------------------------------------------------------------------
+
+_SAMPLE_LINE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$')
+
+
+def _unescape(value):
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            out.append({"n": "\n", '"': '"', "\\": "\\"}
+                       .get(value[i + 1], "\\" + value[i + 1]))
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(block):
+    labels, i = {}, 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq]
+        assert block[eq + 1] == '"', block
+        j, raw = eq + 2, []
+        while block[j] != '"':
+            if block[j] == "\\":
+                raw.append(block[j:j + 2])
+                j += 2
+            else:
+                raw.append(block[j])
+                j += 1
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+        if i < len(block) and block[i] == ",":
+            i += 1
+    return labels
+
+
+def parse_exposition(text):
+    """``family -> {"help", "type", "samples": {(name, labels...) : value}}``.
+
+    Histogram series (``_bucket``/``_sum``/``_count``) attach to their
+    base family.  Raises on any line a scraper couldn't parse."""
+    families = {}
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in families:
+                return name[:-len(suffix)]
+        return name
+
+    for line in text.rstrip("\n").splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            kind = line[2:6].strip().lower()
+            name, _, value = line[7:].partition(" ")
+            fam = families.setdefault(
+                name, {"help": None, "type": None, "samples": {}})
+            fam[kind] = _unescape(value)
+        else:
+            match = _SAMPLE_LINE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name, block, value = match.groups()
+            labels = _parse_labels(block) if block else {}
+            fam = families[family_of(name)]
+            key = (name,) + tuple(sorted(labels.items()))
+            fam["samples"][key] = float(value)
+    return families
+
+
 class TestPrometheus:
     def test_every_line_valid_exposition(self):
         text = prometheus_text(populated_recorder().registry)
         assert text.endswith("\n")
         for line in text.rstrip("\n").splitlines():
             if line.startswith("#"):
-                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ",
-                                line), line
+                assert re.match(
+                    r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( |$)",
+                    line), line
             else:
                 assert _SAMPLE_RE.match(line), line
+
+    def test_every_family_has_help_and_type_headers(self):
+        rec = populated_recorder()
+        rec.count("helpless_total", 2, fn="Put")  # no help text given
+        families = parse_exposition(prometheus_text(rec.registry))
+        assert set(families) == {"calls_total", "rank_seconds",
+                                 "flush_seconds", "helpless_total"}
+        for name, family in families.items():
+            assert family["type"] is not None, f"{name} missing # TYPE"
+            assert f"# HELP {name}" in prometheus_text(rec.registry)
+        assert families["calls_total"]["type"] == "counter"
+        assert families["rank_seconds"]["type"] == "gauge"
+        assert families["flush_seconds"]["type"] == "histogram"
+
+    def test_round_trip_through_parser(self):
+        rec = populated_recorder()
+        nasty = 'a"b\\c\nd'
+        rec.count("odd_total", 5, path=nasty, help="weird\nhelp")
+        families = parse_exposition(prometheus_text(rec.registry))
+        assert families["calls_total"]["help"] == "MPI calls"
+        assert families["calls_total"]["samples"][
+            ("calls_total", ("fn", "Put"))] == 3
+        assert families["calls_total"]["samples"][
+            ("calls_total", ("fn", "Get"))] == 1
+        # label values survive escaping byte-for-byte
+        assert families["odd_total"]["samples"][
+            ("odd_total", ("path", nasty))] == 5
+        assert families["odd_total"]["help"] == "weird\nhelp"
+        # histogram series attach to the family; +Inf bucket == count
+        hist = families["flush_seconds"]["samples"]
+        assert hist[("flush_seconds_bucket", ("le", "+Inf"))] == 2
+        assert hist[("flush_seconds_count",)] == 2
 
     def test_counter_series(self):
         text = prometheus_text(populated_recorder().registry)
@@ -110,6 +220,69 @@ class TestChromeTrace:
         write_chrome_trace(populated_recorder(), str(out))
         doc = json.loads(out.read_text())
         assert doc["traceEvents"]
+
+
+class TestChromeTraceMerge:
+    """Parallel-run merge correctness: spans absorbed from forked
+    workers must land on their own process lanes with sane timestamps."""
+
+    @classmethod
+    def parallel_doc(cls):
+        if not hasattr(cls, "_doc"):
+            from repro.apps.registry import BUG_CASES
+            from repro.core.checker import check_traces
+            from repro.core.config import CheckConfig
+            from repro.profiler.session import profile_run
+            case = BUG_CASES[0]
+            traces = profile_run(case.app, min(case.nranks, 4),
+                                 params=case.params(True)).traces
+            rec = obs.configure(enabled=True)
+            try:
+                check_traces(traces, CheckConfig(jobs=2))
+            finally:
+                obs.reset()
+            cls._doc = chrome_trace(rec)
+        return cls._doc
+
+    def test_merged_document_is_valid_json(self):
+        doc = self.parallel_doc()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_worker_pids_distinct_from_parent(self):
+        doc = self.parallel_doc()
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert os.getpid() in pids, "parent spans missing"
+        workers = pids - {os.getpid()}
+        assert workers, "no absorbed worker spans in the merged trace"
+        meta = {e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        assert meta[os.getpid()] == "mc-checker"
+        for pid in workers:
+            assert meta[pid] == f"mc-checker worker-{pid}"
+
+    def test_timestamps_nonnegative_and_monotonic_per_lane(self):
+        doc = self.parallel_doc()
+        by_lane = defaultdict(list)
+        for event in doc["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            assert event["ts"] >= 0, event
+            assert event["dur"] >= 0, event
+            by_lane[(event["pid"], event["tid"])].append(event["ts"])
+        for lane, stamps in by_lane.items():
+            assert stamps == sorted(stamps), (
+                f"lane {lane} timestamps out of order")
+
+    def test_worker_spans_keep_their_attrs(self):
+        doc = self.parallel_doc()
+        worker_events = [e for e in doc["traceEvents"]
+                         if e["ph"] == "X"
+                         and e["name"].startswith("analyzer.worker.")]
+        assert worker_events
+        for event in worker_events:
+            assert "pid" in event["args"]
+            assert int(event["args"]["pid"]) == event["pid"]
 
 
 class TestJsonl:

@@ -1,0 +1,197 @@
+"""RunReport, run ledger, and dashboard rendering."""
+
+import json
+import os
+
+import pytest
+
+from repro import api, obs
+from repro.core.config import CheckConfig
+from repro.obs.dashboard import (
+    render_compare_text, render_history_text, render_run_html,
+    render_run_text,
+)
+from repro.obs.ledger import RunLedger, compare_runs, default_ledger_dir
+from repro.obs.report import RunReport, build_run_report
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    """One profiled bug case that is known to produce findings."""
+    from repro.apps.registry import BUG_CASES
+    for case in BUG_CASES:
+        run = api.run(case.app, min(case.nranks, 4),
+                      params=case.params(True), trace_format="binary")
+        if api.check(run.traces).findings:
+            return run
+    pytest.fail("no bundled bug case produced findings")
+
+
+def checked_report(profiled, **overrides):
+    obs.configure(enabled=True)
+    try:
+        report = api.check(profiled.traces, **overrides)
+        return build_run_report(report, CheckConfig(**overrides),
+                                traces=profiled.traces,
+                                command="test-cmd", app="racy")
+    finally:
+        obs.reset()
+
+
+class TestRunReport:
+    def test_build_populates_sections(self, profiled):
+        rr = checked_report(profiled)
+        assert len(rr.run_id) == 12
+        assert rr.app == "racy"
+        assert rr.command == "test-cmd"
+        assert rr.config["engine"] == "sweep"
+        assert rr.config_digest
+        assert len(rr.trace_digests) == rr.ingest["nranks"]
+        assert rr.phases and "preprocess" in rr.phases
+        for timing in rr.phases.values():
+            assert timing["wall"] >= 0 and timing["cpu"] >= 0
+        assert rr.ingest["nranks"] >= 2
+        assert rr.ingest["events"] > 0
+        assert rr.peak_rss_bytes > 0
+        assert rr.findings["errors"] + rr.findings["warnings"] >= 1
+        detail = rr.findings["details"][0]
+        assert detail["provenance"]
+        assert detail["context"]["engine"] == "sweep"
+
+    def test_funnel_counters_surface(self, profiled):
+        rr = checked_report(profiled)
+        assert rr.funnel, "no candidate-pair funnel recorded"
+        assert all("/" in stage for stage in rr.funnel)
+
+    def test_incremental_cache_attribution(self, profiled, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = checked_report(profiled, incremental=True,
+                              cache_dir=cache_dir)
+        assert cold.cache["shards"].get("miss", 0) > 0
+        assert cold.cache["per_shard"]
+        warm = checked_report(profiled, incremental=True,
+                              cache_dir=cache_dir)
+        assert warm.cache["shards"].get("hit", 0) > 0
+
+    def test_roundtrip(self, profiled):
+        rr = checked_report(profiled)
+        clone = RunReport.from_dict(json.loads(json.dumps(rr.to_dict())))
+        assert clone.to_dict() == rr.to_dict()
+
+    def test_run_ids_unique(self, profiled):
+        a = checked_report(profiled)
+        b = checked_report(profiled)
+        assert a.run_id != b.run_id
+
+    def test_disabled_recorder_still_wellformed(self, profiled):
+        report = api.check(profiled.traces)
+        rr = build_run_report(report, CheckConfig(),
+                              traces=profiled.traces)
+        assert rr.phases  # wall timings come from CheckStats regardless
+        assert rr.funnel == {} and rr.cache == {}
+
+
+class TestRunLedger:
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("MCCHECKER_LEDGER_DIR", str(tmp_path))
+        assert default_ledger_dir() == str(tmp_path)
+
+    def test_append_entries_last_find(self, profiled, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger"))
+        first = checked_report(profiled)
+        second = checked_report(profiled)
+        ledger.append(first)
+        ledger.append(second)
+        entries = ledger.entries()
+        assert [e.run_id for e in entries] == [first.run_id,
+                                              second.run_id]
+        assert ledger.last().run_id == second.run_id
+        assert ledger.find(first.run_id[:6]).run_id == first.run_id
+        assert ledger.find("nonexistent") is None
+        assert ledger.entries(limit=1)[0].run_id == second.run_id
+        assert ledger.entries(app="racy") and \
+            not ledger.entries(app="other")
+
+    def test_corrupt_lines_skipped(self, profiled, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger"))
+        rr = checked_report(profiled)
+        ledger.append(rr)
+        with open(ledger.path, "a", encoding="utf-8") as fh:
+            fh.write("{torn json\n")
+        ledger.append(rr)
+        assert len(ledger.entries()) == 2
+
+    def test_empty_ledger(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "nope"))
+        assert ledger.entries() == []
+        assert ledger.last() is None
+
+
+class TestCompareRuns:
+    def _pair(self, profiled):
+        base = checked_report(profiled)
+        cur = RunReport.from_dict(base.to_dict())
+        return cur, base
+
+    def test_identical_runs_ok(self, profiled):
+        cur, base = self._pair(profiled)
+        comparison = compare_runs(cur, base)
+        assert comparison["ok"]
+        assert comparison["same_config"] and comparison["same_traces"]
+
+    def test_regression_flagged(self, profiled):
+        cur, base = self._pair(profiled)
+        cur.elapsed_seconds = base.elapsed_seconds * 10 + 1.0
+        comparison = compare_runs(cur, base, tolerance=0.25)
+        assert not comparison["ok"]
+        assert "elapsed_seconds" in comparison["regressions"]
+
+    def test_tiny_phase_noise_ignored(self, profiled):
+        cur, base = self._pair(profiled)
+        for timing in cur.phases.values():  # sub-10ms phases: all noise
+            timing["wall"] = min(timing["wall"], 0.009) * 3
+        comparison = compare_runs(
+            cur, base, tolerance=10.0)  # elapsed/rss stay in band
+        assert not any(m.startswith("phase/")
+                       for m in comparison["regressions"])
+
+
+class TestDashboard:
+    def test_text_rendering(self, profiled):
+        rr = checked_report(profiled)
+        text = render_run_text(rr)
+        assert rr.run_id in text
+        assert "phases:" in text and "findings:" in text
+        assert "provenance:" in text
+
+    def test_history_rendering(self, profiled):
+        rr = checked_report(profiled)
+        out = render_history_text([rr])
+        assert rr.run_id in out
+        assert render_history_text([]) == "ledger is empty"
+
+    def test_compare_rendering(self, profiled):
+        base = checked_report(profiled)
+        cur = RunReport.from_dict(base.to_dict())
+        cur.elapsed_seconds = base.elapsed_seconds * 10 + 1.0
+        out = render_compare_text(compare_runs(cur, base))
+        assert "REGRESSION" in out and "elapsed_seconds" in out
+
+    def test_html_self_contained(self, profiled, tmp_path):
+        rr = checked_report(profiled, incremental=True,
+                            cache_dir=str(tmp_path / "cache"))
+        html_doc = render_run_html(rr)
+        assert html_doc.startswith("<!doctype html>")
+        for marker in ("Phase timeline", "Candidate-pair funnel",
+                       "Incremental cache", "Findings", "<svg",
+                       rr.run_id):
+            assert marker in html_doc
+        assert "<script" not in html_doc  # no JS: opens anywhere
+        assert "href=" not in html_doc    # no external resources
+
+    def test_html_escapes_content(self):
+        rr = RunReport(run_id="x" * 12, created="2026-01-01T00:00:00Z",
+                       command="check <&> \"quotes\"", app="<img>")
+        html_doc = render_run_html(rr)
+        assert "<img>" not in html_doc
+        assert "&lt;img&gt;" in html_doc

@@ -161,3 +161,50 @@ class TestApiFacade:
         assert repro.api.check is api.check
         assert repro.run_check is api.run_check
         assert repro.CheckConfig is CheckConfig
+
+
+class TestApiObservability:
+    """S1: the api verbs accept obs exports and flush them even when the
+    analysis raises."""
+
+    def test_check_writes_exports(self, traces, tmp_path):
+        metrics = tmp_path / "m.prom"
+        chrome = tmp_path / "t.json"
+        api.check(traces, metrics_out=str(metrics),
+                  chrome_trace=str(chrome))
+        assert "# TYPE" in metrics.read_text()
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("name") == "analyzer.run"
+                   for e in doc["traceEvents"])
+
+    def test_check_restores_previous_recorder(self, traces, tmp_path):
+        from repro import obs
+        before = obs.get_recorder()
+        api.check(traces, metrics_out=str(tmp_path / "m.prom"))
+        assert obs.get_recorder() is before
+
+    def test_obs_config_object_accepted(self, traces, tmp_path):
+        from repro import obs
+        metrics = tmp_path / "m.prom"
+        api.check(traces, obs_config=obs.ObsConfig(
+            metrics_out=str(metrics)))
+        assert metrics.exists()
+        with pytest.raises(TypeError):
+            api.check(traces, obs_config=obs.ObsConfig(enabled=True),
+                      metrics_out=str(metrics))
+
+    def test_raising_check_still_writes_both_files(self, tmp_path):
+        metrics = tmp_path / "m.prom"
+        chrome = tmp_path / "t.json"
+        with pytest.raises((OSError, ValueError)):
+            api.check(str(tmp_path / "no-such-trace-dir"),
+                      metrics_out=str(metrics),
+                      chrome_trace=str(chrome))
+        assert metrics.exists(), "metrics not flushed on failure"
+        assert chrome.exists(), "chrome trace not flushed on failure"
+        json.loads(chrome.read_text())
+
+    def test_no_exports_means_no_recording(self, traces):
+        from repro import obs
+        api.check(traces)
+        assert not obs.is_enabled()

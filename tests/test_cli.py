@@ -155,3 +155,94 @@ class TestRunCheck:
         capsys.readouterr()
         assert main(["check", str(tmp_path),
                      "--memory-model", "unified"]) == 0
+
+
+class TestFlightRecorder:
+    """run ledger + history/report verbs, end to end through main()."""
+
+    def test_check_appends_to_ledger(self, tmp_path, capsys,
+                                     _hermetic_ledger):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        assert main(["check", str(tmp_path)]) == 1
+        capsys.readouterr()
+        from repro.obs.ledger import RunLedger
+        entries = RunLedger().entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.command.startswith("mc-checker check")
+        assert entry.findings["errors"] >= 1
+        assert entry.findings["details"][0]["provenance"]
+
+    def test_no_ledger_opts_out(self, tmp_path, capsys, _hermetic_ledger):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        main(["check", str(tmp_path), "--no-ledger"])
+        capsys.readouterr()
+        from repro.obs.ledger import RunLedger
+        assert RunLedger().entries() == []
+
+    def test_history_and_report_e2e(self, tmp_path, capsys):
+        assert main(["run-check", "emulate", "--ranks", "2",
+                     "--trace-dir", str(tmp_path / "t")]) == 1
+        capsys.readouterr()
+        assert main(["history"]) == 0
+        history = capsys.readouterr().out
+        assert "emulate" in history
+
+        assert main(["report", "--last"]) == 0
+        rendered = capsys.readouterr().out
+        assert "run " in rendered and "phases:" in rendered
+
+        html_out = tmp_path / "dash.html"
+        assert main(["report", "--last", "--html", str(html_out)]) == 0
+        capsys.readouterr()
+        html_doc = html_out.read_text()
+        assert html_doc.startswith("<!doctype html>")
+        assert "Candidate-pair funnel" in html_doc
+
+    def test_report_compare_between_runs(self, tmp_path, capsys):
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        main(["check", str(tmp_path)])
+        main(["check", str(tmp_path)])
+        capsys.readouterr()
+        from repro.obs.ledger import RunLedger
+        first, second = [e.run_id for e in RunLedger().entries()]
+        rc = main(["report", second, "--compare", first,
+                   "--tolerance", "1000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "compare" in out and first in out
+
+    def test_report_empty_ledger(self, capsys):
+        assert main(["report", "--last"]) == 2
+        assert "no matching run" in capsys.readouterr().out
+
+    def test_json_output_stays_pure(self, tmp_path, capsys):
+        import json as json_mod
+        main(["run", "emulate", "--ranks", "2",
+              "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        main(["check", str(tmp_path), "--json"])
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["errors"]
+        assert payload["errors"][0]["provenance"]
+
+    def test_case_insensitive_app_names(self, tmp_path, capsys):
+        rc = main(["run-check", "lu", "--ranks", "2", "--param", "n=16",
+                   "--trace-dir", str(tmp_path), "--no-ledger"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_stats_json_includes_footer_counts(self, tmp_path, capsys):
+        import json as json_mod
+        main(["run", "emulate", "--ranks", "2", "--trace-format",
+              "binary", "--trace-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path), "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["nranks"] == 2
+        for rank in payload["per_rank"]:
+            assert rank["format"] == "binary"
+            assert rank["footer_counts"]["call"] == rank["calls"]
