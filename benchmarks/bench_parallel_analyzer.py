@@ -1,11 +1,13 @@
-"""Perf harness for the region-sharded parallel DN-Analyzer.
+"""Perf harness for the persistent-pool parallel DN-Analyzer.
 
 Measures end-to-end ``check_traces`` wall-clock at several ``--jobs``
 levels over one profiled run of the LU workload (>= 16 simulated ranks in
 the full configuration), verifies that every parallel report is
 byte-identical to the serial one, and writes a machine-readable
-``BENCH_parallel.json`` (per-jobs median seconds, speedup vs serial, and
-the per-phase breakdown from ``CheckStats.phase_seconds``).
+``BENCH_parallel.json`` (per-jobs median seconds, speedup vs serial, the
+per-phase breakdown from ``CheckStats.phase_seconds``, and the
+zero-copy byte counters that show memory-event columns travelling over
+shared memory instead of pickles).
 
 Two entry points:
 
@@ -16,11 +18,20 @@ Two entry points:
   artifact goes to ``benchmarks/results/`` so a quick run never
   overwrites the committed full-size result.
 
-The speedup gate (>= 1.5x at jobs=4) only applies when the machine
-actually has >= 4 CPUs: on fewer cores the worker processes time-slice a
-single core and wall-clock can only go up, so the gate is recorded as
-skipped rather than failed.  ``cpu_count`` is embedded in the artifact so
-numbers from different machines are never compared blind.
+Each job level gets one untimed warmup run before measurement so the
+numbers reflect the persistent pool's steady state (pool creation is a
+one-time cost the first analysis of a process pays).
+
+The speedup gate (full mode: >= 2x at jobs=4 and >= 0.95x at jobs=2;
+smoke mode: >= 0.7x at jobs=4, a regression floor sized for a small
+workload on shared CI cores) only applies when the machine actually
+has >= 4 CPUs: on fewer
+cores the worker processes time-slice a single core and wall-clock can
+only go up, so the gate is recorded as skipped rather than failed —
+unless ``--require-gate`` is passed, which turns an inapplicable gate
+into a hard error (for CI steps that exist purely to enforce it).
+``cpu_count`` and the multiprocessing start method are embedded in the
+artifact so numbers from different machines are never compared blind.
 """
 
 import argparse
@@ -30,8 +41,11 @@ import statistics
 import sys
 import time
 
+from repro import obs
 from repro.apps.lu import lu
 from repro.core.checker import check_traces
+from repro.core.config import CheckConfig
+from repro.core.parallel import shutdown_pools, start_method
 from repro.profiler.session import profile_run
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -40,12 +54,23 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_parallel_smoke.json")
 
-SPEEDUP_GATE = 1.5
-GATE_JOBS = 4
-
 CONFIGS = {
-    "full": dict(nranks=16, n=192, jobs=(1, 2, 4), reps=3),
-    "smoke": dict(nranks=4, n=48, jobs=(1, 2), reps=1),
+    "full": dict(nranks=16, n=320, jobs=(1, 2, 4), reps=3),
+    "smoke": dict(nranks=8, n=96, jobs=(1, 2, 4), reps=1),
+}
+
+#: per-mode speedup requirements at jobs=4 (plus a never-worse floor at
+#: jobs=2 for the full workload; the smoke workload is too small for a
+#: meaningful jobs=2 bound on shared CI cores).  The smoke bound is a
+#: regression floor, not a scaling claim: at ~0.1s of serial work the
+#: pool's fixed per-run costs (one detect install, worker prepare) are
+#: a visible fraction of the total, so "parallel must stay within 30%
+#: of serial" is what a healthy run looks like on shared CI cores,
+#: while a zero-copy regression (e.g. rows back in the pickles) lands
+#: well below it.
+GATES = {
+    "full": {"required_speedup": 2.0, "at_jobs": 4, "jobs2_floor": 0.95},
+    "smoke": {"required_speedup": 0.7, "at_jobs": 4, "jobs2_floor": None},
 }
 
 
@@ -57,12 +82,14 @@ def canonical(report):
 
 
 def measure(traces, jobs, reps):
-    """Median end-to-end seconds over ``reps`` runs, with the canonical
-    report and the phase breakdown of the median-timed run."""
+    """Median end-to-end seconds over ``reps`` runs (after one untimed
+    warmup that primes the persistent pool), with the canonical report
+    and the phase breakdown of the median-timed run."""
+    check_traces(traces, config=CheckConfig(jobs=jobs))
     samples = []
     for _ in range(reps):
         start = time.perf_counter()
-        report = check_traces(traces, jobs=jobs)
+        report = check_traces(traces, config=CheckConfig(jobs=jobs))
         elapsed = time.perf_counter() - start
         samples.append((elapsed, report))
     samples.sort(key=lambda s: s[0])
@@ -71,11 +98,46 @@ def measure(traces, jobs, reps):
     return median_elapsed, median_report
 
 
-def run_bench(mode, out_path):
+def zero_copy_profile(traces, jobs):
+    """One obs-instrumented run at ``jobs``: the pool counters and the
+    per-phase byte counters that substantiate the zero-copy claim.
+    Starts from a fresh pool so the artifact records the canonical
+    one-creation-per-process shape (the measurement loop above already
+    created one during warmup)."""
+    shutdown_pools()
+    rec = obs.configure(enabled=True)
+    try:
+        check_traces(traces, config=CheckConfig(jobs=jobs))
+        out = {"jobs": jobs, "pool": {}, "pickled_bytes": {},
+               "shm_bytes": {}}
+        created = rec.registry.get("parallel_pool_created_total")
+        reused = rec.registry.get("parallel_pool_reused_total")
+        out["pool"] = {
+            "created": created.total if created is not None else 0,
+            "reused": reused.total if reused is not None else 0}
+        pickled = rec.registry.get("parallel_pickled_bytes_total")
+        if pickled is not None:
+            for labels, value in pickled.samples():
+                phase = out["pickled_bytes"].setdefault(
+                    labels.get("phase", "?"), {})
+                phase[labels.get("kind", "?")] = int(value)
+        shm = rec.registry.get("parallel_shm_bytes_total")
+        if shm is not None:
+            out["shm_bytes"] = {labels.get("phase", "?"): int(value)
+                                for labels, value in shm.samples()}
+        return out
+    finally:
+        obs.reset()
+
+
+def run_bench(mode, out_path, require_gate=False):
     cfg = CONFIGS[mode]
+    gate_cfg = GATES[mode]
     cpus = os.cpu_count() or 1
+    method = start_method()
     print(f"[bench_parallel] mode={mode} nranks={cfg['nranks']} "
-          f"n={cfg['n']} jobs={cfg['jobs']} reps={cfg['reps']} cpus={cpus}")
+          f"n={cfg['n']} jobs={cfg['jobs']} reps={cfg['reps']} "
+          f"cpus={cpus} start_method={method}")
 
     run = profile_run(lu, cfg["nranks"], params=dict(n=cfg["n"]),
                       scope="report", delivery="eager")
@@ -111,18 +173,41 @@ def run_bench(mode, out_path):
 
     fastest = min(runs, key=lambda r: r["seconds"])
     jobs1 = next(r for r in runs if r["jobs"] == 1)
-    gate_run = next((r for r in runs if r["jobs"] == GATE_JOBS), None)
-    gate_applies = cpus >= GATE_JOBS and gate_run is not None
+    gate_jobs = gate_cfg["at_jobs"]
+    gate_run = next((r for r in runs if r["jobs"] == gate_jobs), None)
+    jobs2_run = next((r for r in runs if r["jobs"] == 2), None)
+    gate_applies = cpus >= gate_jobs and gate_run is not None
     gate = {
-        "required_speedup": SPEEDUP_GATE,
-        "at_jobs": GATE_JOBS,
+        "required_speedup": gate_cfg["required_speedup"],
+        "at_jobs": gate_jobs,
+        "jobs2_floor": gate_cfg["jobs2_floor"],
         "applies": gate_applies,
-        "passed": (gate_run["speedup"] >= SPEEDUP_GATE
-                   if gate_applies else None),
+        "measured_speedup": (gate_run["speedup"] if gate_run is not None
+                             else None),
+        "passed": None,
     }
-    if not gate_applies:
-        reason = (f"machine has {cpus} cpu(s)" if cpus < GATE_JOBS
-                  else f"jobs={GATE_JOBS} not in sweep")
+    if gate_applies:
+        passed = gate_run["speedup"] >= gate_cfg["required_speedup"]
+        if gate_cfg["jobs2_floor"] is not None and jobs2_run is not None:
+            passed = passed and (jobs2_run["speedup"]
+                                 >= gate_cfg["jobs2_floor"])
+        gate["passed"] = passed
+        if passed:
+            print(f"[bench_parallel] speedup gate passed: "
+                  f"{gate_run['speedup']:.2f}x >= "
+                  f"{gate_cfg['required_speedup']}x at jobs={gate_jobs}")
+        else:
+            print(f"[bench_parallel] FAIL: speedup gate "
+                  f"{gate_run['speedup']:.2f}x < "
+                  f"{gate_cfg['required_speedup']}x at jobs={gate_jobs}"
+                  + (f" (or jobs=2 below {gate_cfg['jobs2_floor']}x "
+                     f"floor: {jobs2_run['speedup']:.2f}x)"
+                     if jobs2_run is not None
+                     and gate_cfg["jobs2_floor"] is not None else ""),
+                  file=sys.stderr)
+    else:
+        reason = (f"machine has {cpus} cpu(s)" if cpus < gate_jobs
+                  else f"jobs={gate_jobs} not in sweep")
         gate["skipped_because"] = reason
         # a skipped gate should still leave usable signal behind: which
         # job count actually won, and where serial time goes per phase
@@ -131,23 +216,19 @@ def run_bench(mode, out_path):
         print(f"[bench_parallel] speedup gate skipped: {reason}; "
               f"fastest jobs={fastest['jobs']} "
               f"({fastest['seconds']:.2f}s)")
-    elif gate["passed"]:
-        print(f"[bench_parallel] speedup gate passed: "
-              f"{gate_run['speedup']:.2f}x >= {SPEEDUP_GATE}x")
-    else:
-        print(f"[bench_parallel] FAIL: speedup gate "
-              f"{gate_run['speedup']:.2f}x < {SPEEDUP_GATE}x",
-              file=sys.stderr)
+
+    zero_copy = zero_copy_profile(run.traces, max(cfg["jobs"]))
 
     payload = {
         "benchmark": "parallel_analyzer",
         "mode": mode,
         "workload": {"app": "lu", "nranks": cfg["nranks"],
                      "n": cfg["n"], "reps": cfg["reps"]},
-        "machine": {"cpu_count": cpus},
+        "machine": {"cpu_count": cpus, "start_method": method},
         "identical_reports": identical,
         "fastest_jobs": fastest["jobs"],
         "speedup_gate": gate,
+        "zero_copy": zero_copy,
         "runs": runs,
     }
     os.makedirs(os.path.dirname(out_path), exist_ok=True)
@@ -157,6 +238,12 @@ def run_bench(mode, out_path):
     print(f"[bench_parallel] wrote {out_path}")
 
     ok = identical and gate["passed"] is not False
+    if require_gate and not gate_applies:
+        print("[bench_parallel] FAIL: --require-gate was passed but the "
+              f"speedup gate cannot run here ({gate['skipped_because']}); "
+              f"this check needs a runner with >= {gate_jobs} CPUs and "
+              f"jobs={gate_jobs} in the sweep", file=sys.stderr)
+        ok = False
     return payload, ok
 
 
@@ -165,6 +252,10 @@ def main(argv=None):
     ap.add_argument("--smoke", action="store_true",
                     help="small CI configuration (artifact goes to "
                          "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--require-gate", action="store_true",
+                    help="fail (exit non-zero) if the speedup gate "
+                         "cannot run on this machine instead of "
+                         "recording it as skipped")
     ap.add_argument("--out", default=None,
                     help="artifact path (default: BENCH_parallel.json at "
                          "the repo root, or benchmarks/results/ with "
@@ -172,7 +263,8 @@ def main(argv=None):
     args = ap.parse_args(argv)
     mode = "smoke" if args.smoke else "full"
     out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
-    _payload, ok = run_bench(mode, out_path)
+    _payload, ok = run_bench(mode, out_path,
+                             require_gate=args.require_gate)
     return 0 if ok else 1
 
 

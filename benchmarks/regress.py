@@ -49,6 +49,11 @@ _METRICS: Dict[str, List[Tuple[str, Tuple[object, ...], str,
     ],
     "parallel_analyzer": [
         ("serial_seconds", ("runs", 0, "seconds"), "lower", None),
+        # measured_speedup is null when the runner had too few cores to
+        # apply the gate (payload records it skipped); _dig then skips
+        # the metric rather than comparing against nothing
+        ("jobs4_speedup", ("speedup_gate", "measured_speedup"),
+         "higher", None),
     ],
     "trace_format": [
         ("read_speedup_binary_vs_text",

@@ -23,7 +23,14 @@ Each verb also takes observability parameters — an explicit
 / ``chrome_trace=`` shorthands — which scope a recording session around
 the call and flush the exporters even when the analysis raises, so a
 crashed run still leaves its flight record behind.
-"""
+
+Parallel runs (``jobs > 1``) lazily start one persistent worker pool
+per process and reuse it across every later analysis of the same shape;
+each run resets the workers and unlinks its shared-memory segments when
+it finishes, but the worker processes stay up.  They are torn down
+automatically at interpreter exit — call :func:`shutdown_pools` to
+release them earlier (e.g. between test cases, or in a long-lived
+service before forking)."""
 
 from __future__ import annotations
 
@@ -33,10 +40,11 @@ from typing import Any, Callable, Dict, Optional, Union
 from repro import obs
 from repro.core.checker import CheckReport, check_traces
 from repro.core.config import CheckConfig
+from repro.core.parallel import shutdown_pools
 from repro.profiler.session import ProfiledRun, profile_run
 from repro.profiler.tracer import TraceSet
 
-__all__ = ["run", "check", "run_check"]
+__all__ = ["run", "check", "run_check", "shutdown_pools"]
 
 
 def _obs_config(obs_config: Optional[obs.ObsConfig],

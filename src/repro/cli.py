@@ -67,8 +67,10 @@ def _resolve_app(name: str) -> Tuple[Callable, Dict]:
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the sharded analyzer "
-                             "(1 = serial, -1 = one per CPU); findings "
-                             "are identical at any job count")
+                             "(1 = serial, -1 = one per CPU); one "
+                             "persistent pool serves every phase and is "
+                             "reused by later runs; findings are "
+                             "identical at any job count")
 
 
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
@@ -97,8 +99,10 @@ def _analysis_parent() -> argparse.ArgumentParser:
                             "identical either way")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the sharded analyzer "
-                            "(1 = serial, -1 = one per CPU); findings "
-                            "are identical at any job count")
+                            "(1 = serial, -1 = one per CPU); one "
+                            "persistent pool serves every phase and is "
+                            "reused by later runs; findings are "
+                            "identical at any job count")
     group.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="on-disk result cache for incremental "
                             "checking")

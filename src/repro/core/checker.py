@@ -159,10 +159,21 @@ class MCChecker:
 
         engine: Optional[ParallelEngine] = None
         if self.jobs > 1:
+            # the engine acquires the process-global persistent pool;
+            # finish() (in the finally below) resets it and unlinks the
+            # run's shared segments, while the pool itself survives for
+            # the next run to reuse
             engine = ParallelEngine(self.traces, jobs=self.jobs,
                                     memory_model=self.memory_model,
                                     engine=self.engine)
+        try:
+            return self._run_detect(stats, timed, engine)
+        finally:
+            if engine is not None:
+                engine.finish()
 
+    def _run_detect(self, stats: CheckStats, timed,
+                    engine: Optional[ParallelEngine]) -> CheckReport:
         if engine is not None:
             self.pre = timed("preprocess", engine.preprocess,
                              jobs=self.jobs)
@@ -209,7 +220,8 @@ class MCChecker:
 
         if engine is not None:
             findings = timed("intra", lambda: engine.detect_intra(
-                self.model, self.epoch_index), jobs=self.jobs)
+                self.model, self.epoch_index, self.regions,
+                self.oracle), jobs=self.jobs)
         elif self.engine == "sweep":
             findings = timed("intra", lambda: detect_intra_epoch_sweep(
                 self.model, self.epoch_index,
@@ -219,9 +231,8 @@ class MCChecker:
                 self.model, self.epoch_index,
                 memory_model=self.memory_model))
         if engine is not None and not self.naive_inter:
-            findings += timed("inter", lambda: engine.detect_inter(
-                pre, self.model, self.regions, self.oracle,
-                self.epoch_index), jobs=self.jobs)
+            findings += timed("inter", engine.detect_inter,
+                              jobs=self.jobs)
         elif self.engine == "sweep":
             findings += timed("inter", lambda: detect_cross_process_sweep(
                 pre, self.model, self.regions, self.oracle,

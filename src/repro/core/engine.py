@@ -423,3 +423,37 @@ def _check_rows_against_entry(pre: PreprocessedTrace, rows: MemRows,
             memory_model)
         if error is not None:
             errors.append(error)
+
+
+# ----------------------------------------------------------------------
+# shared unit construction (parallel workers + parent)
+# ----------------------------------------------------------------------
+
+
+def build_detect_units(engine: str, model: AccessModel,
+                       epoch_index: EpochIndex, regions: RegionIndex):
+    """The ``(intra_units, inter_units)`` lists both detector phases
+    iterate, in deterministic order.
+
+    This is the single constructor the parallel pipeline relies on for
+    its zero-copy contract: the parent builds the lists once to size the
+    chunk bounds, every worker rebuilds the *identical* lists from its
+    installed ops/regions, and only ``(lo, hi)`` indices into them cross
+    the pipe.  Determinism holds because both bucketing passes iterate
+    ``model`` and ``regions`` in their stored order and the sweep units
+    carry plain ``(rank, lo, hi)`` row ranges rather than object slices.
+    """
+    if engine == "sweep":
+        intra_units = bucket_by_epoch_sweep(model, epoch_index)
+        inter_units = bucket_by_region_sweep(model, regions)
+    else:
+        intra_units = bucket_by_epoch(model, epoch_index)
+        ops_by_region, locals_by_region = bucket_by_region(model, regions)
+        inter_units = []
+        for region in regions:
+            region_ops = ops_by_region.get(region.index, [])
+            if not region_ops:
+                continue
+            inter_units.append(
+                (region_ops, locals_by_region.get(region.index, [])))
+    return intra_units, inter_units

@@ -108,8 +108,10 @@ from repro.core.diagnostics import (
 )
 from repro.core.engine import check_epoch_sweep, detect_region_sweep
 from repro.core.model import MemRows
+from repro.core.model import share_rows
 from repro.core.parallel import (
-    _WORKER, _export, _task_recorder, absorb_export, pool_map, resolve_jobs,
+    _WORKER, _export, _pool_task, _task_recorder, absorb_export,
+    acquire_pool, resolve_jobs, worker_rows,
 )
 from repro.core.streaming import ControlState, build_control_state
 from repro.profiler.tracer import TraceSet
@@ -304,11 +306,26 @@ class IncrementalChecker:
         self.control: Optional[ControlState] = None
         self.plan: Optional[CachePlan] = None
         self.dirty_shards: List[ShardPlan] = []
+        #: the run's persistent worker pool, acquired lazily on first
+        #: parallelizable phase and shared with every later one (the
+        #: control pass *and* the dirty-shard recompute reuse it)
+        self._pool = None
+
+    def _get_pool(self):
+        if self._pool is None:
+            self._pool = acquire_pool(self.jobs)
+            self._pool.begin_run()
+        return self._pool
 
     def run(self) -> CheckReport:
-        with obs.span("analyzer.run", memory_model=self.config.memory_model,
-                      incremental=True) as run_span:
-            report = self._run_phases()
+        try:
+            with obs.span("analyzer.run",
+                          memory_model=self.config.memory_model,
+                          incremental=True) as run_span:
+                report = self._run_phases()
+        finally:
+            if self._pool is not None:
+                self._pool.end_run()
         publish_report_obs(report, run_span.duration)
         return report
 
@@ -331,7 +348,10 @@ class IncrementalChecker:
         if report is not None:
             return report
 
-        control = self.control = build_control_state(self.traces, timed)
+        pool = (self._get_pool()
+                if self.jobs > 1 and self.traces.nranks > 1 else None)
+        control = self.control = build_control_state(self.traces, timed,
+                                                     pool=pool)
         stats.nranks = control.pre.nranks
         stats.events = control.pre.total_events
         stats.sync_matches = len(control.matches)
@@ -611,9 +631,14 @@ class IncrementalChecker:
     def _shard_unit(self, control: ControlState, plan: CachePlan,
                     shard: ShardPlan, loader: _RowLoader,
                     plain_by_rank: Dict[int, List]) -> Dict[str, list]:
-        """Materialize one dirty shard's detector inputs, mirroring
+        """Describe one dirty shard's detector inputs, mirroring
         :func:`bucket_by_epoch_sweep` / :func:`bucket_by_region_sweep`
-        over the full-rank rows."""
+        over the full-rank rows.
+
+        Memory rows enter the unit as ``(rank, lo, hi)`` range tuples,
+        never as materialized slices — the serial path resolves them
+        through the loader, the parallel path through the shared
+        segments, so a unit pickles without dragging row data along."""
         regions = control.regions
         epoch_units = []
         for pos, epoch in plan.shard_epochs[shard.index]:
@@ -624,14 +649,14 @@ class IncrementalChecker:
             rows = loader.rows(epoch.rank)
             lo, hi = rows.row_range(epoch.open_seq, epoch.close_seq)
             epoch_units.append((pos, epoch, ops, attached, obj_mems,
-                                rows.slice(lo, hi)))
+                                epoch.rank, lo, hi))
         region_units = []
         for r in range(shard.first, shard.last + 1):
             region_ops = control.ops_by_region.get(r, [])
             if not region_ops:
                 continue
             region = regions.regions[r]
-            region_mems: Dict[int, MemRows] = {}
+            bounds: Dict[int, Tuple[int, int]] = {}
             for rank in range(control.pre.nranks):
                 rows = loader.rows(rank)
                 if not len(rows):
@@ -639,11 +664,12 @@ class IncrementalChecker:
                 lo_seq, hi_seq = region.bounds[rank]
                 lo, hi = rows.row_range(lo_seq, hi_seq)
                 if hi > lo:
-                    region_mems[rank] = rows.slice(lo, hi)
+                    bounds[rank] = (lo, hi)
             region_units.append(
                 (r, region_ops,
-                 control.call_locals_by_region.get(r, []), region_mems))
-        return {"epochs": epoch_units, "regions": region_units}
+                 control.call_locals_by_region.get(r, []), bounds))
+        return {"shard": shard.index, "epochs": epoch_units,
+                "regions": region_units}
 
     def _detect(self, control: ControlState, plan: CachePlan,
                 dirty: List[ShardPlan], loader: _RowLoader
@@ -659,11 +685,38 @@ class IncrementalChecker:
                  for shard in dirty]
         memory_model = self.config.memory_model
         if self.jobs > 1 and len(units) > 1:
-            state = {"incremental_units": units, "pre": control.pre,
-                     "oracle": control.oracle,
-                     "lock_index": control.lock_index,
-                     "memory_model": memory_model}
-            results = pool_map(_shard_task, len(units), state, self.jobs)
+            # publish the needed ranks' rows as shared segments (reusing
+            # the run's pool — the same workers that ran the control
+            # scan) and ship each unit once, to one worker, as a task
+            # argument; the rows themselves never cross the pipe
+            pool = self._get_pool()
+            needed = sorted(
+                {unit_rank for unit in units
+                 for *_fields, unit_rank, _lo, _hi in unit["epochs"]}
+                | {rank for unit in units
+                   for _r, _ops, _locals, bounds in unit["regions"]
+                   for rank in bounds})
+            descs = {}
+            for rank in needed:
+                name = pool.new_segment_name(rank)
+                pool.expect_segment(name)
+                desc, handle = share_rows(loader.rows(rank), name)
+                if handle is not None:
+                    pool.adopt_segment(name, handle)
+                    obs.count("parallel_shm_bytes_total", handle.size,
+                              phase="incremental",
+                              help="Bytes published to shared MemRows "
+                                   "segments, by phase")
+                descs[rank] = desc
+            # shard compute only resolves windows through ``pre``; the
+            # registries-only view keeps the install pickle small
+            pool.install("incremental", {
+                "pre": control.pre.registry_view(),
+                "oracle": control.oracle,
+                "lock_index": control.lock_index,
+                "memory_model": memory_model, "mems_shm": descs,
+                "obs": obs.is_enabled()})
+            results = pool.run("incremental", "incremental_shard", units)
             payloads = []
             for intra, inter, export in results:
                 absorb_export(export)
@@ -671,7 +724,8 @@ class IncrementalChecker:
         else:
             payloads = [
                 _compute_shard(unit, control.pre, control.oracle,
-                               control.lock_index, memory_model)
+                               control.lock_index, memory_model,
+                               loader.rows)
                 for unit in units]
 
         computed: Dict[int, Tuple[list, list]] = {}
@@ -742,16 +796,25 @@ class IncrementalChecker:
 
 
 def _compute_shard(unit: Dict[str, list], pre, oracle, lock_index,
-                   memory_model: str) -> Tuple[list, list]:
+                   memory_model: str, rows_of) -> Tuple[list, list]:
     """Run the sweep detectors over one shard; findings are serialized
-    immediately (raw detector output always has ``occurrences == 1``)."""
+    immediately (raw detector output always has ``occurrences == 1``).
+
+    ``rows_of(rank)`` resolves a rank's full :class:`MemRows` — the
+    row-loader in the serial path, the attached shared segments in a
+    pool worker — and the unit's ``(lo, hi)`` ranges slice into it."""
     intra = []
-    for pos, epoch, ops, attached, obj_mems, rows in unit["epochs"]:
-        found = check_epoch_sweep(epoch, ops, attached, obj_mems, rows,
+    for pos, epoch, ops, attached, obj_mems, rank, lo, hi \
+            in unit["epochs"]:
+        found = check_epoch_sweep(epoch, ops, attached, obj_mems,
+                                  rows_of(rank).slice(lo, hi),
                                   memory_model)
         intra.append([pos, [f.to_payload() for f in found]])
     inter = []
-    for r, region_ops, region_locals, region_mems in unit["regions"]:
+    for r, region_ops, region_locals, bounds in unit["regions"]:
+        region_mems: Dict[int, MemRows] = {
+            rank: rows_of(rank).slice(lo, hi)
+            for rank, (lo, hi) in bounds.items()}
         found = detect_region_sweep(pre, region_ops, region_locals,
                                     region_mems, oracle, lock_index,
                                     memory_model)
@@ -759,14 +822,18 @@ def _compute_shard(unit: Dict[str, list], pre, oracle, lock_index,
     return intra, inter
 
 
-def _shard_task(i: int):
-    """Worker-pool task: compute one dirty shard from installed state."""
+@_pool_task("incremental_shard")
+def _shard_task(unit: Dict[str, list]):
+    """Worker-pool task: compute one dirty shard (shipped as the task
+    argument) against installed control state and shared row segments."""
     rec = _task_recorder()
-    with rec.span("analyzer.incremental.shard", shard=i, pid=os.getpid()):
+    descs = _WORKER["mems_shm"]
+    with rec.span("analyzer.incremental.shard", shard=unit["shard"],
+                  pid=os.getpid()):
         intra, inter = _compute_shard(
-            _WORKER["incremental_units"][i], _WORKER["pre"],
-            _WORKER["oracle"], _WORKER["lock_index"],
-            _WORKER["memory_model"])
+            unit, _WORKER["pre"], _WORKER["oracle"],
+            _WORKER["lock_index"], _WORKER["memory_model"],
+            lambda rank: worker_rows(descs[rank]))
     rec.count("parallel_tasks_total", phase="incremental")
     return intra, inter, _export(rec)
 

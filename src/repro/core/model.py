@@ -202,6 +202,74 @@ class MemRows:
             loc=self.table.loc(int(self.loc[i])), fn="mem")
 
 
+# ----------------------------------------------------------------------
+# shared-memory backing for MemRows
+# ----------------------------------------------------------------------
+
+#: column order and dtypes of a MemRows shared segment — six contiguous
+#: blocks laid out back to back (33 bytes per row)
+_SHM_COLUMNS = (("seq", np.int64), ("addr", np.int64), ("size", np.int64),
+                ("var", np.int32), ("loc", np.int32), ("access", np.uint8))
+
+
+def rows_nbytes(desc: dict) -> int:
+    """Payload size of the segment a share descriptor names."""
+    return desc["n"] * sum(np.dtype(dt).itemsize for _c, dt in _SHM_COLUMNS)
+
+
+def share_rows(rows: "MemRows", name: str):
+    """Copy ``rows`` into a named ``multiprocessing.shared_memory``
+    segment and return ``(descriptor, handle)``.
+
+    The descriptor is a small picklable dict (segment name, row count,
+    rank, string table contents) any process can hand to
+    :func:`attach_rows`; the handle is the creator's — closing it is
+    safe once the copy is done (the segment stays linked under its
+    name), and whoever owns the name calls ``unlink()`` exactly once at
+    end of run.  Empty rows get no segment (``name: None``)."""
+    from multiprocessing.shared_memory import SharedMemory
+
+    n = len(rows)
+    desc = {"name": None, "n": n, "rank": rows.rank,
+            "strings": (list(rows.table.strings)
+                        if rows.table is not None else None)}
+    if n == 0:
+        return desc, None
+    shm = SharedMemory(name=name, create=True, size=rows_nbytes(desc))
+    offset = 0
+    for col, dtype in _SHM_COLUMNS:
+        view = np.ndarray((n,), dtype=dtype, buffer=shm.buf, offset=offset)
+        view[:] = getattr(rows, col)
+        del view  # drop the buffer reference so close() can succeed
+        offset += n * np.dtype(dtype).itemsize
+    desc["name"] = name
+    return desc, shm
+
+
+def attach_rows(desc: dict):
+    """Rebuild the :class:`MemRows` a share descriptor names as
+    zero-copy views into the shared segment; returns ``(rows, handle)``
+    (handle ``None`` for the empty-rows descriptor).  The caller keeps
+    the handle alive for as long as the rows are used."""
+    if not desc["n"]:
+        return MemRows.from_blocks(desc["rank"], []), None
+    from multiprocessing.shared_memory import SharedMemory
+
+    from repro.profiler.tracer import _StringTable
+
+    n = desc["n"]
+    shm = SharedMemory(name=desc["name"])
+    cols = []
+    offset = 0
+    for _col, dtype in _SHM_COLUMNS:
+        cols.append(np.ndarray((n,), dtype=dtype, buffer=shm.buf,
+                               offset=offset))
+        offset += n * np.dtype(dtype).itemsize
+    table = (_StringTable(desc["strings"])
+             if desc["strings"] is not None else None)
+    return MemRows(desc["rank"], table, *cols), shm
+
+
 @dataclass
 class AccessModel:
     """All lifted accesses of a trace set.

@@ -14,6 +14,7 @@ c. **datatypes** — the data-map of every derived datatype, reconstructed
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -170,6 +171,21 @@ class PreprocessedTrace:
         self._merge(scans)
 
     # ------------------------------------------------------------------
+
+    def registry_view(self) -> "PreprocessedTrace":
+        """Registries-only copy for cross-process installs.
+
+        Shares the merged communicator/window/datatype registries (and
+        ``nranks``/``total_events``) with this trace but carries empty
+        per-rank event lists, so pickling it costs kilobytes instead of
+        the full call stream.  Safe wherever the consumer only resolves
+        registries — the parallel lift reads its events from disk and
+        the detectors only call :meth:`window` — and never for code
+        that walks ``events``.
+        """
+        view = copy.copy(self)
+        view.events = {rank: [] for rank in self.events}
+        return view
 
     def comm_members(self, comm_id: int) -> Tuple[int, ...]:
         try:

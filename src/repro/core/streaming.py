@@ -97,18 +97,26 @@ class ControlState:
         return sum(c["mem"] for c in self.counts.values())
 
 
-def build_control_state(traces: TraceSet,
-                        timed=None) -> ControlState:
+def build_control_state(traces: TraceSet, timed=None,
+                        pool=None) -> ControlState:
     """Run the call-only control pass over a trace set.
 
     ``timed(name, fn, **attrs)`` optionally wraps each phase (the
     incremental checker threads its phase-timing helper through); the
-    default runs the phases untimed."""
+    default runs the phases untimed.  ``pool`` optionally provides an
+    acquired :class:`~repro.core.parallel.WorkerPool` — the per-rank
+    scan then fans out over its workers instead of running serially
+    (the result is identical either way)."""
     if timed is None:
         def timed(_name, fn, **_attrs):
             return fn()
-    pre, counts = timed("preprocess",
-                        lambda: preprocess_calls_with_counts(traces))
+    if pool is not None:
+        from repro.core.parallel import scan_traceset
+        pre, counts = timed("preprocess",
+                            lambda: scan_traceset(pool, traces))
+    else:
+        pre, counts = timed("preprocess",
+                            lambda: preprocess_calls_with_counts(traces))
     matches = timed("matching", lambda: match_synchronization(pre),
                     nranks=pre.nranks, events=pre.total_events)
     oracle = timed("clocks", lambda: ConcurrencyOracle(pre, matches))

@@ -73,6 +73,18 @@ def render_run_text(entry: RunReport) -> str:
         pids = entry.workers.get("pids", {})
         lines.append(f"  workers: {len(pids)} pid(s), "
                      f"{int(sum(tasks.values()))} task(s)")
+        pool = entry.workers.get("pool")
+        if pool:
+            lines.append(f"    pool: {int(pool.get('created', 0))} "
+                         f"created, {int(pool.get('reused', 0))} reused")
+        pickled = entry.workers.get("pickled_bytes", {})
+        if pickled:
+            total = sum(v for kinds in pickled.values()
+                        for v in kinds.values())
+            shm = entry.workers.get("shm_bytes", {})
+            lines.append(f"    bytes: {_fmt_bytes(int(total))} pickled, "
+                         f"{_fmt_bytes(int(sum(shm.values())))} via "
+                         "shared memory")
         for pid, usage in pids.items():
             lines.append(f"    pid {pid}: {usage.get('spans', 0)} span(s), "
                          f"busy {usage.get('busy_seconds', 0.0):.4f}s")
@@ -260,6 +272,28 @@ def _workers_panel(entry: RunReport) -> str:
         parts.append("<p>tasks by phase: " + ", ".join(
             f"<code>{html.escape(k)}</code>={int(v)}"
             for k, v in sorted(tasks.items())) + "</p>")
+    pool = workers.get("pool")
+    if pool:
+        parts.append(f"<p>pool: {int(pool.get('created', 0))} created, "
+                     f"{int(pool.get('reused', 0))} reused</p>")
+    pickled = workers.get("pickled_bytes", {})
+    if pickled:
+        shm = workers.get("shm_bytes", {})
+        rows = []
+        for phase, kinds in sorted(pickled.items()):
+            rows.append(
+                f"<tr><td>{html.escape(phase)}</td>"
+                + "".join(f"<td class=num>"
+                          f"{_fmt_bytes(int(kinds.get(kind, 0)))}</td>"
+                          for kind in ("install", "task", "result"))
+                + f"<td class=num>"
+                  f"{_fmt_bytes(int(shm.get(phase, 0)))}</td></tr>")
+        parts.append(
+            "<p>bytes across the pipe (the zero-copy evidence: row "
+            "columns travel via shared memory, not pickles):</p>"
+            "<table><tr><th>phase</th><th class=num>install</th>"
+            "<th class=num>task</th><th class=num>result</th>"
+            "<th class=num>shm</th></tr>" + "".join(rows) + "</table>")
     pids = workers.get("pids", {})
     if pids:
         busiest = max(u.get("busy_seconds", 0.0)

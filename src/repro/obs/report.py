@@ -143,7 +143,11 @@ def _worker_utilization(recorder) -> Dict[str, Any]:
         entry["spans"] += 1
         entry["busy_seconds"] += record.duration
         entry["cpu_seconds"] += record.cpu
-    if tasks is None and not by_pid:
+    created = recorder.registry.get("parallel_pool_created_total")
+    reused = recorder.registry.get("parallel_pool_reused_total")
+    pickled = recorder.registry.get("parallel_pickled_bytes_total")
+    shm = recorder.registry.get("parallel_shm_bytes_total")
+    if tasks is None and not by_pid and created is None and reused is None:
         return {}
     out: Dict[str, Any] = {}
     if tasks is not None:
@@ -152,6 +156,23 @@ def _worker_utilization(recorder) -> Dict[str, Any]:
     if by_pid:
         out["pids"] = {str(pid): entry
                        for pid, entry in sorted(by_pid.items())}
+    if created is not None or reused is not None:
+        out["pool"] = {
+            "created": created.total if created is not None else 0,
+            "reused": reused.total if reused is not None else 0}
+    if pickled is not None:
+        # phase -> kind -> bytes; the zero-copy evidence: mem-event
+        # columns show up under shm_bytes, never under pickled task
+        # payloads
+        by_phase: Dict[str, Dict[str, float]] = {}
+        for labels, value in pickled.samples():
+            phase = labels.get("phase", "?")
+            by_phase.setdefault(phase, {})[labels.get("kind", "?")] = value
+        out["pickled_bytes"] = {phase: dict(sorted(kinds.items()))
+                                for phase, kinds in sorted(by_phase.items())}
+    if shm is not None:
+        out["shm_bytes"] = {labels.get("phase", "?"): value
+                            for labels, value in shm.samples()}
     return out
 
 

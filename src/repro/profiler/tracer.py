@@ -875,8 +875,16 @@ class TraceSet:
         suffix = "bin" if format == FORMAT_BINARY else "log"
         return os.path.join(directory, f"trace.{rank}.{suffix}")
 
+    def path(self, rank: int) -> str:
+        """The on-disk trace file of one rank.  A ``TraceSet`` pickles
+        as directory + paths only — pool workers (fork or spawn) reopen
+        the file by this path and mmap the v2 blocks themselves, so the
+        stable path, not an inherited file handle, is the cross-process
+        contract."""
+        return self._paths[rank]
+
     def reader(self, rank: int) -> TraceReader:
-        return TraceReader(self._paths[rank])
+        return TraceReader(self.path(rank))
 
     def iter_events(self, rank: int) -> Iterator[Event]:
         """Lazily iterate one rank's typed events (no list copy)."""

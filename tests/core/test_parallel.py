@@ -7,6 +7,7 @@ that over the whole bundled bug corpus under both memory models, plus
 unit tests for the shard helpers and the worker observability merge.
 """
 
+import glob
 import json
 
 import pytest
@@ -14,8 +15,15 @@ import pytest
 from repro import obs
 from repro.apps.registry import BUG_CASES, EXTRA_CASES
 from repro.core.checker import check_traces
-from repro.core.parallel import _chunk_bounds, resolve_jobs
+from repro.core.config import CheckConfig
+from repro.core.parallel import (
+    _chunk_bounds, acquire_pool, resolve_jobs, shutdown_pools,
+)
 from repro.profiler.session import profile_run
+
+
+def _leaked_segments():
+    return glob.glob("/dev/shm/mcc-*")
 
 ALL_CASES = list(BUG_CASES) + list(EXTRA_CASES)
 RANKS_CAP = 8
@@ -114,3 +122,111 @@ class TestWorkerObs:
         check_traces(traces, jobs=2)
         assert len(rec.spans) == 0
         assert len(rec.registry) == 0
+
+
+class TestPoolLifecycle:
+    """The persistent pool is created once, reused across phases and
+    runs, and never leaves shared-memory segments behind."""
+
+    def setup_method(self):
+        shutdown_pools()
+
+    def teardown_method(self):
+        shutdown_pools()
+        obs.reset()
+
+    def test_pool_created_once_and_reused_across_runs(self):
+        traces = traces_for(ALL_CASES[0])
+        rec = obs.configure(enabled=True)
+        # first parallel run: exactly one pool creation, zero reuses,
+        # even though four phases (scan/lift/intra/inter) fan out
+        check_traces(traces, config=CheckConfig(jobs=2))
+        created = rec.registry.get("parallel_pool_created_total")
+        assert created is not None and created.total == 1
+        assert rec.registry.get("parallel_pool_reused_total") is None
+        # second run in the same process: no new pool, one reuse
+        check_traces(traces, config=CheckConfig(jobs=2))
+        assert created.total == 1
+        reused = rec.registry.get("parallel_pool_reused_total")
+        assert reused is not None and reused.total == 1
+
+    def test_incremental_runs_reuse_one_pool(self, tmp_path):
+        traces = traces_for(ALL_CASES[0])
+        cfg = CheckConfig(jobs=2, incremental=True,
+                          cache_dir=str(tmp_path))
+        rec = obs.configure(enabled=True)
+        first = check_traces(traces, config=cfg)
+        created = rec.registry.get("parallel_pool_created_total")
+        assert created is not None and created.total == 1
+        # a second incremental run (cache warm or not) must not fork a
+        # second pool
+        second = check_traces(traces, config=cfg)
+        assert created.total == 1
+        assert canonical(first) == canonical(second)
+
+    def test_no_segments_leaked_after_normal_run(self):
+        traces = traces_for(ALL_CASES[0])
+        check_traces(traces, config=CheckConfig(jobs=2))
+        assert _leaked_segments() == []
+
+    def test_worker_crash_breaks_pool_and_cleans_segments(self):
+        pool = acquire_pool(2)
+        pool.begin_run()
+        # register an expected segment the "task" never creates plus one
+        # that exists, then kill a worker mid-task
+        from repro.core.model import MemRows, share_rows
+        import numpy as np
+        rows = MemRows(0, None, np.arange(4, dtype=np.int64),
+                       np.arange(4, dtype=np.int64),
+                       np.ones(4, dtype=np.int64),
+                       np.zeros(4, dtype=np.int32),
+                       np.zeros(4, dtype=np.int32),
+                       np.zeros(4, dtype=np.uint8))
+        name = pool.new_segment_name(0)
+        pool.expect_segment(name)
+        desc, handle = share_rows(rows, name)
+        pool.adopt_segment(name, handle)
+        assert _leaked_segments() != []
+        with pytest.raises(RuntimeError):
+            pool.run("test", "crash", [0, 1])
+        assert pool.broken
+        pool.end_run()
+        assert _leaked_segments() == []
+        # the next acquire replaces the broken pool transparently
+        fresh = acquire_pool(2)
+        assert fresh is not pool and not fresh.broken
+        fresh.begin_run()
+        assert fresh.run("test", "echo", [7, 8]) == [7, 8]
+        fresh.end_run()
+
+    def test_run_report_carries_pool_and_byte_counters(self):
+        from repro.obs.report import build_run_report
+        traces = traces_for(ALL_CASES[0])
+        rec = obs.configure(enabled=True)
+        report = check_traces(traces, config=CheckConfig(jobs=2))
+        entry = build_run_report(report, CheckConfig(jobs=2),
+                                 recorder=rec)
+        workers = entry.workers
+        assert workers["pool"] == {"created": 1, "reused": 0}
+        # the zero-copy claim: lift results carry descriptors only,
+        # while the row columns land in the shm counter
+        assert workers["shm_bytes"].get("model", 0) > 0
+        assert "task" in workers["pickled_bytes"]["intra"]
+
+
+class TestSpawnParity:
+    """Forced-spawn pools must produce byte-identical reports: nothing
+    may rely on fork-inherited state."""
+
+    @pytest.mark.parametrize("case", ALL_CASES[:3], ids=lambda c: c.name)
+    def test_forced_spawn_matches_serial(self, case, monkeypatch):
+        traces = traces_for(case)
+        serial = check_traces(traces, config=CheckConfig(jobs=1))
+        shutdown_pools()
+        monkeypatch.setenv("MCCHECKER_START_METHOD", "spawn")
+        try:
+            parallel = check_traces(traces, config=CheckConfig(jobs=2))
+        finally:
+            shutdown_pools()
+        assert canonical(parallel) == canonical(serial)
+        assert _leaked_segments() == []
