@@ -64,6 +64,17 @@ _METRICS: Dict[str, List[Tuple[str, Tuple[object, ...], str,
     "flight_recorder": [
         ("overhead_pct", ("overhead_pct",), "lower", 10.0),
     ],
+    "trace_gen": [
+        # the cross-mode invariant: the bulk lane may never lose to the
+        # scalar lane (the full-mode 5x gate needs git history, so it
+        # lives in the harness, not here)
+        ("lane_ratio_scalar_vs_bulk",
+         ("lane_ratio_scalar_vs_bulk",), "higher", 0.7),
+        ("bulk_generation_seconds",
+         ("arms", "bulk", "seconds"), "lower", None),
+        ("bulk_events_per_second",
+         ("arms", "bulk", "events_per_second"), "higher", None),
+    ],
 }
 
 

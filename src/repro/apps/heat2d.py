@@ -29,17 +29,19 @@ def heat2d(mpi: MPIContext, rows: int = 12, cols: int = 8,
 
     # initial condition: a hot row near the top of the global domain
     block = np.zeros((hi - lo, cols))
-    for gr in range(lo, hi):
-        if gr == 1:
-            block[gr - lo, :] = 100.0
+    block[np.arange(lo, hi) == 1] = 100.0
     field.set_local(block)
     field.sync()
 
     for _step in range(steps):
-        # read phase: my block + halo rows from the neighbours
-        mine = field.get(lo, hi, 0, cols)
-        above = field.get(lo - 1, lo, 0, cols) if lo > 0 else mine[:1]
-        below = field.get(hi, hi + 1, 0, cols) if hi < rows else mine[-1:]
+        # read phase: my block plus both halo rows in one spanning
+        # section get — the same per-owner segment Gets are issued, but
+        # one strided call replaces three
+        glo, ghi = max(lo - 1, 0), min(hi + 1, rows)
+        fetched = field.get(glo, ghi, 0, cols)
+        mine = fetched[lo - glo:lo - glo + (hi - lo)]
+        above = fetched[:1] if lo > 0 else mine[:1]
+        below = fetched[-1:] if hi < rows else mine[-1:]
         stacked = np.vstack([above, mine, below])
 
         # 5-point relaxation on interior columns of my rows

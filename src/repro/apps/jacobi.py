@@ -53,11 +53,12 @@ def jacobi(mpi: MPIContext, buggy: bool = True, interior: int = 16,
             win.put(edge_r, target=right, target_disp=0, origin_count=1)
         if not buggy:
             win.fence()  # 3: the synchronization the bug omits
-        # 4: local sweep over the interior
-        strip = grid.read(0, width)
+        # 4: local sweep over the interior (vectorized API: same single
+        # slice record as read/write, minus the resolve/copy indirection)
+        strip = grid.read_block(0, width)
         new = 0.5 * (strip[:-2] + strip[2:])
-        grid.write(new, offset=1)
+        grid.write_block(new, offset=1)
         win.fence()  # end of iteration (the buggy code's only fence)
-    result = grid.read(0, width).tolist()
+    result = grid.read_block(0, width).tolist()
     win.free()
     return result

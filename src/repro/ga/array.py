@@ -119,7 +119,7 @@ class GlobalArray:
             self._win.get(self._stage, target=owner, target_disp=disp,
                           origin_offset=0, origin_count=length)
             self._win.unlock(owner)  # the Get is complete here
-            out[off:off + length] = self._stage.read(0, length)
+            out[off:off + length] = self._stage.read_block(0, length)
         return out
 
     def put(self, lo: int, hi: int, values) -> None:
@@ -132,7 +132,7 @@ class GlobalArray:
         values = np.asarray(values, dtype=self._block.array.dtype)
         for owner, disp, length, off in self._segments(lo, hi):
             # stage before the epoch opens: ordered ahead of the Put
-            self._stage.write(values[off:off + length], offset=0)
+            self._stage.write_block(values[off:off + length], offset=0)
             self._win.lock(owner, LOCK_SHARED)
             self._win.put(self._stage, target=owner, target_disp=disp,
                           origin_offset=0, origin_count=length)
@@ -144,7 +144,7 @@ class GlobalArray:
         self._check_live()
         values = np.asarray(values, dtype=self._block.array.dtype)
         for owner, disp, length, off in self._segments(lo, hi):
-            self._stage.write(values[off:off + length], offset=0)
+            self._stage.write_block(values[off:off + length], offset=0)
             self._win.lock(owner, LOCK_SHARED)
             self._win.accumulate(self._stage, target=owner, op=op,
                                  target_disp=disp, origin_offset=0,
@@ -174,6 +174,18 @@ class GlobalArray:
         """The owned block.  Accesses are tracked: touching it while
         remote operations are in flight is exactly the Figure 2d bug."""
         return self._block
+
+    def local_read(self, offset: int = 0, count: Optional[int] = None, *,
+                   reps: int = 1) -> np.ndarray:
+        """Vectorized tracked read of the owned block: one coalesced
+        record (``reps`` of them for loop-equivalent re-reads) instead of
+        per-element events.  Same consistency semantics as :meth:`local`
+        element access — just coarser event granularity."""
+        return self._block.read_block(offset, count, reps=reps)
+
+    def local_write(self, values, offset: int = 0) -> None:
+        """Vectorized tracked write of the owned block (one record)."""
+        self._block.write_block(values, offset)
 
     def sync(self) -> None:
         """GA_Sync: collective quiescence (all prior ops complete)."""

@@ -128,7 +128,7 @@ class GlobalArray2D:
                           target_count=1, target_dtype=section)
             self._win.unlock(owner)
             out[row_off:row_off + nrows] = \
-                self._stage.read(0, nrows * width).reshape(nrows, width)
+                self._stage.read_block(0, nrows * width).reshape(nrows, width)
         return out
 
     def put(self, rlo: int, rhi: int, clo: int, chi: int, values) -> None:
@@ -141,7 +141,7 @@ class GlobalArray2D:
             rhi - rlo, width)
         for owner, local_row, nrows, row_off in self._row_segments(rlo, rhi):
             section = self._section_type(nrows, width)
-            self._stage.write(
+            self._stage.write_block(
                 values[row_off:row_off + nrows].reshape(-1), offset=0)
             self._win.lock(owner, LOCK_SHARED)
             self._win.put(self._stage, target=owner,
@@ -161,7 +161,7 @@ class GlobalArray2D:
             rhi - rlo, width)
         for owner, local_row, nrows, row_off in self._row_segments(rlo, rhi):
             section = self._section_type(nrows, width)
-            self._stage.write(
+            self._stage.write_block(
                 values[row_off:row_off + nrows].reshape(-1), offset=0)
             self._win.lock(owner, LOCK_SHARED)
             self._win.accumulate(self._stage, target=owner, op=op,
@@ -183,7 +183,36 @@ class GlobalArray2D:
         """Tracked write of the whole owned block from a 2-D array."""
         lo, hi = self._row_bounds(self.mpi.rank)
         values = np.asarray(values, dtype=self._block.array.dtype)
-        self._block.write(values.reshape((hi - lo) * self.cols))
+        self._block.write_block(values.reshape((hi - lo) * self.cols))
+
+    def local_section(self, rlo: int, rhi: int, clo: int, chi: int
+                      ) -> np.ndarray:
+        """Tracked strided read of a 2-D section of *owned* rows: one
+        columnar record covering every row run, instead of one event per
+        row.  Rows must lie within this rank's block."""
+        lo, hi = self._row_bounds(self.mpi.rank)
+        self._check_section(clo, chi)
+        if not (lo <= rlo <= rhi <= hi):
+            raise IndexError(
+                f"rows [{rlo}, {rhi}) outside local block [{lo}, {hi}) of "
+                f"GlobalArray2D {self.name!r}")
+        return self._block.read_rows((rlo - lo) * self.cols + clo,
+                                     chi - clo, rhi - rlo, self.cols)
+
+    def set_local_section(self, rlo: int, rhi: int, clo: int, chi: int,
+                          values) -> None:
+        """Tracked strided write of a 2-D section of owned rows (one
+        columnar record) — the store-side dual of :meth:`local_section`."""
+        lo, hi = self._row_bounds(self.mpi.rank)
+        self._check_section(clo, chi)
+        if not (lo <= rlo <= rhi <= hi):
+            raise IndexError(
+                f"rows [{rlo}, {rhi}) outside local block [{lo}, {hi}) of "
+                f"GlobalArray2D {self.name!r}")
+        values = np.asarray(values, dtype=self._block.array.dtype).reshape(
+            rhi - rlo, chi - clo)
+        self._block.write_rows(values, (rlo - lo) * self.cols + clo,
+                               self.cols)
 
     def local_view(self) -> np.ndarray:
         """Raw 2-D numpy view of the owned block.  Accesses through this

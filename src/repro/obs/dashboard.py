@@ -94,6 +94,16 @@ def render_run_text(entry: RunReport) -> str:
                      f"{ingest.get('rma_ops', 0)} RMA ops, "
                      f"{ingest.get('local_accesses', 0)} local accesses, "
                      f"{ingest.get('regions', 0)} regions")
+    emission = getattr(entry, "emission", None) or {}
+    if emission:
+        lines.append(
+            f"  emission: {emission.get('seconds', 0.0):.3f}s generation "
+            f"wall, {emission.get('events_per_second', 0.0):,.0f} events/s")
+        emitted = emission.get("emitted", {})
+        if emitted:
+            lines.append("    lanes: " + ", ".join(
+                f"{kind}={int(count)}"
+                for kind, count in sorted(emitted.items())))
     findings = entry.findings
     lines.append(f"  findings: {findings.get('errors', 0)} error(s), "
                  f"{findings.get('warnings', 0)} warning(s)")
@@ -310,6 +320,30 @@ def _workers_panel(entry: RunReport) -> str:
     return "".join(parts) or "<p class=meta>no worker spans recorded</p>"
 
 
+def _emission_panel(entry: RunReport) -> str:
+    emission = getattr(entry, "emission", None) or {}
+    if not emission:
+        return ("<p class=meta>no generation stats — the trace was "
+                "produced outside this obs session</p>")
+    parts = [f"<p>generation wall: "
+             f"<strong>{emission.get('seconds', 0.0):.3f}s</strong>, "
+             f"throughput: <strong>"
+             f"{emission.get('events_per_second', 0.0):,.0f}</strong> "
+             f"events/s</p>"]
+    emitted = emission.get("emitted", {})
+    if emitted:
+        top = max(emitted.values()) or 1.0
+        parts.append("<table><tr><th>kind / lane</th>"
+                     "<th class=num>events</th><th></th></tr>")
+        for key, count in sorted(emitted.items()):
+            cls = "bar hit" if key.endswith("/bulk") else "bar"
+            parts.append(f"<tr><td><code>{html.escape(key)}</code></td>"
+                         f"<td class=num>{int(count)}</td>"
+                         f"<td>{_svg_bar(count / top, cls)}</td></tr>")
+        parts.append("</table>")
+    return "".join(parts)
+
+
 def _findings_panel(entry: RunReport) -> str:
     findings = entry.findings
     details = findings.get("details", [])
@@ -379,6 +413,7 @@ def render_run_html(entry: RunReport) -> str:
 <h2>Candidate-pair funnel</h2>{_funnel_panel(entry)}
 <h2>Incremental cache</h2>{_cache_panel(entry)}
 <h2>Worker pool</h2>{_workers_panel(entry)}
+<h2>Trace generation</h2>{_emission_panel(entry)}
 <h2>Findings</h2>{_findings_panel(entry)}
 </body></html>
 """

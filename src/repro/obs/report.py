@@ -51,6 +51,9 @@ class RunReport:
     workers: Dict[str, Any] = field(default_factory=dict)
     #: trace-ingest sizes (events, ops, locals, matches, ...)
     ingest: Dict[str, int] = field(default_factory=dict)
+    #: trace-generation stats (wall seconds, events/s, per-lane counts) —
+    #: present when the run shared an obs session with ``profile_run``
+    emission: Dict[str, Any] = field(default_factory=dict)
     peak_rss_bytes: int = 0
     #: findings summary: counts plus per-finding detail w/ provenance
     findings: Dict[str, Any] = field(default_factory=dict)
@@ -176,6 +179,35 @@ def _worker_utilization(recorder) -> Dict[str, Any]:
     return out
 
 
+def _emission(recorder) -> Dict[str, Any]:
+    """Trace-generation stats published by the last ``profile_run``.
+
+    Empty unless the profiler ran under the same obs session as the
+    check (the ``run-check`` path) — analysis-only runs never saw the
+    events being produced.
+    """
+    seconds = recorder.registry.get("profiler_emission_seconds")
+    emitted = recorder.registry.get("profiler_emitted_events_total")
+    if seconds is None and emitted is None:
+        return {}
+    out: Dict[str, Any] = {}
+    if seconds is not None:
+        value = seconds.value()
+        if value is not None:
+            out["seconds"] = value
+    rate = recorder.registry.get("profiler_events_per_second")
+    if rate is not None:
+        value = rate.value()
+        if value is not None:
+            out["events_per_second"] = value
+    if emitted is not None:
+        out["emitted"] = dict(sorted(
+            (f"{labels.get('kind', '?')}/{labels.get('lane', '?')}",
+             int(value))
+            for labels, value in emitted.samples()))
+    return out
+
+
 def _findings_summary(report) -> Dict[str, Any]:
     details: List[dict] = []
     for finding in report.findings:
@@ -248,5 +280,6 @@ def build_run_report(report, config, *, traces=None, recorder=None,
         phases=phases, funnel=_funnel(rec),
         cache=_cache_attribution(rec),
         workers=_worker_utilization(rec),
-        ingest=ingest, peak_rss_bytes=_peak_rss_bytes(),
+        ingest=ingest, emission=_emission(rec),
+        peak_rss_bytes=_peak_rss_bytes(),
         findings=_findings_summary(report))

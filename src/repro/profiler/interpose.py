@@ -36,7 +36,8 @@ class ProfilerHook(EventHook):
                  scope: str = SCOPE_REPORT,
                  relevant_vars: Optional[Set[str]] = None,
                  capture_locations: bool = True,
-                 trace_format: str = FORMAT_TEXT):
+                 trace_format: str = FORMAT_TEXT,
+                 bulk: bool = True):
         if scope not in SCOPES:
             raise ValueError(f"unknown instrumentation scope {scope!r}")
         if trace_format not in FORMATS:
@@ -44,12 +45,21 @@ class ProfilerHook(EventHook):
         self.scope = scope
         self.relevant_vars = set(relevant_vars or ())
         self.capture_locations = capture_locations
+        #: When True, block accesses take the zero-object columnar lane
+        #: (``TraceWriter.append_mem_columns``); when False they decompose
+        #: into per-event ``on_mem`` calls — the scalar reference lane the
+        #: differential suite compares against.
+        self.bulk = bulk
         self._writers: List[TraceWriter] = [
             TraceWriter(TraceSet.rank_path(directory, rank, trace_format),
                         rank, nranks, app, format=trace_format)
             for rank in range(nranks)
         ]
         self._seq = [0] * nranks
+        # lane accounting (satellite observability: scalar vs bulk mix)
+        self._calls = 0
+        self._scalar_mems = 0
+        self._bulk_mems = 0
 
     # -- EventHook interface -------------------------------------------
 
@@ -57,21 +67,37 @@ class ProfilerHook(EventHook):
         loc = capture_location() if self.capture_locations else None
         seq = self._seq[rank]
         self._seq[rank] = seq + 1
-        event = CallEvent(rank=rank, seq=seq, fn=fn, args=dict(args))
-        if loc is not None:
-            event.loc = loc
-        self._writers[rank].write(event)
+        self._calls += 1
+        self._writers[rank].append_call(fn, args, loc, seq)
 
     def on_mem(self, rank: int, kind: str, buf: TrackedBuffer, addr: int,
                size: int) -> None:
         loc = capture_location() if self.capture_locations else None
         seq = self._seq[rank]
         self._seq[rank] = seq + 1
+        self._scalar_mems += 1
         event = MemEvent(rank=rank, seq=seq, access=kind, addr=addr,
                          size=size, var=buf.name)
         if loc is not None:
             event.loc = loc
         self._writers[rank].write(event)
+
+    def on_mem_block(self, rank: int, kind: str, buf: TrackedBuffer,
+                     addr: int, size: int, count: int, stride: int) -> None:
+        if count <= 0:
+            return
+        if not self.bulk:
+            # scalar lane: the EventHook default turns the block back
+            # into count on_mem calls (one MemEvent each)
+            EventHook.on_mem_block(self, rank, kind, buf, addr, size,
+                                   count, stride)
+            return
+        loc = capture_location() if self.capture_locations else None
+        seq = self._seq[rank]
+        self._seq[rank] = seq + count
+        self._bulk_mems += count
+        self._writers[rank].append_mem_columns(
+            kind, buf.name, loc, seq, addr, size, count, stride)
 
     def on_alloc(self, rank: int, buf: TrackedBuffer) -> None:
         """Decide, per the scope, whether this buffer's accesses are traced."""
@@ -101,6 +127,13 @@ class ProfilerHook(EventHook):
     @property
     def bytes_written(self) -> int:
         return sum(w.bytes_written for w in self._writers)
+
+    def lane_counts(self) -> Dict[str, Dict[str, int]]:
+        """Emitted-event totals by event kind and producer lane."""
+        return {
+            "call": {"scalar": self._calls},
+            "mem": {"scalar": self._scalar_mems, "bulk": self._bulk_mems},
+        }
 
     def events_by_rank(self) -> List[int]:
         return [w.events_written for w in self._writers]

@@ -51,6 +51,16 @@ def _publish_profiler_metrics(hook: ProfilerHook, elapsed: float) -> None:
     for rank, nbytes in enumerate(hook.bytes_by_rank()):
         rec.count("profiler_bytes_written_total", nbytes, rank=rank,
                   help="Trace bytes written, per rank")
+    for kind, lanes in hook.lane_counts().items():
+        for lane, n in lanes.items():
+            if n:
+                rec.count("profiler_emitted_events_total", n, kind=kind,
+                          lane=lane,
+                          help="Events emitted, by kind and producer lane "
+                               "(scalar objects vs bulk columns)")
+    rec.gauge("profiler_emission_seconds", elapsed,
+              help="Wall time of the last instrumented execution "
+                   "(simulate + profile + write)")
     if elapsed > 0:
         rec.gauge("profiler_events_per_second",
                   hook.events_written / elapsed,
@@ -67,11 +77,15 @@ def profile_run(app: Callable, nranks: int,
                 delivery: str = "random",
                 capture_locations: bool = True,
                 app_name: Optional[str] = None,
-                trace_format: str = "text") -> ProfiledRun:
+                trace_format: str = "text",
+                bulk: bool = True) -> ProfiledRun:
     """Run ``app`` on ``nranks`` simulated ranks with the Profiler attached.
 
     With ``scope="report"`` (the paper's configuration) and no explicit
     ``report``, ST-Analyzer runs automatically on the app's defining module.
+    ``bulk=False`` forces the scalar emission lane (every access becomes
+    one ``MemEvent``), the reference arm for producer differentials and
+    the generation benchmark baseline.
     """
     if trace_dir is None:
         trace_dir = tempfile.mkdtemp(prefix="mcchecker-trace-")
@@ -84,7 +98,7 @@ def profile_run(app: Callable, nranks: int,
     hook = ProfilerHook(trace_dir, nranks, app=app_name, scope=scope,
                         relevant_vars=relevant,
                         capture_locations=capture_locations,
-                        trace_format=trace_format)
+                        trace_format=trace_format, bulk=bulk)
     world = World(nranks, sched_policy=sched_policy, seed=seed,
                   delivery=delivery)
     world.hooks.append(hook)

@@ -31,7 +31,7 @@ import os
 import struct
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,8 +41,8 @@ from repro.profiler.events import (
 )
 from repro.util.errors import TraceFormatError
 from repro.util.hashing import hash_file, hash_strings, stable_hash
-from repro.util.location import SourceLocation
-from repro.util.records import decode_record, encode_record
+from repro.util.location import SourceLocation, UNKNOWN_LOCATION
+from repro.util.records import decode_record, encode_record, encode_value
 
 TRACE_VERSION = 1        # text (v1) format version
 BINARY_VERSION = 2       # binary (v2) format version
@@ -226,6 +226,96 @@ class TraceWriter:
             if len(self._buffer) >= _FLUSH_EVERY:
                 self._drain()
         self.events_written += 1
+
+    def append_call(self, fn: str, args: Dict[str, Any],
+                    loc: Optional[SourceLocation], seq: int) -> None:
+        """Call fast path: write one call record without building a
+        :class:`CallEvent` — the line is byte-identical to
+        ``CallEvent(seq=seq, fn=fn, args=args, loc=loc).encode()``."""
+        loc_text = (loc if loc is not None else UNKNOWN_LOCATION).encode()
+        parts = [f"C seq={seq} fn={encode_value(fn)}"
+                 f" loc={encode_value(loc_text)}"]
+        for key, value in args.items():
+            if value is not None:
+                parts.append(f"{key}={encode_value(value)}")
+        line = " ".join(parts)
+        if self.format == FORMAT_BINARY:
+            self._flush_mem_block()  # preserve on-disk event order
+            payload = line.encode("utf-8")
+            self._frame(b"C", payload)
+            self._hash_calls.update(_U32.pack(len(payload)))
+            self._hash_calls.update(payload)
+            self._counts["call"] += 1
+            if len(self._out) >= 1 << 20:
+                self._drain()
+        else:
+            self._buffer.append(line)
+            if len(self._buffer) >= _FLUSH_EVERY:
+                self._drain()
+        self.events_written += 1
+
+    def append_mem_columns(self, access: str, var: str,
+                           loc: Optional[SourceLocation], seq0: int,
+                           addr: int, size: int, count: int,
+                           stride: int = 0) -> None:
+        """Bulk fast path: append ``count`` memory rows without building
+        per-event objects.  Row *i* is ``(seq0 + i, addr + i * stride,
+        size, var, loc, access)`` — byte-identical on disk (and in the
+        content digests) to ``count`` :meth:`write` calls with the
+        matching :class:`MemEvent`\\ s.
+
+        Binary traces extend the pending packed-column lists directly;
+        the mems digest hashes packed content without block-length
+        prefixes, so block boundaries introduced by bulk appends cannot
+        perturb it.  Text traces replicate ``MemEvent.encode()`` output
+        from one pre-encoded template.
+        """
+        if count <= 0:
+            return
+        if stride < 0:
+            raise TraceFormatError(
+                f"append_mem_columns: negative stride {stride}")
+        loc_text = (loc if loc is not None else UNKNOWN_LOCATION).encode()
+        if self.format == FORMAT_BINARY:
+            try:
+                code = ACCESS_CODES[access]
+            except KeyError:
+                raise TraceFormatError(
+                    f"unknown access kind {access!r}") from None
+            counts = self._counts
+            seqs, addrs, sizes, var_ids, loc_ids, accs = self._pending
+            seqs.extend(range(seq0, seq0 + count))
+            if stride:
+                addrs.extend(range(addr, addr + count * stride, stride))
+            else:
+                addrs.extend([addr] * count)
+            sizes.extend([size] * count)
+            var_ids.extend([self._table.intern(var)] * count)
+            loc_ids.extend([self._table.intern(loc_text)] * count)
+            accs.extend([code] * count)
+            counts["mem"] += count
+            counts[access] += count
+            if len(seqs) >= _FLUSH_EVERY:
+                self._flush_mem_block()
+        else:
+            if access not in ACCESS_CODES:
+                raise TraceFormatError(
+                    f"unknown access kind {access!r}")
+            buffer = self._buffer
+            mid = f" a={encode_value(access)} addr="
+            tail = (f" size={size} var={encode_value(var)}"
+                    f" loc={encode_value(loc_text)}")
+            if stride:
+                buffer.extend(
+                    f"M seq={seq0 + i}{mid}{addr + i * stride}{tail}"
+                    for i in range(count))
+            else:
+                line_tail = f"{mid}{addr}{tail}"
+                buffer.extend(f"M seq={seq0 + i}{line_tail}"
+                              for i in range(count))
+            if len(buffer) >= _FLUSH_EVERY:
+                self._drain()
+        self.events_written += count
 
     def close(self) -> None:
         """Flush everything and finalize the file (footer + trailer for

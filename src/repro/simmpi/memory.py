@@ -32,6 +32,15 @@ from repro.util.errors import SimMPIError
 #: one of ``"load"`` or ``"store"``.
 AccessHook = Callable[[str, "TrackedBuffer", int, int], None]
 
+#: Bulk-hook signature: (kind, buffer, byte_addr, byte_size, count,
+#: byte_stride) -> None.  One call describes ``count`` accesses of
+#: ``byte_size`` bytes each, access *i* at ``byte_addr + i * byte_stride``;
+#: a stride of 0 means the same bytes are touched ``count`` times (a loop
+#: re-reading one slice).  This is the producer-side columnar record: a
+#: vectorized access reaches the profiler as one call instead of ``count``
+#: scalar events.
+BlockHook = Callable[[str, "TrackedBuffer", int, int, int, int], None]
+
 _ALLOC_BASE = 0x1000
 _ALIGN = 64
 
@@ -74,7 +83,7 @@ class TrackedBuffer:
     """
 
     __slots__ = ("name", "base", "array", "itemsize", "rank",
-                 "instrumented", "_hook")
+                 "instrumented", "_hook", "_block_hook")
 
     def __init__(self, space: AddressSpace, name: str, count: int,
                  np_dtype: Union[str, np.dtype] = np.float64,
@@ -90,6 +99,7 @@ class TrackedBuffer:
             self.array = np.full(count, fill, dtype=dtype)
         self.instrumented = False
         self._hook: Optional[AccessHook] = None
+        self._block_hook: Optional[BlockHook] = None
 
     # ------------------------------------------------------------------
     # hook management (profiler attach/detach)
@@ -97,6 +107,9 @@ class TrackedBuffer:
 
     def set_hook(self, hook: Optional[AccessHook]) -> None:
         self._hook = hook
+
+    def set_block_hook(self, hook: Optional[BlockHook]) -> None:
+        self._block_hook = hook
 
     @property
     def count(self) -> int:
@@ -125,14 +138,37 @@ class TrackedBuffer:
     # ------------------------------------------------------------------
 
     def _emit(self, kind: str, index: int, nelems: int) -> None:
-        if self.instrumented and self._hook is not None:
-            self._hook(kind, self, self.addr_of(index), nelems * self.itemsize)
+        self._emit_block(kind, index, nelems, 1, 0)
+
+    def _emit_block(self, kind: str, index: int, nelems: int,
+                    nrows: int, row_stride: int) -> None:
+        """Record ``nrows`` accesses of ``nelems`` elements, row *i* at
+        element index ``index + i * row_stride``.  Prefers the bulk hook
+        (one columnar record); without one, decomposes into per-row
+        scalar hook calls so both lanes observe the same access stream.
+        """
+        if not self.instrumented or nrows <= 0 or nelems <= 0:
+            return
+        size = nelems * self.itemsize
+        if self._block_hook is not None:
+            self._block_hook(kind, self, self.addr_of(index), size,
+                             nrows, row_stride * self.itemsize)
+        elif self._hook is not None:
+            hook = self._hook
+            addr = self.addr_of(index)
+            stride = row_stride * self.itemsize
+            for i in range(nrows):
+                hook(kind, self, addr + i * stride, size)
 
     def _resolve(self, key: Union[int, slice]):
         if isinstance(key, slice):
-            start, stop, step = key.indices(self.count)
-            if step != 1:
-                raise SimMPIError("TrackedBuffer slices must be contiguous")
+            if key.step not in (None, 1):
+                raise SimMPIError(
+                    f"TrackedBuffer {self.name!r} slices must be contiguous "
+                    f"(step 1), got step {key.step!r}; use read_rows/"
+                    f"write_rows for strided access")
+            start = self._resolve_endpoint(key.start, 0, key)
+            stop = self._resolve_endpoint(key.stop, self.count, key)
             return start, max(0, stop - start)
         index = int(key)
         if index < 0:
@@ -140,6 +176,21 @@ class TrackedBuffer:
         if not 0 <= index < self.count:
             raise IndexError(f"index {key} out of range for {self!r}")
         return index, 1
+
+    def _resolve_endpoint(self, value, default: int, key: slice) -> int:
+        # Unlike Python sequences, an out-of-range endpoint raises instead
+        # of clamping: a simulated application indexing past a buffer is a
+        # bug worth surfacing, not an access worth silently shrinking.
+        if value is None:
+            return default
+        endpoint = int(value)
+        if endpoint < 0:
+            endpoint += self.count
+        if not 0 <= endpoint <= self.count:
+            raise IndexError(
+                f"slice [{key.start!r}:{key.stop!r}] out of range for "
+                f"{self!r}")
+        return endpoint
 
     def __getitem__(self, key):
         index, nelems = self._resolve(key)
@@ -173,6 +224,82 @@ class TrackedBuffer:
         """Store an element sequence starting at ``offset``."""
         values = np.asarray(values, dtype=self.array.dtype)
         self[offset:offset + values.size] = values
+
+    # ------------------------------------------------------------------
+    # vectorized accesses — one columnar record instead of N events
+    # ------------------------------------------------------------------
+
+    def _check_span(self, what: str, offset: int, nelems: int,
+                    nrows: int = 1, row_stride: int = 0) -> None:
+        if nelems < 0 or nrows < 0:
+            raise SimMPIError(
+                f"{what} on {self.name!r}: negative extent "
+                f"(count={nelems}, rows={nrows})")
+        if row_stride < 0:
+            raise SimMPIError(
+                f"{what} on {self.name!r}: negative stride {row_stride}")
+        if nrows == 0 or nelems == 0:
+            return
+        last = offset + (nrows - 1) * row_stride + nelems
+        if offset < 0 or last > self.count:
+            raise IndexError(
+                f"{what} [{offset}, {last}) out of range for {self!r}")
+
+    def read_block(self, offset: int = 0, count: Optional[int] = None, *,
+                   reps: int = 1) -> np.ndarray:
+        """Load ``count`` elements at ``offset``, emitting ``reps`` access
+        records for the same bytes.
+
+        ``reps > 1`` is the vectorized form of a loop that re-reads one
+        slice ``reps`` times: the data is copied once, but every semantic
+        read the loop would have issued still appears in the trace.
+        """
+        count = self.count - offset if count is None else count
+        self._check_span("read_block", offset, count, reps, 0)
+        self._emit_block("load", offset, count, reps, 0)
+        return self.array[offset:offset + count].copy()
+
+    def write_block(self, values, offset: int = 0, *, reps: int = 1) -> None:
+        """Store an element sequence, emitting ``reps`` access records."""
+        values = np.asarray(values, dtype=self.array.dtype).reshape(-1)
+        self._check_span("write_block", offset, values.size, reps, 0)
+        self._emit_block("store", offset, values.size, reps, 0)
+        if values.size:
+            self.array[offset:offset + values.size] = values
+
+    def read_rows(self, offset: int, width: int, nrows: int,
+                  row_stride: int) -> np.ndarray:
+        """Load ``nrows`` runs of ``width`` elements, run *i* starting at
+        element ``offset + i * row_stride`` — one strided columnar record
+        instead of ``nrows`` slice events.  Returns a ``(nrows, width)``
+        copy.
+        """
+        self._check_span("read_rows", offset, width, nrows, row_stride)
+        self._emit_block("load", offset, width, nrows, row_stride)
+        if nrows == 0 or width == 0:
+            return np.empty((nrows, width), dtype=self.array.dtype)
+        view = np.lib.stride_tricks.as_strided(
+            self.array[offset:], shape=(nrows, width),
+            strides=(row_stride * self.itemsize, self.itemsize))
+        return view.copy()
+
+    def write_rows(self, values, offset: int, row_stride: int) -> None:
+        """Store a ``(nrows, width)`` array strided across the buffer —
+        the store-side counterpart of :meth:`read_rows`."""
+        values = np.asarray(values, dtype=self.array.dtype)
+        if values.ndim != 2:
+            raise SimMPIError(
+                f"write_rows on {self.name!r}: expected a 2-D array, got "
+                f"shape {values.shape}")
+        nrows, width = values.shape
+        self._check_span("write_rows", offset, width, nrows, row_stride)
+        self._emit_block("store", offset, width, nrows, row_stride)
+        if nrows == 0 or width == 0:
+            return
+        view = np.lib.stride_tricks.as_strided(
+            self.array[offset:], shape=(nrows, width),
+            strides=(row_stride * self.itemsize, self.itemsize))
+        view[:] = values
 
     # ------------------------------------------------------------------
     # raw (runtime) accesses — no load/store events

@@ -99,13 +99,60 @@ class DeliveryEngine:
 # typed byte movement
 # ----------------------------------------------------------------------
 
+def _uniform_runs(byte_offset: int, dtype: Datatype,
+                  count: int) -> Optional[np.ndarray]:
+    """Start offsets of every ``(rep, segment)`` byte run, when all
+    segments share one length; ``None`` for irregular datatypes (which
+    take the generic per-segment path)."""
+    datamap = dtype.datamap
+    if not datamap:
+        return None
+    length = datamap[0][1]
+    if any(seg_len != length for _, seg_len in datamap):
+        return None
+    disps = np.fromiter((disp for disp, _ in datamap), dtype=np.int64,
+                        count=len(datamap))
+    origins = byte_offset + np.arange(count, dtype=np.int64) * dtype.extent
+    return (origins[:, None] + disps[None, :]).reshape(-1)
+
+
+def _check_runs(buf: TrackedBuffer, starts: np.ndarray, length: int,
+                verb: str) -> None:
+    lo = int(starts.min())
+    hi = int(starts.max()) + length
+    if lo < 0 or hi > buf.nbytes:
+        raise SimMPIError(
+            f"raw {verb} [{lo}, {hi}) outside buffer {buf.name!r} of "
+            f"{buf.nbytes} bytes")
+
+
 def gather_typed(buf: TrackedBuffer, byte_offset: int, dtype: Datatype,
                  count: int) -> bytes:
-    """Collect the bytes selected by ``count`` instances of ``dtype``."""
+    """Collect the bytes selected by ``count`` instances of ``dtype``.
+
+    Data movement is bulk numpy copies, not a Python loop per element:
+    contiguous types collapse to one slice, uniform-segment types (e.g.
+    ``Type_vector``) to one fancy-indexed copy.
+    """
+    if count <= 0:
+        return b""
+    datamap = dtype.datamap
+    if len(datamap) == 1:
+        disp, length = datamap[0]
+        if count == 1:
+            return buf.raw_read_bytes(byte_offset + disp, length)
+        if disp == 0 and length == dtype.extent:
+            return buf.raw_read_bytes(byte_offset, count * length)
+    starts = _uniform_runs(byte_offset, dtype, count)
+    if starts is not None:
+        length = datamap[0][1]
+        _check_runs(buf, starts, length, "read")
+        idx = starts[:, None] + np.arange(length, dtype=np.int64)
+        return buf.raw_bytes_view()[idx].tobytes()
     out = bytearray()
     for rep in range(count):
         origin = byte_offset + rep * dtype.extent
-        for disp, length in dtype.datamap:
+        for disp, length in datamap:
             out += buf.raw_read_bytes(origin + disp, length)
     return bytes(out)
 
@@ -113,10 +160,32 @@ def gather_typed(buf: TrackedBuffer, byte_offset: int, dtype: Datatype,
 def scatter_typed(buf: TrackedBuffer, byte_offset: int, dtype: Datatype,
                   count: int, data: bytes) -> None:
     """Distribute a packed byte stream into the datatype's segments."""
+    total = count * dtype.size
+    datamap = dtype.datamap
+    if len(datamap) == 1:
+        disp, length = datamap[0]
+        if count == 1 or (disp == 0 and length == dtype.extent):
+            if total != len(data):
+                raise SimMPIError(
+                    f"typed scatter consumed {total} of {len(data)} bytes")
+            buf.raw_write_bytes(byte_offset + (disp if count == 1 else 0),
+                                data)
+            return
+    starts = _uniform_runs(byte_offset, dtype, count) if count > 0 else None
+    if starts is not None:
+        if total != len(data):
+            raise SimMPIError(
+                f"typed scatter consumed {total} of {len(data)} bytes")
+        length = datamap[0][1]
+        _check_runs(buf, starts, length, "write")
+        idx = starts[:, None] + np.arange(length, dtype=np.int64)
+        buf.raw_bytes_view()[idx] = np.frombuffer(
+            data, dtype=np.uint8).reshape(len(starts), length)
+        return
     cursor = 0
     for rep in range(count):
         origin = byte_offset + rep * dtype.extent
-        for disp, length in dtype.datamap:
+        for disp, length in datamap:
             buf.raw_write_bytes(origin + disp, data[cursor:cursor + length])
             cursor += length
     if cursor != len(data):

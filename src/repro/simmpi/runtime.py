@@ -62,6 +62,18 @@ class EventHook:
                size: int) -> None:
         """An instrumented load/store by ``rank``."""
 
+    def on_mem_block(self, rank: int, kind: str, buf: TrackedBuffer,
+                     addr: int, size: int, count: int, stride: int) -> None:
+        """``count`` instrumented accesses of ``size`` bytes by ``rank``,
+        access *i* at ``addr + i * stride`` (``stride`` 0: the same bytes
+        ``count`` times).  The default decomposes into per-access
+        :meth:`on_mem` calls, so hooks that never opt into columnar
+        handling observe the exact scalar event stream — which also makes
+        this decomposition the reference lane for differential tests."""
+        on_mem = self.on_mem
+        for i in range(count):
+            on_mem(rank, kind, buf, addr + i * stride, size)
+
     def on_alloc(self, rank: int, buf: TrackedBuffer) -> None:
         """A buffer allocation by ``rank`` (instrumentation decisions)."""
 
@@ -78,8 +90,16 @@ class World:
 
     def __init__(self, nranks: int, sched_policy: str = "round_robin",
                  seed: int = 0, delivery: str = "random",
-                 max_steps: int = 50_000_000):
+                 max_steps: int = 50_000_000,
+                 collect_stats: Optional[bool] = None):
+        from repro import obs
+
         self.nranks = nranks
+        # Stats feed publish_obs only, so by default they are collected
+        # exactly when observability is on; with it off the hot paths
+        # skip the per-call dict/counter work (and the f-string keys).
+        self.collect_stats = (obs.is_enabled() if collect_stats is None
+                              else bool(collect_stats))
         self.scheduler = Scheduler(nranks, policy=sched_policy, seed=seed,
                                    max_steps=max_steps)
         self.router = MessageRouter(nranks)
@@ -174,10 +194,11 @@ class World:
 def run_app(app: Callable, nranks: int, params: Optional[Dict[str, Any]] = None,
             sched_policy: str = "round_robin", seed: int = 0,
             delivery: str = "random",
-            hooks: Optional[Sequence[EventHook]] = None) -> List[Any]:
+            hooks: Optional[Sequence[EventHook]] = None,
+            collect_stats: Optional[bool] = None) -> List[Any]:
     """Convenience wrapper: build a world, run the app, return rank results."""
     world = World(nranks, sched_policy=sched_policy, seed=seed,
-                  delivery=delivery)
+                  delivery=delivery, collect_stats=collect_stats)
     if hooks:
         world.hooks.extend(hooks)
     return world.run(app, params)
@@ -210,16 +231,28 @@ class MPIContext:
 
     def _yield_and_emit(self, fn: str, args: Dict[str, Any]) -> None:
         """One yield point + one call event; every MPI call funnels here."""
-        self.world.bump_stat(f"call:{fn}")
-        for hook in self.world.hooks:
+        world = self.world
+        if world.collect_stats:
+            world.bump_stat(f"call:{fn}")
+        for hook in world.hooks:
             hook.on_call(self.rank, fn, args)
-        self.world.scheduler.yield_point(self.rank)
+        world.scheduler.yield_point(self.rank)
 
     def _mem_hook(self, kind: str, buf: TrackedBuffer, addr: int,
                   size: int) -> None:
-        self.world.bump_stat(f"mem:{kind}")
-        for hook in self.world.hooks:
+        world = self.world
+        if world.collect_stats:
+            world.bump_stat(f"mem:{kind}")
+        for hook in world.hooks:
             hook.on_mem(self.rank, kind, buf, addr, size)
+
+    def _mem_block_hook(self, kind: str, buf: TrackedBuffer, addr: int,
+                        size: int, count: int, stride: int) -> None:
+        world = self.world
+        if world.collect_stats:
+            world.bump_stat(f"mem:{kind}", count)
+        for hook in world.hooks:
+            hook.on_mem_block(self.rank, kind, buf, addr, size, count, stride)
 
     def _collective_barrier(self, comm: Comm, name: str,
                             contribution: Any = None, meta: Any = None):
@@ -257,8 +290,10 @@ class MPIContext:
             np_dtype = np.dtype(datatype)
         buf = TrackedBuffer(self.space, name, count, np_dtype, fill=fill)
         buf.set_hook(self._mem_hook)
+        buf.set_block_hook(self._mem_block_hook)
         self._buffers.append(buf)
-        self.world.bump_stat("alloc")
+        if self.world.collect_stats:
+            self.world.bump_stat("alloc")
         for hook in self.world.hooks:
             hook.on_alloc(self.rank, buf)
         return buf
@@ -469,7 +504,8 @@ class MPIContext:
             n = msg.elem_count if count is None else count
             args.update({"base": buf.base, "offset": offset * buf.itemsize,
                          "count": n, "dtype": dtype.type_id, "var": buf.name})
-        self.world.bump_stat("call:Recv")
+        if self.world.collect_stats:
+            self.world.bump_stat("call:Recv")
         for hook in self.world.hooks:
             hook.on_call(self.rank, "Recv", args)
         return payload, status
@@ -564,7 +600,8 @@ class MPIContext:
             args.update({"base": buf.base,
                          "offset": req._recv_offset * buf.itemsize,
                          "count": n, "dtype": dtype.type_id, "var": buf.name})
-        self.world.bump_stat("call:Wait")
+        if self.world.collect_stats:
+            self.world.bump_stat("call:Wait")
         for hook in self.world.hooks:
             hook.on_call(self.rank, "Wait", args)
         return req.status
@@ -654,7 +691,8 @@ class MPIContext:
         self.world.collectives.leave(comm, index, slot, self.rank)
         req.complete = True
         # logged at completion, like a PMPI wrapper observing MPI_Wait
-        self.world.bump_stat("call:Wait")
+        if self.world.collect_stats:
+            self.world.bump_stat("call:Wait")
         args = {"req_kind": "icoll", "coll": fn, "req": req_id,
                 "comm": comm.comm_id}
         for hook in self.world.hooks:

@@ -46,9 +46,21 @@ class Scheduler:
         self.nranks = nranks
         self.policy = policy
         self._rng = random.Random(seed)
-        self._cond = threading.Condition()
+        # One lock guards all scheduler state; each rank parks on its own
+        # binary lock (acquired = parked) so a token handoff wakes exactly
+        # the granted thread with a single futex release.  A shared
+        # condition would need notify_all() — a thundering herd of nranks
+        # wakeups per switch — and even per-rank Conditions pay an
+        # allocation and two extra lock round-trips per wait.
+        self._lock = threading.Lock()
+        self._tokens = [threading.Lock() for _ in range(nranks)]
+        for token in self._tokens:
+            token.acquire()
         self._current: Optional[int] = None
         self._live: Set[int] = set(range(nranks))
+        #: sorted cache of _live, rebuilt only when a rank completes, so
+        #: the grant path never sorts or allocates per switch
+        self._order = tuple(range(nranks))
         self._blocked: Dict[int, str] = {}
         self._progress = 0
         #: ranks granted the token since the all-blocked stall began; a
@@ -102,21 +114,23 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _pick_next(self) -> Optional[int]:
-        candidates = sorted(self._live)
+        candidates = self._order
         if not candidates:
             return None
         if self.policy == "random":
             return self._rng.choice(candidates)
-        if self._current is None:
-            return candidates[0]
-        for rank in candidates:
-            if rank > self._current:
-                return rank
+        current = self._current
+        if current is not None:
+            for rank in candidates:
+                if rank > current:
+                    return rank
         return candidates[0]
 
     def _grant_locked(self) -> None:
-        """Pick the next rank and hand it the token.  Caller holds _cond."""
-        if self._live and self._live <= set(self._blocked):
+        """Pick the next rank and hand it the token.  Caller holds _lock."""
+        # _blocked only ever holds live ranks, so "every live rank is
+        # blocked" reduces to a length comparison
+        if self._live and len(self._blocked) >= len(self._live):
             # every live rank is blocked: pick among those that have not
             # yet re-evaluated their predicate this stall; once all have,
             # with no progress, nothing can ever unblock -> deadlock
@@ -135,21 +149,33 @@ class Scheduler:
             self._current = self._pick_next()
             if self._current is not None:
                 self.token_grants += 1
-        self._cond.notify_all()
+        if self._current is not None:
+            self._tokens[self._current].release()
 
     def _abort_locked(self, exc: BaseException, rank: Optional[int]) -> None:
         if self._abort_exc is None:
             self._abort_exc = exc
             self._abort_rank = rank
-        self._cond.notify_all()
+        for token in self._tokens:
+            if token.locked():
+                token.release()
 
     def _wait_for_token_locked(self, rank: int) -> None:
-        while self._current != rank:
+        # every grant releases the target's token exactly once, and every
+        # waiter consumes exactly one release — including a grant issued
+        # before this thread first parks, so park unconditionally
+        token = self._tokens[rank]
+        lock = self._lock
+        while True:
             if self._abort_exc is not None:
                 raise _Abort()
-            self._cond.wait()
-        if self._abort_exc is not None:
-            raise _Abort()
+            lock.release()
+            token.acquire()
+            lock.acquire()
+            if self._abort_exc is not None:
+                raise _Abort()
+            if self._current == rank:
+                break
         self._steps += 1
         if self._steps > self._max_steps:
             self._abort_locked(
@@ -166,7 +192,7 @@ class Scheduler:
 
     def yield_point(self, rank: int) -> None:
         """Hand the token back and wait until it is granted again."""
-        with self._cond:
+        with self._lock:
             if self._abort_exc is not None:
                 raise _Abort()
             self.switches += 1
@@ -181,7 +207,7 @@ class Scheduler:
         while false the rank is marked blocked with ``reason`` so deadlock
         reports can explain the cycle.
         """
-        with self._cond:
+        with self._lock:
             while not pred():
                 if self._abort_exc is not None:
                     raise _Abort()
@@ -207,19 +233,21 @@ class Scheduler:
 
         def runner(rank: int, body: Callable[[], None]) -> None:
             try:
-                with self._cond:
+                with self._lock:
                     self._wait_for_token_locked(rank)
                 body()
-                with self._cond:
+                with self._lock:
                     self._live.discard(rank)
+                    self._order = tuple(sorted(self._live))
                     self.register_progress()
                     self._note_release_locked(rank)
                     self._grant_locked()
             except _Abort:
                 pass
             except BaseException as exc:  # noqa: BLE001 - must cross threads
-                with self._cond:
+                with self._lock:
                     self._live.discard(rank)
+                    self._order = tuple(sorted(self._live))
                     self._abort_locked(exc, rank)
 
         threads = [
@@ -229,7 +257,7 @@ class Scheduler:
         ]
         for t in threads:
             t.start()
-        with self._cond:
+        with self._lock:
             self._grant_locked()
         for t in threads:
             t.join()

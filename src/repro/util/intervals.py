@@ -181,6 +181,21 @@ def datamap_intervals(
     """
     if count < 0:
         raise ValueError(f"negative count {count}")
+    if count > 0 and len(datamap) == 1:
+        # fast paths for the overwhelmingly common shapes: a primitive or
+        # contiguous type tiles into ONE interval; a vector type's blocks
+        # are already sorted and disjoint, so normalization is a no-op
+        disp, length = datamap[0]
+        if length > 0:
+            start = base + disp
+            if length == extent:
+                return IntervalSet.single(start, count * length)
+            if length < extent:
+                result = IntervalSet.__new__(IntervalSet)
+                result._ivs = [
+                    Interval(start + rep * extent, start + rep * extent + length)
+                    for rep in range(count)]
+                return result
     ivs = []
     for rep in range(count):
         origin = base + rep * extent

@@ -52,6 +52,26 @@ class SourceLocation:
 
 UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, "<unknown>")
 
+# Per-code-object memo of the runtime-frame decision.  capture_location is
+# on the per-event hot path and the set of code objects it sees is tiny and
+# immortal (runtime + app functions), so one substring scan per code object
+# replaces one per frame per event.  Keyed by the code object itself: that
+# pins it alive, which is exactly what makes the verdict stable.
+_RUNTIME_CODE: dict = {}
+
+#: (code object, lineno) -> SourceLocation instance memo (same lifetime
+#: argument as _RUNTIME_CODE: the key set is small and immortal).
+_LOCATION_CACHE: dict = {}
+
+
+def _is_runtime_code(code) -> bool:
+    flag = _RUNTIME_CODE.get(code)
+    if flag is None:
+        filename = code.co_filename
+        flag = any(f in filename for f in _RUNTIME_FRAGMENTS)
+        _RUNTIME_CODE[code] = flag
+    return flag
+
 
 def capture_location(skip_runtime: bool = True) -> SourceLocation:
     """Capture the innermost application frame as a :class:`SourceLocation`.
@@ -63,8 +83,16 @@ def capture_location(skip_runtime: bool = True) -> SourceLocation:
     """
     frame = sys._getframe(1)
     while frame is not None:
-        filename = frame.f_code.co_filename
-        if not skip_runtime or not any(f in filename for f in _RUNTIME_FRAGMENTS):
-            return SourceLocation(filename, frame.f_lineno, frame.f_code.co_name)
+        code = frame.f_code
+        if not skip_runtime or not _is_runtime_code(code):
+            # frozen-dataclass construction costs more than the whole
+            # frame walk; app call sites repeat endlessly, so memoize
+            key = (code, frame.f_lineno)
+            loc = _LOCATION_CACHE.get(key)
+            if loc is None:
+                loc = SourceLocation(code.co_filename, frame.f_lineno,
+                                     code.co_name)
+                _LOCATION_CACHE[key] = loc
+            return loc
         frame = frame.f_back
     return UNKNOWN_LOCATION

@@ -123,3 +123,69 @@ class TestTrackedBuffer:
         assert len(buf) == 5
         assert buf.nbytes == 20
         assert buf.end == buf.base + 20
+
+
+class TestSliceEdgeCases:
+    """Pin down ``_resolve``'s slice semantics (the bulk-lane producers
+    lean on it, so every corner is load-bearing)."""
+
+    @pytest.fixture
+    def traced(self, space):
+        events = []
+        buf = TrackedBuffer(space, "b", 8, np.float64,
+                            fill=0.0)
+        buf.array[:] = np.arange(8, dtype=np.float64)
+        buf.set_hook(lambda kind, b, addr, size:
+                     events.append((kind, addr, size)))
+        buf.instrumented = True
+        return buf, events
+
+    def test_negative_endpoints(self, traced):
+        buf, events = traced
+        assert buf[-3:-1].tolist() == [5.0, 6.0]
+        assert events == [("load", buf.base + 5 * 8, 2 * 8)]
+
+    def test_open_ended_slices(self, traced):
+        buf, events = traced
+        assert buf[:].tolist() == list(range(8))
+        assert buf[6:].tolist() == [6.0, 7.0]
+        assert buf[:2].tolist() == [0.0, 1.0]
+        assert [e[2] for e in events] == [8 * 8, 2 * 8, 2 * 8]
+
+    def test_empty_slice_emits_nothing(self, traced):
+        buf, events = traced
+        assert buf[3:3].size == 0
+        assert buf[5:3].size == 0  # reversed: empty, not negative
+        buf[4:4] = []
+        assert events == []
+
+    def test_step_error_names_step_and_alternative(self, traced):
+        buf, _ = traced
+        with pytest.raises(SimMPIError) as excinfo:
+            buf[0:8:2]
+        message = str(excinfo.value)
+        assert "step 2" in message
+        assert "read_rows" in message and "write_rows" in message
+        with pytest.raises(SimMPIError):
+            buf[::-1]
+
+    def test_out_of_range_endpoints_raise_not_clamp(self, traced):
+        buf, events = traced
+        with pytest.raises(IndexError):
+            buf[0:9]
+        with pytest.raises(IndexError):
+            buf[-9:2]
+        with pytest.raises(IndexError):
+            buf[9:]
+        assert events == []  # rejected accesses never emit
+
+    def test_stop_at_count_allowed(self, traced):
+        buf, _ = traced
+        assert buf[6:8].tolist() == [6.0, 7.0]
+        assert buf[8:8].size == 0
+
+    def test_scalar_negative_out_of_range(self, traced):
+        buf, _ = traced
+        with pytest.raises(IndexError):
+            buf[-9]
+        assert buf[-8] == 0.0
