@@ -1,0 +1,281 @@
+"""Perf harness for the columnar control plane.
+
+Measures the control-plane phase group (``preprocess + matching +
+clocks + epochs``) under ``MCCHECKER_CONTROL_PLANE=object`` vs
+``columnar`` over a sync-dense fence workload (heat2d runs two fences
+per step, so its call stream is almost pure synchronization), measures
+the end-to-end wall clock on the standard 16-rank LU sweep run, verifies
+the reports are byte-identical between planes across every analysis mode
+(serial, ``jobs=2``, streaming, incremental), and writes a
+machine-readable ``BENCH_control_plane.json``.
+
+Two entry points:
+
+* ``python benchmarks/bench_control_plane.py`` — the full
+  configuration; writes ``BENCH_control_plane.json`` at the repo root.
+* ``python benchmarks/bench_control_plane.py --smoke`` — a small
+  configuration for CI; same identity/differential gates, artifact under
+  ``benchmarks/results/`` so a quick run never overwrites the committed
+  full-size result.
+
+The speedup gates (3x on the control group, 1.3x end-to-end) apply only
+to the **full** configuration: the smoke workloads are small enough that
+fixed vectorization overhead dominates, so smoke runs record the ratios
+without gating on them.
+"""
+
+import argparse
+import contextlib
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+
+from repro.apps.heat2d import heat2d
+from repro.apps.lu import lu
+from repro.apps.registry import BUG_CASES, EXTRA_CASES
+from repro.core.checker import CONTROL_PHASES, check_traces
+from repro.core.calltable import CONTROL_PLANE_ENV
+from repro.core.config import CheckConfig
+from repro.profiler.session import profile_run
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_control_plane.json")
+SMOKE_OUT = os.path.join(RESULTS_DIR, "BENCH_control_plane_smoke.json")
+
+#: required speedup on the control-plane phase group (sync-dense heat2d)
+GROUP_GATE = 3.0
+#: required end-to-end speedup on the standard 16-rank LU sweep run
+E2E_GATE = 1.3
+PLANES = ("object", "columnar")
+RANKS_CAP = 8
+
+CONFIGS = {
+    "full": dict(
+        heat2d=dict(nranks=8, rows=64, cols=16, steps=400),
+        lu=dict(nranks=16, n=192),
+        reps=3),
+    "smoke": dict(
+        heat2d=dict(nranks=4, rows=16, cols=8, steps=40),
+        lu=dict(nranks=4, n=48),
+        reps=1),
+}
+
+
+@contextlib.contextmanager
+def plane_env(plane):
+    """Pin ``MCCHECKER_CONTROL_PLANE`` for the duration of a block."""
+    prior = os.environ.get(CONTROL_PLANE_ENV)
+    os.environ[CONTROL_PLANE_ENV] = plane
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(CONTROL_PLANE_ENV, None)
+        else:
+            os.environ[CONTROL_PLANE_ENV] = prior
+
+
+def canonical(report):
+    """Byte-comparable report form, modulo wall-clock timings."""
+    payload = report.to_dict()
+    payload["stats"].pop("phase_seconds")
+    return json.dumps(payload, sort_keys=True)
+
+
+def control_seconds(report):
+    return sum(report.stats.phase_seconds.get(p, 0.0)
+               for p in CONTROL_PHASES)
+
+
+def measure(traces, plane, reps):
+    """Median (control-group seconds, total seconds) over ``reps``
+    serial runs, with the report of the group-median run."""
+    samples = []
+    with plane_env(plane):
+        for _ in range(reps):
+            report = check_traces(traces)
+            samples.append((control_seconds(report),
+                            report.stats.total_seconds, report))
+    samples.sort(key=lambda s: s[0])
+    group = statistics.median(s[0] for s in samples)
+    total = statistics.median(s[1] for s in samples)
+    return group, total, samples[len(samples) // 2][2]
+
+
+def run_differential():
+    """Every registered bug case x analysis mode (serial / jobs=2 /
+    streaming / incremental): the object and columnar planes must
+    produce byte-identical reports.  Returns (combinations, mismatches).
+    """
+    mismatches = []
+    cases = list(BUG_CASES) + list(EXTRA_CASES)
+    modes = ("serial", "jobs2", "streaming", "incremental")
+    cache_root = tempfile.mkdtemp(prefix="mcc-bench-cp-")
+    try:
+        for case in cases:
+            nranks = min(case.nranks, RANKS_CAP)
+            run = profile_run(case.app, nranks, params=case.params(True))
+            for mode in modes:
+                reports = {}
+                for plane in PLANES:
+                    if mode == "serial":
+                        cfg = CheckConfig()
+                    elif mode == "jobs2":
+                        cfg = CheckConfig(jobs=2)
+                    elif mode == "streaming":
+                        cfg = CheckConfig(streaming=True)
+                    else:
+                        cfg = CheckConfig(incremental=True, cache_dir=(
+                            os.path.join(cache_root,
+                                         f"{case.name}-{plane}")))
+                    with plane_env(plane):
+                        reports[plane] = canonical(
+                            check_traces(run.traces, cfg))
+                if reports["object"] != reports["columnar"]:
+                    mismatches.append(f"{case.name}/{mode}")
+                    print(f"[bench_cp] FAIL: {case.name} ({mode}) "
+                          "reports diverge across control planes",
+                          file=sys.stderr)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    return len(cases) * len(modes), mismatches
+
+
+def run_bench(mode, out_path):
+    cfg = CONFIGS[mode]
+    reps = cfg["reps"]
+    print(f"[bench_cp] mode={mode} heat2d={cfg['heat2d']} "
+          f"lu={cfg['lu']} reps={reps}")
+
+    h = cfg["heat2d"]
+    heat_run = profile_run(
+        heat2d, h["nranks"],
+        params=dict(rows=h["rows"], cols=h["cols"], steps=h["steps"]),
+        scope="report", delivery="eager", trace_format="binary")
+    l = cfg["lu"]
+    lu_run = profile_run(lu, l["nranks"], params=dict(n=l["n"]),
+                         scope="report", delivery="eager",
+                         trace_format="binary")
+
+    planes = {}
+    canonicals = {}
+    for plane in PLANES:
+        group, _htotal, hreport = measure(heat_run.traces, plane, reps)
+        _lgroup, total, lreport = measure(lu_run.traces, plane, reps)
+        planes[plane] = {
+            "control_seconds": round(group, 4),
+            "total_seconds": round(total, 4),
+            "phase_seconds": {k: round(v, 4) for k, v in
+                              hreport.stats.phase_seconds.items()},
+            "lu_phase_seconds": {k: round(v, 4) for k, v in
+                                 lreport.stats.phase_seconds.items()},
+            "findings": len(hreport.findings) + len(lreport.findings),
+        }
+        canonicals[plane] = (canonical(hreport), canonical(lreport))
+        print(f"[bench_cp] {plane}: heat2d "
+              f"{'+'.join(CONTROL_PHASES)}={group:.3f}s, "
+              f"lu end-to-end={total:.3f}s")
+
+    identical = canonicals["object"] == canonicals["columnar"]
+    if not identical:
+        print("[bench_cp] FAIL: columnar report diverged from object on "
+              "a measured workload", file=sys.stderr)
+
+    group_speedup = (planes["object"]["control_seconds"]
+                     / max(planes["columnar"]["control_seconds"], 1e-9))
+    e2e_speedup = (planes["object"]["total_seconds"]
+                   / max(planes["columnar"]["total_seconds"], 1e-9))
+    applies = mode == "full"
+    gates = {
+        "control_group": {
+            "required_speedup": GROUP_GATE, "applies": applies,
+            "passed": group_speedup >= GROUP_GATE if applies else None},
+        "end_to_end": {
+            "required_speedup": E2E_GATE, "applies": applies,
+            "passed": e2e_speedup >= E2E_GATE if applies else None},
+    }
+    if not applies:
+        for gate in gates.values():
+            gate["skipped_because"] = ("smoke workload too small to "
+                                       "exercise the hot path")
+    print(f"[bench_cp] control group speedup {group_speedup:.2f}x "
+          f"(gate {GROUP_GATE}x, "
+          f"{'applies' if applies else 'skipped in ' + mode + ' mode'})")
+    print(f"[bench_cp] end-to-end speedup {e2e_speedup:.2f}x "
+          f"(gate {E2E_GATE}x, "
+          f"{'applies' if applies else 'skipped in ' + mode + ' mode'})")
+
+    checked, mismatches = run_differential()
+    print(f"[bench_cp] differential: {checked} case/mode combinations, "
+          f"{len(mismatches)} mismatch(es)")
+
+    payload = {
+        "benchmark": "control_plane",
+        "mode": mode,
+        "workloads": {
+            "heat2d": dict(cfg["heat2d"], trace_format="binary",
+                           role="control-group gate (sync-dense)"),
+            "lu": dict(cfg["lu"], trace_format="binary",
+                       role="end-to-end gate"),
+        },
+        "reps": reps,
+        "machine": {"cpu_count": os.cpu_count() or 1},
+        "control_phases": list(CONTROL_PHASES),
+        "planes": planes,
+        "speedup": {"control_group": round(group_speedup, 3),
+                    "end_to_end": round(e2e_speedup, 3)},
+        "gates": gates,
+        "identical_reports": identical,
+        "differential": {"combinations": checked,
+                         "mismatches": mismatches},
+    }
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench_cp] wrote {out_path}")
+
+    ok = (identical and not mismatches
+          and all(g["passed"] is not False for g in gates.values()))
+    return payload, ok
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI configuration (artifact goes to "
+                         "benchmarks/results/, repo-root JSON untouched)")
+    ap.add_argument("--out", default=None,
+                    help="artifact path (default: BENCH_control_plane."
+                         "json at the repo root, or benchmarks/results/ "
+                         "with --smoke)")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    out_path = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    _payload, ok = run_bench(mode, out_path)
+    return 0 if ok else 1
+
+
+def test_control_plane_smoke(record, benchmark):
+    """pytest entry point: the smoke configuration as a benchmark-suite
+    row (``pytest benchmarks/bench_control_plane.py``)."""
+    payload, ok = benchmark.pedantic(
+        lambda: run_bench("smoke", SMOKE_OUT), rounds=1, iterations=1)
+    assert ok, "control planes diverged (or a speedup gate failed)"
+    for plane, row in payload["planes"].items():
+        record("control_plane",
+               f"plane={plane:<9s} "
+               f"control={row['control_seconds']:7.3f}s "
+               f"e2e={row['total_seconds']:7.3f}s "
+               f"group_speedup={payload['speedup']['control_group']:5.2f}x",
+               plane=plane, control_seconds=row["control_seconds"],
+               group_speedup=payload["speedup"]["control_group"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,17 @@ _METRICS: Dict[str, List[Tuple[str, Tuple[object, ...], str,
     "flight_recorder": [
         ("overhead_pct", ("overhead_pct",), "lower", 10.0),
     ],
+    "control_plane": [
+        # cross-mode invariant: the columnar control plane may never
+        # lose to the object walk, even on the tiny smoke workload (the
+        # full-mode 3x group gate lives in the payload's own gate field)
+        ("control_group_speedup", ("speedup", "control_group"),
+         "higher", 1.0),
+        ("end_to_end_speedup", ("speedup", "end_to_end"),
+         "higher", None),
+        ("columnar_control_seconds",
+         ("planes", "columnar", "control_seconds"), "lower", None),
+    ],
     "trace_gen": [
         # the cross-mode invariant: the bulk lane may never lose to the
         # scalar lane (the full-mode 5x gate needs git history, so it

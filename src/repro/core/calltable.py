@@ -1,0 +1,760 @@
+"""Columnar control plane: struct-of-arrays call tables.
+
+The data plane went columnar in PRs 3-8 (packed MemBlock columns flow from
+the tracer through the sweep engine without ever becoming Python objects);
+this module does the same for the *control* plane.  A :class:`CallTable` is
+a per-rank struct-of-arrays view over the call stream — seq numbers, fn
+codes, a sync-class code, and the handful of argument columns the matching
+/ epoch / clock passes actually read (communicator, window, peer, tag,
+request, lock target, PSCW group) — built once per rank during ingest and
+shared by every control-plane consumer:
+
+* :func:`match_synchronization_columnar` re-implements Algorithm 1 as
+  per-channel occurrence-index zips over the class-filtered columns (the
+  k-th collective on a communicator at each member is one match; the k-th
+  send on a (src, dst, comm, tag) channel pairs with the k-th receive),
+  replacing the per-event progress-counter walk;
+* ``EpochIndex`` walks only the epoch-relevant rows (mask + take instead
+  of a full event scan);
+* ``ConcurrencyOracle`` builds its clock matrix from numpy sync arrays
+  derived from the same matches.
+
+The plane is selected by ``MCCHECKER_CONTROL_PLANE`` (``columnar`` by
+default; ``object`` keeps the per-event reference pipeline).  Reports are
+byte-identical across planes — the differential suite pins that.
+"""
+
+from __future__ import annotations
+
+import os
+from sys import intern as _intern
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matching import (
+    KIND_COLLECTIVE, KIND_COMPLETE_WAIT, KIND_P2P, KIND_POST_START,
+    SEND_CALLS, SyncMatch,
+)
+from repro.core.preprocess import PreprocessedTrace
+from repro.profiler.events import (
+    COLLECTIVE_CALLS, DATATYPE_CALLS, NB_COLLECTIVE_CALLS, ONE_SIDED_CALLS,
+    SUPPORT_CALLS, SYNC_CALLS, CallEvent,
+)
+from repro.util.errors import AnalysisError
+from repro.util.location import SourceLocation
+from repro.util.records import decode_value
+
+CONTROL_PLANE_ENV = "MCCHECKER_CONTROL_PLANE"
+PLANE_COLUMNAR = "columnar"
+PLANE_OBJECT = "object"
+
+
+def control_plane() -> str:
+    """The active control-plane implementation (env-selected)."""
+    plane = os.environ.get(CONTROL_PLANE_ENV, PLANE_COLUMNAR)
+    if plane not in (PLANE_COLUMNAR, PLANE_OBJECT):
+        raise AnalysisError(
+            f"{CONTROL_PLANE_ENV} must be {PLANE_COLUMNAR!r} or "
+            f"{PLANE_OBJECT!r}, not {plane!r}")
+    return plane
+
+
+# ----------------------------------------------------------------------
+# fn codes (shared, process-local interning; tables that cross a process
+# boundary carry their name snapshot and remap on arrival)
+# ----------------------------------------------------------------------
+
+FN_NAMES: List[str] = sorted(
+    ONE_SIDED_CALLS | DATATYPE_CALLS | SYNC_CALLS | SUPPORT_CALLS)
+_FN_CODES: Dict[str, int] = {fn: i for i, fn in enumerate(FN_NAMES)}
+
+
+def fn_code(fn: str) -> int:
+    code = _FN_CODES.get(fn)
+    if code is None:
+        code = len(FN_NAMES)
+        FN_NAMES.append(fn)
+        _FN_CODES[fn] = code
+    return code
+
+
+#: sync-class codes stored in ``CallTable.cls``
+CLS_OTHER = 0
+CLS_COLL = 1
+CLS_SEND = 2
+CLS_RECV = 3
+CLS_POST = 4
+CLS_START = 5
+CLS_COMPLETE = 6
+CLS_WAIT = 7        # Win_wait (PSCW exposure close)
+CLS_ICOLL_WAIT = 8  # Wait completing a nonblocking collective
+
+#: human-readable names of the sync-class codes (trace_stats, dashboards)
+CLS_NAMES = {
+    CLS_OTHER: "other", CLS_COLL: "collective", CLS_SEND: "send",
+    CLS_RECV: "recv", CLS_POST: "post", CLS_START: "start",
+    CLS_COMPLETE: "complete", CLS_WAIT: "wait",
+    CLS_ICOLL_WAIT: "icoll_wait",
+}
+
+#: lock-type codes stored in ``CallTable.lock`` (3 = see ``lock_types``)
+LOCK_NONE = 0
+LOCK_SHARED = 1
+LOCK_EXCLUSIVE = 2
+LOCK_OTHER = 3
+_LOCK_CODES = {"shared": LOCK_SHARED, "exclusive": LOCK_EXCLUSIVE}
+_LOCK_NAMES = {LOCK_SHARED: "shared", LOCK_EXCLUSIVE: "exclusive"}
+
+_REQ_KIND_NONE = 0
+_REQ_KIND_IRECV = 1
+_REQ_KIND_ICOLL = 2
+_REQ_KIND_OTHER = 3
+
+#: the row tuple for calls that touch no control-plane column
+_PLAIN_ROW = (CLS_OTHER, -1, -1, -1, -1, -1, _REQ_KIND_NONE, -1,
+              LOCK_NONE, ())
+
+
+def classify_call(fn: str, args: Dict[str, Any]
+                  ) -> Tuple[Tuple[int, ...], Optional[str]]:
+    """The :class:`CallTable` row for one call: ``((fn_code, cls, comm,
+    win, peer, tag, req, req_kind, target, lock, group), lock_str)``.
+
+    ``peer`` is the *raw* (communicator-relative) dest/source — world
+    resolution needs the merged registries and happens vectorized in the
+    matcher.  Missing columns are -1.
+    """
+    cls = CLS_OTHER
+    comm = win = peer = tag = req = target = -1
+    req_kind = _REQ_KIND_NONE
+    lock = LOCK_NONE
+    lock_str: Optional[str] = None
+    group: Tuple[int, ...] = ()
+    if fn in COLLECTIVE_CALLS:
+        cls = CLS_COLL
+        if "comm" in args:
+            comm = int(args["comm"])
+        if "win" in args:
+            win = int(args["win"])
+        if fn in NB_COLLECTIVE_CALLS:
+            req = int(args["req"])
+    elif fn in SEND_CALLS:
+        cls = CLS_SEND
+        comm = int(args["comm"])
+        peer = int(args["dest"])
+        tag = int(args["tag"])
+    elif fn == "Recv":
+        cls = CLS_RECV
+        comm = int(args["comm"])
+        peer = int(args["source"])
+        tag = int(args["tag"])
+    elif fn == "Wait":
+        rk = args.get("req_kind")
+        if rk == "irecv" and "source" in args:
+            cls = CLS_RECV
+            req_kind = _REQ_KIND_IRECV
+            comm = int(args["comm"])
+            peer = int(args["source"])
+            tag = int(args["tag"])
+        elif rk == "icoll":
+            cls = CLS_ICOLL_WAIT
+            req_kind = _REQ_KIND_ICOLL
+            req = int(args["req"])
+        elif rk is not None:
+            req_kind = _REQ_KIND_OTHER
+    elif fn == "Win_post":
+        cls = CLS_POST
+        win = int(args["win"])
+        group = tuple(int(r) for r in args["group"])
+    elif fn == "Win_start":
+        cls = CLS_START
+        win = int(args["win"])
+        group = tuple(int(r) for r in args["group"])
+    elif fn == "Win_complete":
+        cls = CLS_COMPLETE
+        win = int(args["win"])
+    elif fn == "Win_wait":
+        cls = CLS_WAIT
+        win = int(args["win"])
+    elif fn == "Win_lock":
+        win = int(args["win"])
+        target = int(args["target"])
+        lock_str = str(args["lock_type"])
+        lock = _LOCK_CODES.get(lock_str, LOCK_OTHER)
+    elif fn == "Win_lock_all":
+        win = int(args["win"])
+        lock = LOCK_SHARED
+    elif fn in ("Win_unlock", "Win_flush"):
+        win = int(args["win"])
+        target = int(args["target"])
+    elif fn in ("Win_unlock_all", "Win_flush_all"):
+        win = int(args["win"])
+    elif fn == "Rma_wait":
+        win = int(args["win"])
+        req = int(args["req"])
+    else:
+        return (fn_code(fn),) + _PLAIN_ROW, None
+    return ((fn_code(fn), cls, comm, win, peer, tag, req, req_kind, target,
+             lock, group), lock_str)
+
+
+class CallTable:
+    """Struct-of-arrays view of one rank's call stream.
+
+    Parallel int columns over the ``n`` calls, in trace order; ``group``
+    is ragged (``group_off``/``group_val`` CSR pair).  ``lock_types``
+    carries the rare lock-type strings that are neither ``shared`` nor
+    ``exclusive`` (row index -> string).
+    """
+
+    __slots__ = ("rank", "n", "seq", "fn", "cls", "comm", "win", "peer",
+                 "tag", "req", "req_kind", "target", "lock",
+                 "group_off", "group_val", "lock_types")
+
+    def __init__(self, rank: int, n: int, seq: np.ndarray, fn: np.ndarray,
+                 cls: np.ndarray, comm: np.ndarray, win: np.ndarray,
+                 peer: np.ndarray, tag: np.ndarray, req: np.ndarray,
+                 req_kind: np.ndarray, target: np.ndarray, lock: np.ndarray,
+                 group_off: np.ndarray, group_val: np.ndarray,
+                 lock_types: Dict[int, str]):
+        self.rank = rank
+        self.n = n
+        self.seq = seq
+        self.fn = fn
+        self.cls = cls
+        self.comm = comm
+        self.win = win
+        self.peer = peer
+        self.tag = tag
+        self.req = req
+        self.req_kind = req_kind
+        self.target = target
+        self.lock = lock
+        self.group_off = group_off
+        self.group_val = group_val
+        self.lock_types = lock_types
+
+    def group(self, i: int) -> Tuple[int, ...]:
+        lo, hi = self.group_off[i], self.group_off[i + 1]
+        return tuple(self.group_val[lo:hi].tolist())
+
+    def lock_type(self, i: int) -> Optional[str]:
+        code = self.lock[i]
+        if code == LOCK_NONE:
+            return None
+        if code == LOCK_OTHER:
+            return self.lock_types[i]
+        return _LOCK_NAMES[int(code)]
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rank: int, seqs: List[int],
+                  rows: List[Tuple[int, ...]],
+                  lock_types: Dict[int, str]) -> "CallTable":
+        n = len(seqs)
+        if not n:
+            e8 = np.empty(0, dtype=np.int64)
+            return cls(rank, 0, e8, np.empty(0, np.int32),
+                       np.empty(0, np.uint8), e8, e8, e8, e8, e8,
+                       np.empty(0, np.uint8), e8, np.empty(0, np.uint8),
+                       np.zeros(1, dtype=np.int64), e8, {})
+        cols = list(zip(*rows))
+        groups = cols[10]
+        group_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.fromiter(map(len, groups), dtype=np.int64, count=n),
+                  out=group_off[1:])
+        total = int(group_off[-1])
+        if total:
+            group_val = np.fromiter(
+                (v for g in groups for v in g), dtype=np.int64, count=total)
+        else:
+            group_val = np.empty(0, dtype=np.int64)
+        return cls(
+            rank, n,
+            np.asarray(seqs, dtype=np.int64),
+            np.asarray(cols[0], dtype=np.int32),
+            np.asarray(cols[1], dtype=np.uint8),
+            np.asarray(cols[2], dtype=np.int64),
+            np.asarray(cols[3], dtype=np.int64),
+            np.asarray(cols[4], dtype=np.int64),
+            np.asarray(cols[5], dtype=np.int64),
+            np.asarray(cols[6], dtype=np.int64),
+            np.asarray(cols[7], dtype=np.uint8),
+            np.asarray(cols[8], dtype=np.int64),
+            np.asarray(cols[9], dtype=np.uint8),
+            group_off, group_val, dict(lock_types))
+
+    @classmethod
+    def from_events(cls, rank: int, events: Sequence[Any]) -> "CallTable":
+        """Build from already-materialized events (non-call events are
+        skipped, exactly like the object control-plane scans)."""
+        seqs: List[int] = []
+        rows: List[Tuple[int, ...]] = []
+        lock_types: Dict[int, str] = {}
+        for event in events:
+            if not isinstance(event, CallEvent):
+                continue
+            row, lock_str = classify_call(event.fn, event.args)
+            if lock_str is not None and row[9] == LOCK_OTHER:
+                lock_types[len(seqs)] = lock_str
+            seqs.append(event.seq)
+            rows.append(row)
+        return cls.from_rows(rank, seqs, rows, lock_types)
+
+    # -- pickling (cross-process fn-code remapping) ---------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "rank": self.rank, "n": self.n, "seq": self.seq,
+            "fn": self.fn, "cls": self.cls, "comm": self.comm,
+            "win": self.win, "peer": self.peer, "tag": self.tag,
+            "req": self.req, "req_kind": self.req_kind,
+            "target": self.target, "lock": self.lock,
+            "group_off": self.group_off, "group_val": self.group_val,
+            "lock_types": self.lock_types,
+            "fn_names": list(FN_NAMES),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+        self.fn = _remap_fn_codes(self.fn, state["fn_names"])
+
+
+def _remap_fn_codes(codes: np.ndarray, names: List[str]) -> np.ndarray:
+    """Translate fn codes minted in another process into local codes."""
+    if names == FN_NAMES[:len(names)]:
+        return codes  # identical prefix — the common (static-table) case
+    remap = np.fromiter((fn_code(fn) for fn in names), dtype=np.int64,
+                        count=len(names))
+    return remap[codes].astype(np.int32)
+
+
+def ensure_call_tables(pre: PreprocessedTrace) -> Dict[int, CallTable]:
+    """The per-rank call tables of ``pre``, building and caching them from
+    the materialized events if ingest did not already attach them."""
+    tables = getattr(pre, "call_tables", None)
+    if tables is None:
+        tables = {rank: CallTable.from_events(rank, pre.events[rank])
+                  for rank in range(pre.nranks)}
+        pre.call_tables = tables
+    return tables
+
+
+def total_calls(pre: PreprocessedTrace) -> int:
+    """Number of call events in the trace (table-backed when available)."""
+    tables = getattr(pre, "call_tables", None)
+    if tables is not None:
+        return sum(t.n for t in tables.values())
+    return sum(
+        1 for events in pre.events.values()
+        for e in events if isinstance(e, CallEvent))
+
+
+# ----------------------------------------------------------------------
+# shared-memory shipping (worker-side scan -> parent, no pickled calls)
+# ----------------------------------------------------------------------
+
+#: fixed column order for the packed shared-memory layout
+_SHIP_COLUMNS = ("seq", "fn", "cls", "comm", "win", "peer", "tag", "req",
+                 "req_kind", "target", "lock", "group_off", "group_val")
+
+
+def share_table(table: CallTable, name: str):
+    """Copy a table's columns into one named shared-memory segment.
+
+    Returns ``(desc, handle)``: a picklable descriptor for
+    :func:`attach_table` plus the open handle the creator must close.
+    """
+    from multiprocessing import shared_memory
+
+    blocks = [getattr(table, col) for col in _SHIP_COLUMNS]
+    total = sum(b.nbytes for b in blocks)
+    shm = shared_memory.SharedMemory(name=name, create=True,
+                                     size=max(total, 1))
+    offset = 0
+    meta = []
+    for col, block in zip(_SHIP_COLUMNS, blocks):
+        if block.nbytes:
+            dst = np.ndarray(block.shape, dtype=block.dtype,
+                             buffer=shm.buf, offset=offset)
+            dst[:] = block
+        meta.append((col, str(block.dtype), int(block.size)))
+        offset += block.nbytes
+    desc = {
+        "name": name, "rank": table.rank, "n": table.n, "columns": meta,
+        "lock_types": dict(table.lock_types),
+        "fn_names": list(FN_NAMES), "nbytes": total,
+    }
+    return desc, shm
+
+
+def attach_table(desc: dict) -> CallTable:
+    """Rebuild a :class:`CallTable` from a shared segment (copying out,
+    so the segment can be unlinked immediately afterwards)."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=desc["name"])
+    try:
+        offset = 0
+        cols = {}
+        for col, dtype, size in desc["columns"]:
+            dt = np.dtype(dtype)
+            view = np.ndarray((size,), dtype=dt, buffer=shm.buf,
+                              offset=offset)
+            cols[col] = view.copy()
+            offset += size * dt.itemsize
+    finally:
+        shm.close()
+    cols["fn"] = _remap_fn_codes(cols["fn"], desc["fn_names"]) \
+        .astype(np.int32)
+    return CallTable(desc["rank"], desc["n"],
+                     cols["seq"], cols["fn"], cols["cls"], cols["comm"],
+                     cols["win"], cols["peer"], cols["tag"], cols["req"],
+                     cols["req_kind"], cols["target"], cols["lock"],
+                     cols["group_off"], cols["group_val"],
+                     {int(k): v for k, v in desc["lock_types"].items()})
+
+
+# ----------------------------------------------------------------------
+# vectorized synchronization matching (Algorithm 1 on columns)
+# ----------------------------------------------------------------------
+
+_FENCE_FREE_CODES = None
+
+
+def _fence_free_codes() -> np.ndarray:
+    global _FENCE_FREE_CODES
+    if _FENCE_FREE_CODES is None:
+        _FENCE_FREE_CODES = np.asarray(
+            [fn_code("Win_fence"), fn_code("Win_free")], dtype=np.int64)
+    return _FENCE_FREE_CODES
+
+
+def _resolve_world(pre: PreprocessedTrace, comms: np.ndarray,
+                   peers: np.ndarray) -> np.ndarray:
+    """Vectorized ``world_of_comm_rank`` over parallel arrays."""
+    out = np.empty_like(peers)
+    for c in np.unique(comms).tolist():
+        m = comms == c
+        members = np.asarray(pre.comm_members(int(c)), dtype=np.int64)
+        p = peers[m]
+        bad = (p < 0) | (p >= members.size)
+        if bad.any():
+            raise AnalysisError(
+                f"comm {int(c)} has no rank {int(p[bad][0])} "
+                f"(size {members.size})")
+        out[m] = members[p]
+    return out
+
+
+def match_synchronization_columnar(
+        pre: PreprocessedTrace,
+        tables: Dict[int, CallTable]) -> List[SyncMatch]:
+    """Algorithm 1 over :class:`CallTable` columns.
+
+    Produces the same match *set* as the object walk (differentially
+    tested): collectives by per-communicator slot index, point-to-point
+    as per-(src, dst, comm, tag)-channel FIFO zips, PSCW by per-(rank,
+    window, peer)-channel occurrence index.  Match-list order differs
+    from the walk (grouped by kind instead of progress-interleaved);
+    no consumer is order-sensitive — regions sort their cuts, the clock
+    fixpoint is order-independent, and the incremental fingerprints sort
+    their buckets.
+    """
+    nranks = pre.nranks
+    matches: List[SyncMatch] = []
+    # comm -> rank -> (seqs, fn codes, wins, reqs) in trace order
+    coll: Dict[int, Dict[int, Tuple[List[int], ...]]] = {}
+    sends: Dict[Tuple[int, int, int, int],
+                Tuple[List[int], List[int]]] = {}
+    recvs: Dict[Tuple[int, int, int, int], List[int]] = {}
+    starts: Dict[Tuple[int, int, int], List[int]] = {}
+    waits: Dict[Tuple[int, int, int], List[int]] = {}
+    icoll_waits: Dict[Tuple[int, int], int] = {}
+    # (rank, seq, win, group) in trace order, per initiating side
+    post_events: List[Tuple[int, int, int, Tuple[int, ...]]] = []
+    complete_events: List[Tuple[int, int, int, Tuple[int, ...]]] = []
+
+    for rank in range(nranks):
+        t = tables.get(rank)
+        if t is None or not t.n:
+            continue
+        cls = t.cls
+
+        idx = np.nonzero(cls == CLS_COLL)[0]
+        if idx.size:
+            seqs = t.seq[idx]
+            comms = t.comm[idx].copy()
+            wins = t.win[idx]
+            fns = t.fn[idx]
+            reqs = t.req[idx]
+            missing = comms < 0
+            if missing.any():
+                mf = fns[missing]
+                not_win = ~np.isin(mf, _fence_free_codes())
+                if not_win.any():
+                    k = int(np.nonzero(missing)[0][np.nonzero(not_win)[0][0]])
+                    raise AnalysisError(
+                        f"collective event {FN_NAMES[int(fns[k])]} "
+                        f"(rank {rank}, seq {int(seqs[k])}) "
+                        "carries no communicator")
+                mw = wins[missing]
+                sub = comms[missing]
+                for w in np.unique(mw).tolist():
+                    sub[mw == w] = pre.window(int(w)).comm_id
+                comms[missing] = sub
+            for c in np.unique(comms).tolist():
+                m = comms == c
+                coll.setdefault(int(c), {})[rank] = (
+                    seqs[m].tolist(), fns[m].tolist(), wins[m].tolist(),
+                    reqs[m].tolist())
+
+        idx = np.nonzero(cls == CLS_ICOLL_WAIT)[0]
+        if idx.size:
+            for i in idx.tolist():
+                icoll_waits[(rank, int(t.req[i]))] = int(t.seq[i])
+
+        idx = np.nonzero(cls == CLS_SEND)[0]
+        if idx.size:
+            dsts = _resolve_world(pre, t.comm[idx], t.peer[idx]).tolist()
+            comms = t.comm[idx].tolist()
+            tags = t.tag[idx].tolist()
+            seqs = t.seq[idx].tolist()
+            fns = t.fn[idx].tolist()
+            for i, dst in enumerate(dsts):
+                chan = sends.setdefault((rank, dst, comms[i], tags[i]),
+                                        ([], []))
+                chan[0].append(seqs[i])
+                chan[1].append(fns[i])
+
+        idx = np.nonzero(cls == CLS_RECV)[0]
+        if idx.size:
+            srcs = _resolve_world(pre, t.comm[idx], t.peer[idx]).tolist()
+            comms = t.comm[idx].tolist()
+            tags = t.tag[idx].tolist()
+            seqs = t.seq[idx].tolist()
+            for i, src in enumerate(srcs):
+                recvs.setdefault((rank, src, comms[i], tags[i]),
+                                 []).append(seqs[i])
+
+        idx = np.nonzero((cls >= CLS_POST) & (cls <= CLS_WAIT))[0]
+        if idx.size:
+            # per-rank sequential mini-walk mirroring _Streams._scan's
+            # access/exposure group state (one variable per rank, not
+            # per window — faithfully so)
+            access_group: Optional[Tuple[int, ...]] = None
+            exposure_group: Optional[Tuple[int, ...]] = None
+            for i in idx.tolist():
+                c = int(cls[i])
+                win = int(t.win[i])
+                seq = int(t.seq[i])
+                if c == CLS_POST:
+                    exposure_group = t.group(i)
+                    post_events.append((rank, seq, win, exposure_group))
+                elif c == CLS_START:
+                    access_group = t.group(i)
+                    for target in access_group:
+                        starts.setdefault((rank, win, target),
+                                          []).append(seq)
+                elif c == CLS_COMPLETE:
+                    complete_events.append(
+                        (rank, seq, win, access_group or ()))
+                    access_group = None
+                else:  # CLS_WAIT
+                    for origin in (exposure_group or ()):
+                        waits.setdefault((rank, win, origin),
+                                         []).append(seq)
+                    exposure_group = None
+
+    # collectives: one match per (comm, slot)
+    for comm in sorted(coll):
+        members = pre.comm_members(comm)
+        per = coll[comm]
+        streams = [per.get(m) for m in members]
+        nslots = max((len(s[0]) for s in streams if s is not None),
+                     default=0)
+        for k in range(nslots):
+            fnc = -1
+            win_val = -1
+            init_rank = -1
+            mdict: Dict[int, int] = {}
+            for mi, member in enumerate(members):
+                s = streams[mi]
+                if s is None or k >= len(s[0]):
+                    continue  # ragged trace: partial match
+                if fnc < 0:
+                    fnc, win_val, init_rank = s[1][k], s[2][k], member
+                elif s[1][k] != fnc:
+                    raise AnalysisError(
+                        f"collective mismatch on comm {comm}: rank "
+                        f"{init_rank} calls {FN_NAMES[fnc]} but rank "
+                        f"{member} calls {FN_NAMES[s[1][k]]} "
+                        f"(seq {s[0][k]})")
+                mdict[member] = s[0][k]
+            if fnc < 0:
+                continue
+            fn = FN_NAMES[fnc]
+            match = SyncMatch(
+                kind=KIND_COLLECTIVE, fn=fn, comm_id=comm,
+                win_id=(int(win_val) if win_val >= 0 else None),
+                members=mdict, index=k)
+            if fn in NB_COLLECTIVE_CALLS:
+                for mi, member in enumerate(members):
+                    s = streams[mi]
+                    if s is None or k >= len(s[0]):
+                        continue
+                    wait_seq = icoll_waits.get((member, s[3][k]))
+                    if wait_seq is not None:
+                        match.exits[member] = wait_seq
+            matches.append(match)
+
+    # point-to-point: FIFO zip per (src, dst, comm, tag) channel
+    channels = set(sends)
+    channels.update((src, dst, comm, tag)
+                    for (dst, src, comm, tag) in recvs)
+    for key in sorted(channels):
+        src, dst, comm, tag = key
+        send_seqs, send_fns = sends.get(key, ((), ()))
+        recv_seqs = recvs.get((dst, src, comm, tag), ())
+        for k in range(max(len(send_seqs), len(recv_seqs))):
+            has_send = k < len(send_seqs)
+            matches.append(SyncMatch(
+                kind=KIND_P2P,
+                fn=(FN_NAMES[send_fns[k]] if has_send else "Send"),
+                comm_id=comm,
+                src=((src, send_seqs[k]) if has_send else None),
+                dst=((dst, recv_seqs[k]) if k < len(recv_seqs) else None)))
+
+    # PSCW: k-th post at (rank, win, origin) <-> k-th start at
+    # (origin, win, rank); symmetrically complete <-> wait
+    cursors: Dict[Tuple[int, int, int], int] = {}
+    for rank, seq, win, group in post_events:
+        for origin in group:
+            k = cursors.get((rank, win, origin), 0)
+            cursors[(rank, win, origin)] = k + 1
+            start_seqs = starts.get((origin, win, rank), ())
+            matches.append(SyncMatch(
+                kind=KIND_POST_START, fn="Win_post", win_id=win,
+                src=(rank, seq),
+                dst=((origin, start_seqs[k])
+                     if k < len(start_seqs) else None)))
+    cursors = {}
+    for rank, seq, win, group in complete_events:
+        for target in group:
+            k = cursors.get((rank, win, target), 0)
+            cursors[(rank, win, target)] = k + 1
+            wait_seqs = waits.get((target, win, rank), ())
+            matches.append(SyncMatch(
+                kind=KIND_COMPLETE_WAIT, fn="Win_complete", win_id=win,
+                src=(rank, seq),
+                dst=((target, wait_seqs[k])
+                     if k < len(wait_seqs) else None)))
+    return matches
+
+
+# ----------------------------------------------------------------------
+# vectorized call ingest (the tracer's per-line fast path)
+# ----------------------------------------------------------------------
+
+#: loc-text -> SourceLocation memo; the key set is small and immortal
+#: (one entry per distinct call site), same argument as capture_location's
+_LOC_CACHE: Dict[str, Any] = {}
+
+_MEMO_CAP = 1 << 16
+
+_NEW_EVENT = object.__new__
+
+
+class CallIngest:
+    """Single-pass call-line decoder building CallEvents *and* the rank's
+    :class:`CallTable` together.
+
+    Call lines repeat heavily modulo their seq number (a fence loop emits
+    the same ``fn=``/``loc=``/``win=`` tail millions of times), so the
+    tail after the seq token is memoized: the memo entry carries a
+    prebuilt ``CallEvent.__dict__`` template, making a repeated line one
+    dict hit, one int parse, and one shallow dict copy.  Events decoded
+    from the same tail share one (never-mutated) args dict — the analyzer
+    treats event args as frozen throughout.  Misses fall back to the
+    canonical record codec, so errors and results are exactly those of
+    :func:`repro.profiler.events.decode_event`.
+    """
+
+    __slots__ = ("rank", "_memo", "_seqs", "_rows", "_lock_types")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._memo: Dict[str, tuple] = {}
+        self._seqs: List[int] = []
+        self._rows: List[Tuple[int, ...]] = []
+        self._lock_types: Dict[int, str] = {}
+
+    def add(self, line: str):
+        """Decode one trace line, recording its table row; returns the
+        event (a CallEvent unless the line is not a call record)."""
+        parts = line.split(" ", 2)
+        if len(parts) == 3 and parts[0] == "C" and \
+                parts[1].startswith("seq="):
+            entry = self._memo.get(parts[2])
+            if entry is None:
+                entry = self._parse_rest(parts[2])
+            if entry is not None:
+                try:
+                    seq = int(parts[1][4:])
+                except ValueError:
+                    return self._add_slow(line)
+                tpl, row, lock_str = entry
+                if lock_str is not None:
+                    self._lock_types[len(self._seqs)] = lock_str
+                self._seqs.append(seq)
+                self._rows.append(row)
+                event = _NEW_EVENT(CallEvent)
+                state = dict(tpl)
+                state["seq"] = seq
+                event.__dict__ = state
+                return event
+        return self._add_slow(line)
+
+    def _parse_rest(self, rest: str):
+        """Parse the post-seq tail once; ``None`` on any structural
+        surprise (the slow path then reproduces canonical errors)."""
+        try:
+            fields: Dict[str, Any] = {}
+            for part in rest.split(" "):
+                key, raw = part.split("=", 1)
+                fields[key] = decode_value(raw)
+            fn = _intern(str(fields.pop("fn")))
+            loc_text = str(fields.pop("loc"))
+            loc = _LOC_CACHE.get(loc_text)
+            if loc is None:
+                loc = SourceLocation.decode(loc_text)
+                _LOC_CACHE[loc_text] = loc
+            row, lock_str = classify_call(fn, fields)
+        except Exception:
+            return None
+        tpl = {"rank": self.rank, "seq": -1, "fn": fn, "args": fields,
+               "loc": loc}
+        entry = (tpl, row,
+                 lock_str if (lock_str is not None
+                              and row[9] == LOCK_OTHER) else None)
+        if len(self._memo) < _MEMO_CAP:
+            self._memo[rest] = entry
+        return entry
+
+    def _add_slow(self, line: str):
+        from repro.profiler.events import decode_event
+        event = decode_event(self.rank, line)
+        if isinstance(event, CallEvent):
+            row, lock_str = classify_call(event.fn, event.args)
+            if lock_str is not None and row[9] == LOCK_OTHER:
+                self._lock_types[len(self._seqs)] = lock_str
+            self._seqs.append(event.seq)
+            self._rows.append(row)
+        return event
+
+    def finish(self) -> CallTable:
+        return CallTable.from_rows(self.rank, self._seqs, self._rows,
+                                   self._lock_types)

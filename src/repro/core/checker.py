@@ -195,6 +195,7 @@ class MCChecker:
                             lambda: ConcurrencyOracle(pre, self.matches))
         self.epoch_index = timed("epochs", lambda: EpochIndex(pre))
         stats.epochs = len(self.epoch_index.epochs)
+        publish_control_plane_obs(pre, stats.phase_seconds)
 
         if engine is not None:
             self.model = timed(
@@ -256,6 +257,32 @@ class MCChecker:
         warnings = [f for f in findings if f.severity == SEVERITY_WARNING]
         return CheckReport(errors=errors, warnings=warnings, stats=stats)
 
+#: the phase group the columnar control plane accelerates (the data
+#: plane is model + intra + inter; regions is noise-level either way)
+CONTROL_PHASES = ("preprocess", "matching", "clocks", "epochs")
+
+
+def publish_control_plane_obs(pre: PreprocessedTrace,
+                              phase_seconds: Dict[str, float]) -> None:
+    """Publish control-plane ingest metrics: how many call events the
+    active plane consumed and the rate over the control phase group.
+    Shared by the batch, streaming, and incremental routes."""
+    rec = obs.get_recorder()
+    if not rec.enabled:
+        return
+    from repro.core.calltable import control_plane, total_calls
+    plane = control_plane()
+    calls = total_calls(pre)
+    rec.count("control_calls_ingested_total", calls, plane=plane,
+              help="Call events ingested by the control plane")
+    seconds = sum(phase_seconds.get(p, 0.0) for p in CONTROL_PHASES)
+    if seconds > 0:
+        rec.gauge("control_calls_per_second", calls / seconds,
+                  plane=plane,
+                  help="Control-plane ingest rate over the "
+                       "preprocess+matching+clocks+epochs group")
+
+
 def publish_report_obs(report: CheckReport, elapsed: float) -> None:
     """Publish one finished report's metrics (shared by every analysis
     mode: batch, parallel, streaming, incremental)."""
@@ -309,6 +336,7 @@ def _check_streaming(traces: TraceSet, config: CheckConfig) -> CheckReport:
             sync_matches=len(control.matches),
             regions=len(control.regions),
             epochs=len(control.epochs.epochs))
+        publish_control_plane_obs(control.pre, stats.phase_seconds)
         report = CheckReport(
             errors=[f for f in findings
                     if f.severity == SEVERITY_ERROR],

@@ -22,9 +22,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.preprocess import PreprocessedTrace
 from repro.profiler.events import CallEvent
 from repro.util.errors import AnalysisError
+
+#: the calls the epoch state machine reads — everything else is skipped
+_EPOCH_FNS = ("Win_fence", "Win_free", "Win_lock", "Win_lock_all",
+              "Win_unlock_all", "Win_flush", "Win_flush_all", "Rma_wait",
+              "Win_unlock", "Win_start", "Win_complete", "Win_post",
+              "Win_wait")
 
 #: Sentinel close for epochs never closed in the trace (program ended or
 #: crashed mid-epoch): orders after every real seq.
@@ -104,6 +112,124 @@ class EpochIndex:
 
     def _build(self, pre: PreprocessedTrace,
                ranks: Optional[Sequence[int]] = None) -> None:
+        tables = getattr(pre, "call_tables", None)
+        if tables is not None:
+            from repro.core.calltable import PLANE_COLUMNAR, control_plane
+            if control_plane() == PLANE_COLUMNAR:
+                self._build_from_tables(tables, pre.nranks, ranks)
+                return
+        self._build_from_events(pre, ranks)
+
+    def _build_from_tables(self, tables, nranks: int,
+                           ranks: Optional[Sequence[int]] = None) -> None:
+        """Columnar build: a mask selects the epoch-relevant rows, then
+        the same sequential state machine as :meth:`_build_from_events`
+        runs over just those — identical epochs in identical order."""
+        from repro.core import calltable as ct
+        names = {ct.fn_code(fn): fn for fn in _EPOCH_FNS}
+        codes = np.asarray(sorted(names), dtype=np.int64)
+        for rank in (range(nranks) if ranks is None else ranks):
+            t = tables.get(rank)
+            fence_open: Dict[int, int] = {}
+            lock_open: Dict[Tuple[int, Optional[int]], Epoch] = {}
+            pscw_access: Dict[int, Epoch] = {}
+            pscw_exposure: Dict[int, Epoch] = {}
+            if t is not None and t.n:
+                idx = np.nonzero(np.isin(t.fn, codes))[0]
+                # single bulk extraction: python-int lists beat
+                # per-element numpy scalar indexing in the loop below
+                l_fn = t.fn[idx].tolist()
+                l_seq = t.seq[idx].tolist()
+                l_win = t.win[idx].tolist()
+                l_target = t.target[idx].tolist()
+                l_req = t.req[idx].tolist()
+                rows = idx.tolist()
+            else:
+                rows = []
+            for k, i in enumerate(rows):
+                fn = names[l_fn[k]]
+                seq = l_seq[k]
+                win = l_win[k]
+                if fn == "Win_fence":
+                    if win in fence_open:
+                        self._add(Epoch(rank, win, KIND_FENCE,
+                                        open_seq=fence_open[win],
+                                        close_seq=seq))
+                    fence_open[win] = seq
+                elif fn == "Win_free":
+                    if win in fence_open:
+                        self._add(Epoch(rank, win, KIND_FENCE,
+                                        open_seq=fence_open.pop(win),
+                                        close_seq=seq))
+                elif fn == "Win_lock":
+                    target = l_target[k]
+                    lock_open[(win, target)] = Epoch(
+                        rank, win, KIND_LOCK, open_seq=seq, target=target,
+                        lock_type=t.lock_type(i))
+                elif fn == "Win_lock_all":
+                    lock_open[(win, None)] = Epoch(
+                        rank, win, KIND_LOCK, open_seq=seq, target=None,
+                        lock_type="shared")
+                elif fn == "Win_unlock_all":
+                    epoch = lock_open.pop((win, None), None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {seq}: Win_unlock_all "
+                            "without matching Win_lock_all")
+                    epoch.close_seq = seq
+                    self._add(epoch)
+                elif fn == "Win_flush":
+                    self._flushes.setdefault((rank, win), []).append(
+                        (seq, l_target[k]))
+                elif fn == "Win_flush_all":
+                    self._flushes.setdefault((rank, win), []).append(
+                        (seq, None))
+                elif fn == "Rma_wait":
+                    self._req_waits[(rank, win, l_req[k])] = seq
+                elif fn == "Win_unlock":
+                    target = l_target[k]
+                    epoch = lock_open.pop((win, target), None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {seq}: Win_unlock of "
+                            f"target {target} without matching Win_lock")
+                    epoch.close_seq = seq
+                    self._add(epoch)
+                elif fn == "Win_start":
+                    pscw_access[win] = Epoch(
+                        rank, win, KIND_PSCW_ACCESS, open_seq=seq,
+                        group=t.group(i))
+                elif fn == "Win_complete":
+                    epoch = pscw_access.pop(win, None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {seq}: Win_complete "
+                            "without matching Win_start")
+                    epoch.close_seq = seq
+                    self._add(epoch)
+                elif fn == "Win_post":
+                    pscw_exposure[win] = Epoch(
+                        rank, win, KIND_PSCW_EXPOSURE, open_seq=seq,
+                        group=t.group(i))
+                else:  # Win_wait
+                    epoch = pscw_exposure.pop(win, None)
+                    if epoch is None:
+                        raise AnalysisError(
+                            f"rank {rank} seq {seq}: Win_wait without "
+                            "matching Win_post")
+                    epoch.close_seq = seq
+                    self._add(epoch)
+            for win, open_seq in fence_open.items():
+                self._add(Epoch(rank, win, KIND_FENCE, open_seq=open_seq))
+            for epoch in lock_open.values():
+                self._add(epoch)
+            for epoch in pscw_access.values():
+                self._add(epoch)
+            for epoch in pscw_exposure.values():
+                self._add(epoch)
+
+    def _build_from_events(self, pre: PreprocessedTrace,
+                           ranks: Optional[Sequence[int]] = None) -> None:
         for rank in (range(pre.nranks) if ranks is None else ranks):
             # per-window running state
             fence_open: Dict[int, int] = {}

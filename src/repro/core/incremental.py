@@ -99,7 +99,9 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
-from repro.core.checker import CheckReport, CheckStats, publish_report_obs
+from repro.core.checker import (
+    CheckReport, CheckStats, publish_control_plane_obs, publish_report_obs,
+)
 from repro.core.clocks import Span
 from repro.core.config import CheckConfig
 from repro.core.diagnostics import (
@@ -120,8 +122,10 @@ from repro.util.hashing import chain_hash, hash_lines, hash_strings, stable_hash
 
 #: bump whenever detector semantics change — it is part of every shard
 #: key, so stale findings can never be served across engine revisions
-#: ("2": finding payloads gained the provenance record)
-ENGINE_VERSION = "2"
+#: ("2": finding payloads gained the provenance record; "3": the
+#: columnar control plane — sync matching, clocks, and epochs rebuilt
+#: over CallTable columns)
+ENGINE_VERSION = "3"
 
 _SHARDS = "shards"
 _MANIFESTS = "manifests"
@@ -362,6 +366,7 @@ class IncrementalChecker:
         # so the batch pipeline's total is call-derived locals + mems
         stats.local_accesses = (len(control.call_model.local)
                                 + control.total_mem_events)
+        publish_control_plane_obs(control.pre, stats.phase_seconds)
 
         loader = _RowLoader(self.traces)
         plan = self.plan = timed(
@@ -522,9 +527,12 @@ class IncrementalChecker:
         registry = _registry_digest(pre)
         fps = _sync_fingerprints(control)
 
-        # per-rank call-event seq arrays for slice digests
+        # per-rank call-event seq arrays for slice digests (the table's
+        # seq column is the same sequence, already packed)
+        tables = getattr(pre, "call_tables", None)
         call_seqs: Dict[int, List[int]] = {
-            rank: [e.seq for e in pre.events[rank]]
+            rank: (tables[rank].seq.tolist() if tables is not None
+                   else [e.seq for e in pre.events[rank]])
             for rank in range(pre.nranks)}
 
         slices: Dict[str, str] = {}

@@ -196,6 +196,22 @@ class _Streams:
 def match_synchronization(pre: PreprocessedTrace) -> List[SyncMatch]:
     """Match all synchronization calls — the paper's Algorithm 1.
 
+    Dispatches on the active control plane: the columnar matcher runs
+    per-channel occurrence-index joins over :class:`CallTable` columns;
+    the object walk below is the per-event reference implementation.
+    Both produce the same match set (differentially tested)."""
+    from repro.core.calltable import (
+        PLANE_COLUMNAR, control_plane, ensure_call_tables,
+        match_synchronization_columnar,
+    )
+    if control_plane() == PLANE_COLUMNAR:
+        return match_synchronization_columnar(pre, ensure_call_tables(pre))
+    return match_synchronization_object(pre)
+
+
+def match_synchronization_object(pre: PreprocessedTrace) -> List[SyncMatch]:
+    """The object control plane's Algorithm 1: a per-event walk.
+
     The progress-counter loop drives matching; per-stream cursors ensure
     each trace is consulted from its current position, never rescanned.
     """
@@ -279,7 +295,9 @@ def match_synchronization(pre: PreprocessedTrace) -> List[SyncMatch]:
             tag = int(event.args["tag"])
             next_in_stream(streams.recvs, (rank, src, comm, tag))
             send_seq = next_in_stream(streams.sends, (src, rank, comm, tag))
-            match = SyncMatch(kind=KIND_P2P, fn="Send", comm_id=comm,
+            send_fn = (_event_at(pre, src, send_seq).fn
+                       if send_seq is not None else "Send")
+            match = SyncMatch(kind=KIND_P2P, fn=send_fn, comm_id=comm,
                               src=((src, send_seq)
                                    if send_seq is not None else None),
                               dst=(rank, event.seq))
@@ -390,8 +408,10 @@ def match_synchronization_naive(pre: PreprocessedTrace) -> List[SyncMatch]:
                     == rank)
                 if send_seq is not None:
                     matched[(src, send_seq)] = True
+                send_fn = (_event_at(pre, src, send_seq).fn
+                           if send_seq is not None else "Send")
                 matches.append(SyncMatch(
-                    kind=KIND_P2P, fn="Send", comm_id=comm,
+                    kind=KIND_P2P, fn=send_fn, comm_id=comm,
                     src=(src, send_seq) if send_seq is not None else None,
                     dst=(rank, event.seq)))
     return matches

@@ -77,6 +77,10 @@ from multiprocessing.shared_memory import SharedMemory
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.calltable import (
+    CONTROL_PLANE_ENV, PLANE_COLUMNAR, attach_table, control_plane,
+    share_table,
+)
 from repro.core.diagnostics import ConsistencyError
 from repro.core.engine import (
     build_detect_units, check_epoch_sweep, detect_region_sweep,
@@ -342,6 +346,26 @@ class WorkerPool:
         """Hand the parent-side handle of a segment to the pool."""
         self._segments[name] = handle
 
+    def release_segment(self, name: str) -> None:
+        """Unlink a segment eagerly (its contents were copied out) and
+        drop it from the run's registry."""
+        handle = self._segments.pop(name, None)
+        if handle is None:
+            try:
+                handle = SharedMemory(name=name)
+            except FileNotFoundError:
+                return
+            except Exception:
+                return
+        try:
+            handle.close()
+        except BufferError:
+            pass
+        try:
+            handle.unlink()
+        except FileNotFoundError:
+            pass
+
     def _unlink_segments(self) -> None:
         for name, handle in list(self._segments.items()):
             if handle is None:
@@ -538,20 +562,43 @@ def _crash_task(_arg):
 
 
 @_pool_task("scan")
-def _scan_task(rank: int):
+def _scan_task(arg):
     """Preprocess shard: parse one rank's call events, return its
     registry scan and per-class counts (memory events are only *counted*
     — from the v2 footer when the trace is binary — and never decoded
-    here)."""
+    here).
+
+    ``arg`` is ``(rank, segment_name)``.  When ``segment_name`` is set
+    (batch parallel run, columnar control plane) the rank's
+    :class:`~repro.core.calltable.CallTable` is published to the named
+    shared segment and *no call events cross the pipe* — the parent
+    rebuilds the table from the segment and the object stream stays
+    worker-side.  When it is ``None`` the call events return pickled,
+    as the streaming/incremental pool paths require."""
+    rank, segment_name = arg if isinstance(arg, tuple) else (arg, None)
     rec = _task_recorder()
     traces: TraceSet = _WORKER["traces"]
+    plane = _WORKER.get("plane")
+    if plane is not None:
+        # pin this worker to the parent's control plane: the persistent
+        # process may have been forked under a different env setting
+        os.environ[CONTROL_PLANE_ENV] = plane
+    desc = None
     with rec.span("analyzer.worker.scan", rank=rank, pid=os.getpid()):
         with traces.reader(rank) as reader:
             calls, counts = reader.read_calls()
         scan = scan_rank(rank, calls,
                          n_events=counts["call"] + counts["mem"])
+        if segment_name is not None and reader.call_table is not None:
+            desc, handle = share_table(reader.call_table, segment_name)
+            rec.count("parallel_shm_bytes_total", handle.size,
+                      phase="preprocess",
+                      help="Bytes published to shared MemRows "
+                           "segments, by phase")
+            handle.close()
+            calls = []
     rec.count("parallel_tasks_total", phase="scan")
-    return rank, scan, calls, counts, _export(rec)
+    return rank, scan, calls, counts, desc, _export(rec)
 
 
 class _RankView:
@@ -713,20 +760,47 @@ def _inter_task(bounds: Tuple[int, int]):
 # --------------------------------------------------------------- engine
 
 
-def scan_traceset(pool: WorkerPool, traces: TraceSet):
+def scan_traceset(pool: WorkerPool, traces: TraceSet,
+                  need_calls: bool = True):
     """Parallel preprocess over an acquired pool: scan every rank,
     merge deterministically — the pooled counterpart of
     :func:`~repro.core.preprocess.preprocess_calls_with_counts`
-    (identical ``(pre, counts_by_rank)`` result)."""
-    pool.install("preprocess", {"traces": traces})
-    results = pool.run("preprocess", "scan", list(range(traces.nranks)))
-    scans, call_events, counts = [], {}, {}
-    for rank, scan, calls, rank_counts, export in results:
+    (identical ``(pre, counts_by_rank)`` result).
+
+    With ``need_calls=False`` under the columnar control plane, call
+    events never cross the pipe: each worker publishes its rank's
+    :class:`~repro.core.calltable.CallTable` to a shared segment, the
+    parent copies the columns out (and unlinks the segment eagerly) and
+    attaches them as ``pre.call_tables`` — the parent's event lists stay
+    empty and every control-plane consumer runs off the tables.  The
+    streaming/incremental pool paths pass ``need_calls=True`` (they lift
+    the access model and hash event lines from the parent's events)."""
+    plane = control_plane()
+    ship = not need_calls and plane == PLANE_COLUMNAR
+    args = []
+    for rank in range(traces.nranks):
+        name = None
+        if ship:
+            name = pool.new_segment_name(rank)
+            pool.expect_segment(name)
+        args.append((rank, name))
+    pool.install("preprocess", {"traces": traces, "plane": plane})
+    results = pool.run("preprocess", "scan", args)
+    scans, call_events, counts, tables = [], {}, {}, {}
+    for rank, scan, calls, rank_counts, desc, export in results:
         scans.append(scan)
         call_events[rank] = calls
         counts[rank] = rank_counts
+        if desc is not None:
+            tables[rank] = attach_table(desc)
+            # the columns were copied out; drop the name right away so
+            # the segment never outlives the phase
+            pool.release_segment(desc["name"])
         absorb_export(export)
-    return PreprocessedTrace(call_events, scans=scans), counts
+    pre = PreprocessedTrace(call_events, scans=scans)
+    if ship and len(tables) == pre.nranks:
+        pre.call_tables = tables
+    return pre, counts
 
 
 class ParallelEngine:
@@ -760,8 +834,15 @@ class ParallelEngine:
         self.pool.end_run()
 
     def preprocess(self) -> PreprocessedTrace:
-        """Scan every rank in parallel; merge scans deterministically."""
-        pre, _counts = scan_traceset(self.pool, self.traces)
+        """Scan every rank in parallel; merge scans deterministically.
+
+        Under the columnar control plane the batch pipeline never needs
+        the parent-side event objects — matching, clocks, epochs and
+        regions run off ``pre.call_tables`` and the lift workers re-read
+        their events from disk — so the scan ships tables over shared
+        segments instead of pickling call streams."""
+        pre, _counts = scan_traceset(self.pool, self.traces,
+                                     need_calls=False)
         self.total_events = pre.total_events
         return pre
 

@@ -162,6 +162,10 @@ class PreprocessedTrace:
         self.datatypes: Dict[int, Dict[int, Datatype]] = {
             rank: dict(PRIMITIVES_BY_ID) for rank in range(self.nranks)
         }
+        #: per-rank columnar CallTables (repro.core.calltable), attached
+        #: by ingest when the columnar control plane is active; ``None``
+        #: until built (ensure_call_tables derives them from events)
+        self.call_tables = None
         if scans is None:
             scans = [scan_rank(rank, events[rank])
                      for rank in range(self.nranks)]
@@ -185,6 +189,7 @@ class PreprocessedTrace:
         """
         view = copy.copy(self)
         view.events = {rank: [] for rank in self.events}
+        view.call_tables = None
         return view
 
     def comm_members(self, comm_id: int) -> Tuple[int, ...]:
@@ -289,11 +294,18 @@ def preprocess_calls_with_counts(
     call_events: Dict[int, List[Event]] = {}
     scans: List[RankScan] = []
     counts_by_rank: Dict[int, Dict[str, int]] = {}
+    tables: Dict[int, object] = {}
     for rank in range(traces.nranks):
         with traces.reader(rank) as reader:
             calls, counts = reader.read_calls()
+            table = getattr(reader, "call_table", None)
         call_events[rank] = calls
         counts_by_rank[rank] = counts
+        if table is not None:
+            tables[rank] = table
         scans.append(scan_rank(rank, calls,
                                n_events=counts["call"] + counts["mem"]))
-    return PreprocessedTrace(call_events, scans=scans), counts_by_rank
+    pre = PreprocessedTrace(call_events, scans=scans)
+    if len(tables) == pre.nranks:
+        pre.call_tables = tables
+    return pre, counts_by_rank

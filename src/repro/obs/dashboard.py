@@ -94,6 +94,14 @@ def render_run_text(entry: RunReport) -> str:
                      f"{ingest.get('rma_ops', 0)} RMA ops, "
                      f"{ingest.get('local_accesses', 0)} local accesses, "
                      f"{ingest.get('regions', 0)} regions")
+    control = getattr(entry, "control_plane", None) or {}
+    for plane, row in sorted(control.items()):
+        rate = row.get("calls_per_second")
+        rate_s = (f", {rate:,.0f} calls/s over the control group"
+                  if rate is not None else "")
+        lines.append(f"  control plane [{plane}]: "
+                     f"{row.get('calls_ingested', 0):,} call(s) "
+                     f"ingested{rate_s}")
     emission = getattr(entry, "emission", None) or {}
     if emission:
         lines.append(
@@ -344,6 +352,30 @@ def _emission_panel(entry: RunReport) -> str:
     return "".join(parts)
 
 
+def _control_plane_panel(entry: RunReport) -> str:
+    control = getattr(entry, "control_plane", None) or {}
+    if not control:
+        return ("<p class=meta>no control-plane counters — the run "
+                "predates them or obs was disabled</p>")
+    top = max((row.get("calls_per_second") or 0.0)
+              for row in control.values()) or 1.0
+    rows = []
+    for plane, row in sorted(control.items()):
+        rate = row.get("calls_per_second")
+        cls = "bar hit" if plane == "columnar" else "bar"
+        rows.append(
+            f"<tr><td><code>{html.escape(plane)}</code></td>"
+            f"<td class=num>{int(row.get('calls_ingested', 0)):,}</td>"
+            f"<td class=num>"
+            f"{f'{rate:,.0f}' if rate is not None else '-'}</td>"
+            f"<td>{_svg_bar((rate or 0.0) / top, cls)}</td></tr>")
+    return ("<p>call-stream ingest over the preprocess + matching + "
+            "clocks + epochs group, per control plane:</p>"
+            "<table><tr><th>plane</th><th class=num>calls</th>"
+            "<th class=num>calls/s</th><th></th></tr>"
+            + "".join(rows) + "</table>")
+
+
 def _findings_panel(entry: RunReport) -> str:
     findings = entry.findings
     details = findings.get("details", [])
@@ -413,6 +445,7 @@ def render_run_html(entry: RunReport) -> str:
 <h2>Candidate-pair funnel</h2>{_funnel_panel(entry)}
 <h2>Incremental cache</h2>{_cache_panel(entry)}
 <h2>Worker pool</h2>{_workers_panel(entry)}
+<h2>Control plane</h2>{_control_plane_panel(entry)}
 <h2>Trace generation</h2>{_emission_panel(entry)}
 <h2>Findings</h2>{_findings_panel(entry)}
 </body></html>

@@ -54,6 +54,9 @@ class RunReport:
     #: trace-generation stats (wall seconds, events/s, per-lane counts) —
     #: present when the run shared an obs session with ``profile_run``
     emission: Dict[str, Any] = field(default_factory=dict)
+    #: control-plane ingest: calls ingested and calls/s, keyed by the
+    #: plane that handled them (``columnar``/``object``)
+    control_plane: Dict[str, Any] = field(default_factory=dict)
     peak_rss_bytes: int = 0
     #: findings summary: counts plus per-finding detail w/ provenance
     findings: Dict[str, Any] = field(default_factory=dict)
@@ -208,6 +211,28 @@ def _emission(recorder) -> Dict[str, Any]:
     return out
 
 
+def _control_plane(recorder) -> Dict[str, Any]:
+    """Control-plane ingest stats, keyed by plane.
+
+    ``{"columnar": {"calls_ingested": n, "calls_per_second": r}}`` from
+    the counters the checker publishes after the
+    preprocess+matching+clocks+epochs group.  Both planes can appear in
+    one session (differential runs); a single check publishes one.
+    """
+    ingested = recorder.registry.get("control_calls_ingested_total")
+    if ingested is None:
+        return {}
+    out: Dict[str, Any] = {}
+    for labels, value in ingested.samples():
+        out[labels.get("plane", "?")] = {"calls_ingested": int(value)}
+    rate = recorder.registry.get("control_calls_per_second")
+    if rate is not None:
+        for labels, value in rate.samples():
+            out.setdefault(labels.get("plane", "?"), {})[
+                "calls_per_second"] = value
+    return out
+
+
 def _findings_summary(report) -> Dict[str, Any]:
     details: List[dict] = []
     for finding in report.findings:
@@ -281,5 +306,6 @@ def build_run_report(report, config, *, traces=None, recorder=None,
         cache=_cache_attribution(rec),
         workers=_worker_utilization(rec),
         ingest=ingest, emission=_emission(rec),
+        control_plane=_control_plane(rec),
         peak_rss_bytes=_peak_rss_bytes(),
         findings=_findings_summary(report))

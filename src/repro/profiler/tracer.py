@@ -473,6 +473,9 @@ class TraceReader:
 
     def __init__(self, path: str):
         self.path = path
+        #: the rank's columnar CallTable, populated as a side product of
+        #: :meth:`read_calls` when the columnar control plane is active
+        self.call_table = None
         fh = open(path, "rb")
         magic = fh.read(len(_MAGIC))
         if magic == _MAGIC:
@@ -633,15 +636,30 @@ class TraceReader:
         event counts — the analyzer control-pass primitive.  Binary
         traces take the counts from the footer and never touch memory
         frames' payloads; text traces count memory lines without fully
-        decoding them."""
+        decoding them.
+
+        Under the columnar control plane, decoding runs through
+        :class:`repro.core.calltable.CallIngest` — a memoizing line
+        parser that also leaves the rank's :class:`CallTable` in
+        ``self.call_table`` as a free side product."""
+        from repro.core.calltable import (
+            PLANE_COLUMNAR, CallIngest, control_plane,
+        )
+        ingest = (CallIngest(self.header.rank)
+                  if control_plane() == PLANE_COLUMNAR else None)
         if self.format == FORMAT_BINARY:
-            calls = list(self.iter_calls())
+            if ingest is None:
+                calls = list(self.iter_calls())
+            else:
+                calls = self._read_calls_binary(ingest)
+                self.call_table = ingest.finish()
             return calls, dict(self._counts)
         calls: List[CallEvent] = []
         counts = {"call": 0, "mem": 0, "load": 0, "store": 0}
         fh = self._fh
         fh.seek(self._data_pos)
         rank = self.header.rank
+        add = ingest.add if ingest is not None else None
         for line in fh:
             line = line.rstrip("\n")
             if not line:
@@ -650,15 +668,50 @@ class TraceReader:
                 counts["mem"] += 1
                 counts[self._text_mem_access(line)] += 1
             else:
-                event = decode_event(rank, line)
+                event = (add(line) if add is not None
+                         else decode_event(rank, line))
                 if not isinstance(event, CallEvent):
                     raise TraceFormatError(
                         f"{self.path}: unexpected {type(event).__name__} "
                         "record outside the M kind")
                 calls.append(event)
                 counts["call"] += 1
+        if ingest is not None:
+            self.call_table = ingest.finish()
         self._counts = dict(counts)
         return calls, counts
+
+    def _read_calls_binary(self, ingest) -> List[CallEvent]:
+        """Binary call pass through an ingest object: C frames decode
+        via the memoizing parser, M frames are stepped over untouched."""
+        mm = self._mm
+        if mm is None:
+            raise TraceFormatError(f"{self.path}: reader is closed")
+        calls: List[CallEvent] = []
+        pos = self._data_pos
+        end = self._footer_off
+        itemsize = MEM_DTYPE.itemsize
+        add = ingest.add
+        while pos < end:
+            tag = mm[pos:pos + 1]
+            length = _U32.unpack_from(mm, pos + 1)[0]
+            start = pos + 5
+            if tag == b"M":
+                pos = start + length * itemsize
+                if pos > end:
+                    raise TraceFormatError(
+                        f"{self.path}: memory block overruns the footer")
+            elif tag == b"C":
+                pos = start + length
+                if pos > end:
+                    raise TraceFormatError(
+                        f"{self.path}: call record overruns the footer")
+                calls.append(add(mm[start:pos].decode("utf-8")))
+            else:
+                raise TraceFormatError(
+                    f"{self.path}: unknown frame tag {tag!r} at byte "
+                    f"{pos}")
+        return calls
 
     def counts(self) -> Dict[str, int]:
         """Per-class event counts: served from the footer for binary

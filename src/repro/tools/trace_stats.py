@@ -15,6 +15,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.calltable import CLS_NAMES, classify_call
 from repro.profiler.events import CallEvent, call_category
 from repro.profiler.tracer import MemBlock, TraceSet
 
@@ -31,6 +32,8 @@ class RankStats:
     store_bytes: int = 0
     by_category: Counter = field(default_factory=Counter)
     by_fn: Counter = field(default_factory=Counter)
+    #: calls per control-plane sync class (the CallTable ``cls`` codes)
+    by_sync_class: Counter = field(default_factory=Counter)
     rma_bytes: int = 0  # bytes named by Put/Get/Accumulate signatures
     trace_format: str = ""
     #: the reader's authoritative per-class counts — footer-served for
@@ -54,6 +57,7 @@ class RankStats:
             "rma_bytes": self.rma_bytes,
             "by_category": dict(self.by_category),
             "by_fn": dict(self.by_fn),
+            "by_sync_class": dict(self.by_sync_class),
             "footer_counts": dict(self.footer_counts),
         }
 
@@ -90,6 +94,22 @@ class TraceStats:
             mix.update(rank_stats.by_category)
         return dict(mix)
 
+    def sync_class_mix(self) -> Dict[str, int]:
+        """Aggregate per-sync-class call histogram (control-plane view:
+        how much of the call stream Algorithm 1 actually matches on)."""
+        mix: Counter = Counter()
+        for rank_stats in self.per_rank:
+            mix.update(rank_stats.by_sync_class)
+        return dict(mix)
+
+    @property
+    def calls_to_mems_ratio(self) -> float:
+        """Control-plane : data-plane event ratio (calls per load/store;
+        ``inf``-free — a trace with no memory events reports 0.0)."""
+        if not self.total_mems:
+            return 0.0
+        return self.total_calls / self.total_mems
+
     def to_dict(self, hot_limit: int = 8) -> dict:
         """JSON-ready statistics (``mc-checker stats --json``)."""
         return {
@@ -101,8 +121,10 @@ class TraceStats:
                 "rma_bytes": sum(r.rma_bytes for r in self.per_rank),
                 "mem_bytes": sum(r.load_bytes + r.store_bytes
                                  for r in self.per_rank),
+                "calls_to_mems_ratio": self.calls_to_mems_ratio,
             },
             "category_mix": self.category_mix(),
+            "sync_class_mix": self.sync_class_mix(),
             "per_rank": [r.to_dict() for r in self.per_rank],
             "hot_statements": [
                 {"where": where, "events": count}
@@ -122,6 +144,14 @@ class TraceStats:
             parts = ", ".join(f"{cat}={count}"
                               for cat, count in sorted(mix.items()))
             lines.append(f"call categories: {parts}")
+        sync_mix = self.sync_class_mix()
+        if sync_mix:
+            parts = ", ".join(f"{cls}={count}"
+                              for cls, count in sorted(sync_mix.items()))
+            lines.append(f"sync classes: {parts}")
+        lines.append(
+            f"control:data ratio: {self.calls_to_mems_ratio:.4f} "
+            f"calls per load/store")
         rma = sum(r.rma_bytes for r in self.per_rank)
         moved = sum(r.load_bytes + r.store_bytes for r in self.per_rank)
         lines.append(f"bytes: {rma} via one-sided signatures, "
@@ -169,6 +199,8 @@ def compute_stats(traces: TraceSet) -> TraceStats:
                 hot[f"{event.loc.short} ({event.loc.function})"] += 1
                 stats.calls += 1
                 stats.by_fn[event.fn] += 1
+                row, _lock = classify_call(event.fn, event.args)
+                stats.by_sync_class[CLS_NAMES[row[1]]] += 1
                 try:
                     stats.by_category[call_category(event.fn)] += 1
                 except KeyError:
