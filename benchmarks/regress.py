@@ -75,6 +75,15 @@ _METRICS: Dict[str, List[Tuple[str, Tuple[object, ...], str,
         ("columnar_control_seconds",
          ("planes", "columnar", "control_seconds"), "lower", None),
     ],
+    "fuzz": [
+        # cross-mode invariants: every injected conflict must be found
+        # and every differential arm must agree, at any corpus size
+        ("corpus_recall", ("corpus", "recall"), "higher", 1.0),
+        ("corpus_mismatches", ("corpus", "mismatches"), "lower", 0.0),
+        ("corpus_precision", ("corpus", "precision"), "higher", None),
+        ("scale_analyze_events_per_second",
+         ("scale", "analyze_events_per_second"), "higher", None),
+    ],
     "trace_gen": [
         # the cross-mode invariant: the bulk lane may never lose to the
         # scalar lane (the full-mode 5x gate needs git history, so it

@@ -17,9 +17,11 @@ them, and the :mod:`repro.api` facade (``api.run`` / ``api.check`` /
 Subpackages: :mod:`repro.simmpi` (the MPI-2.2/3 simulator),
 :mod:`repro.stanalyzer` (static instrumentation analysis),
 :mod:`repro.profiler` (trace collection), :mod:`repro.core`
-(DN-Analyzer), :mod:`repro.ga` (Global-Arrays layer), :mod:`repro.apps`
-(the paper's evaluated applications), :mod:`repro.tools` (trace
-statistics / filtering / diffing / minimization).
+(DN-Analyzer), :mod:`repro.gen` (constrained-random program generation
++ differential fuzzing), :mod:`repro.ga` (Global-Arrays layer),
+:mod:`repro.apps` (the paper's evaluated applications),
+:mod:`repro.tools` (trace statistics / filtering / diffing /
+minimization).
 """
 
 from repro.core import (
@@ -27,13 +29,15 @@ from repro.core import (
 )
 from repro.simmpi import MPIContext, run_app
 from repro import api  # noqa: E402  (imports repro.core; keep it last)
-from repro.api import run_check
+from repro.api import fuzz, generate, run_check, score
+from repro.gen import GenConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CheckConfig", "CheckReport", "ConsistencyError", "check_app",
     "check_traces", "api", "run_check",
+    "GenConfig", "generate", "fuzz", "score",
     "MPIContext", "run_app",
     "__version__",
 ]

@@ -1,8 +1,9 @@
-"""Stable high-level facade: ``run``, ``check``, ``run_check``.
+"""Stable high-level facade: ``run``, ``check``, ``run_check``,
+``generate``, ``fuzz``, ``score``.
 
-Three verbs cover the paper's workflow end to end, each configured by a
-single :class:`~repro.core.config.CheckConfig` value instead of the
-per-function kwarg lists the internals grew over time:
+The first three verbs cover the paper's workflow end to end, each
+configured by a single :class:`~repro.core.config.CheckConfig` value
+instead of the per-function kwarg lists the internals grew over time:
 
     from repro import api, CheckConfig
 
@@ -30,21 +31,41 @@ each run resets the workers and unlinks its shared-memory segments when
 it finishes, but the worker processes stay up.  They are torn down
 automatically at interpreter exit — call :func:`shutdown_pools` to
 release them earlier (e.g. between test cases, or in a long-lived
-service before forking)."""
+service before forking).
+
+The generation-side verbs mirror the same shape around
+:class:`~repro.gen.GenConfig`:
+
+    from repro.gen import GenConfig, replay
+
+    program = api.generate(GenConfig(seed=7, bugs=("any",) * 3))
+    report = api.run_check(replay, program.config.nranks,
+                           params={"spec": program.program}, scope="all")
+    print(api.score(report, program.manifest).to_dict())
+
+    corpus = api.fuzz(GenConfig(nranks=8, bugs=("any",) * 2),
+                      seeds=range(10))
+    assert corpus.ok  # recall == 1.0, zero differential mismatches
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Union
 
 from repro import obs
 from repro.core.checker import CheckReport, check_traces
 from repro.core.config import CheckConfig
 from repro.core.parallel import shutdown_pools
+from repro.gen.config import _UNSET, GenConfig, coerce_gen_config
+from repro.gen.fuzz import FuzzReport, fuzz_corpus, run_case
+from repro.gen.generator import GeneratedProgram, generate_program
+from repro.gen.manifest import Manifest, Score, score_report
 from repro.profiler.session import ProfiledRun, profile_run
 from repro.profiler.tracer import TraceSet
 
-__all__ = ["run", "check", "run_check", "shutdown_pools"]
+__all__ = ["run", "check", "run_check", "generate", "fuzz", "score",
+           "shutdown_pools"]
 
 
 def _obs_config(obs_config: Optional[obs.ObsConfig],
@@ -120,3 +141,74 @@ def run_check(app: Callable, nranks: int, *,
                        sched_policy=sched_policy, seed=seed,
                        trace_format=trace_format, app_name=app_name)
         return check(profiled.traces, config, **overrides)
+
+
+def generate(config: Optional[GenConfig] = None, *,
+             out: Optional[str] = None,
+             nbugs=_UNSET,
+             **overrides) -> GeneratedProgram:
+    """Generate one synthetic RMA program + ground-truth manifest.
+
+    Field overrides are accepted as keyword arguments
+    (``api.generate(seed=7, nranks=16)`` is
+    ``GenConfig(seed=7, nranks=16)``).  ``out=`` saves ``program.json``
+    and ``manifest.json`` into that directory.  The prototype spelling
+    ``nbugs=<n>`` still works through a warn-once deprecation shim.
+    """
+    cfg = coerce_gen_config(config, "api.generate", nbugs=nbugs)
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    generated = generate_program(cfg)
+    if out is not None:
+        generated.save(out)
+    return generated
+
+
+def fuzz(config: Optional[GenConfig] = None,
+         seeds: Optional[Iterable[int]] = None, *,
+         check_config: Optional[CheckConfig] = None,
+         differential: bool = True,
+         nbugs=_UNSET,
+         obs_config: Optional[obs.ObsConfig] = None,
+         metrics_out: Optional[str] = None,
+         chrome_trace: Optional[str] = None,
+         **overrides) -> FuzzReport:
+    """Run the differential fuzzing harness over a seed corpus.
+
+    Each seed derives ``config.replace(seed=...)``, generates a program,
+    profiles it, scores the findings against the manifest, and (unless
+    ``differential=False``) cross-checks the full execution matrix —
+    sweep/pairwise engines × columnar/object control planes ×
+    cold/warm incremental cache × text/binary trace formats — for
+    byte-identical reports.  ``seeds=None`` runs the single seed already
+    in the config.
+    """
+    cfg = coerce_gen_config(config, "api.fuzz", nbugs=nbugs)
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    with obs.session(_obs_config(obs_config, metrics_out, chrome_trace)):
+        if seeds is None:
+            case = run_case(cfg, check_config,
+                            differential=differential)
+            return FuzzReport(cases=(case,))
+        return fuzz_corpus(cfg, list(seeds), check_config,
+                           differential=differential)
+
+
+def score(report: Union[CheckReport, list],
+          manifest: Union[Manifest, GeneratedProgram, str,
+                          "os.PathLike[str]"]) -> Score:
+    """Match a report's findings against a ground-truth manifest.
+
+    ``manifest`` may be a :class:`~repro.gen.manifest.Manifest`, the
+    :class:`~repro.gen.generator.GeneratedProgram` that owns one, or a
+    path to a saved ``manifest.json``.
+    """
+    if isinstance(manifest, GeneratedProgram):
+        manifest = manifest.manifest
+    elif not isinstance(manifest, Manifest):
+        path = os.fspath(manifest)
+        if os.path.isdir(path):
+            path = os.path.join(path, "manifest.json")
+        manifest = Manifest.load(path)
+    return score_report(report, manifest)

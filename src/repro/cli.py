@@ -9,6 +9,11 @@ Subcommands mirror the paper's workflow (Figure 5):
 * ``mc-checker check <trace-dir>`` — run DN-Analyzer offline over traces;
 * ``mc-checker run-check <app>`` — both steps in one go;
 * ``mc-checker stats <trace-dir>`` — per-rank and per-phase summary;
+* ``mc-checker generate --seed S --bug any`` — emit a constrained-random
+  RMA program + ground-truth conflict manifest;
+* ``mc-checker fuzz --seeds N`` — run the differential fuzzing harness
+  over a seed corpus, scoring recall/precision and cross-checking every
+  engine × control-plane × cache × trace-format arm;
 * ``mc-checker table1`` — print the compatibility matrix;
 * ``mc-checker apps`` — list the bundled applications.
 
@@ -182,6 +187,50 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--param", action="append", default=[],
                         metavar="KEY=VALUE",
                         help="override an app parameter (repeatable)")
+
+
+def _add_gen_args(parser: argparse.ArgumentParser) -> None:
+    """Generation flags shared by ``generate`` and ``fuzz``."""
+    group = parser.add_argument_group("generation options")
+    group.add_argument("--seed", type=int, default=0,
+                       help="master generation seed (the only source of "
+                            "randomness; same seed = same program)")
+    group.add_argument("--ranks", type=int, default=4,
+                       help="simulated ranks of the generated program")
+    group.add_argument("--rounds", type=int, default=3,
+                       help="synchronization rounds (one epoch per rank "
+                            "per round)")
+    group.add_argument("--ops", type=int, default=3, metavar="N",
+                       help="actions per rank per round")
+    group.add_argument("--bug", action="append", default=[],
+                       metavar="PATTERN", dest="bugs",
+                       help="inject a conflict: get_local, put_origin, "
+                            "op_pair, conflicting_puts, target_race, or "
+                            "'any' (repeatable)")
+    group.add_argument("--slot-elems", type=int, default=2,
+                       help="window/origin elements per action slot")
+    group.add_argument("--reps", type=int, default=1,
+                       help="semantic repetitions of each local access "
+                            "(scales event counts via the bulk producer "
+                            "lane)")
+    group.add_argument("--flush-prob", type=float, default=0.25,
+                       help="probability of a mid-epoch flush_all in "
+                            "lock_all rounds")
+    group.add_argument("--trace-format", default="text",
+                       choices=("text", "binary"),
+                       help="trace encoding for profiled runs")
+
+
+def _gen_config_from_args(args):
+    from repro.gen import GenConfig
+    try:
+        return GenConfig(
+            seed=args.seed, nranks=args.ranks, rounds=args.rounds,
+            ops_per_round=args.ops, bugs=tuple(args.bugs),
+            slot_elems=args.slot_elems, reps=args.reps,
+            flush_prob=args.flush_prob, trace_format=args.trace_format)
+    except ValueError as exc:
+        raise SystemExit(f"mc-checker: {exc}") from None
 
 
 def _parse_params(raw_params, defaults: Dict) -> Dict:
@@ -358,6 +407,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--ledger-dir", default=None, metavar="DIR")
     _add_obs_args(p_rep)
 
+    p_gen = sub.add_parser(
+        "generate", help="generate a constrained-random RMA program with "
+                         "a ground-truth conflict manifest")
+    _add_gen_args(p_gen)
+    p_gen.add_argument("--out", default=None, metavar="DIR",
+                       help="write program.json + manifest.json here")
+    p_gen.add_argument("--json", action="store_true",
+                       help="emit the manifest as JSON on stdout")
+    _add_obs_args(p_gen)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing over generated programs: "
+                     "recall/precision vs the injected-bug manifest plus "
+                     "cross-checked engine/plane/cache/format arms",
+        parents=[analysis])
+    _add_gen_args(p_fuzz)
+    p_fuzz.add_argument("--seeds", type=int, default=5, metavar="N",
+                        help="corpus size: seeds seed..seed+N-1 "
+                             "(default 5)")
+    p_fuzz.add_argument("--no-differential", action="store_true",
+                        help="skip the differential matrix (score "
+                             "recall/precision only)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the fuzz report as JSON")
+    _add_obs_args(p_fuzz, exports=True)
+
     p_st = sub.add_parser("stanalyze", help="static analysis of a source file")
     p_st.add_argument("source_file")
     _add_obs_args(p_st)
@@ -471,6 +546,40 @@ def _dispatch(args) -> int:
         else:
             log.info(report.format())
         return 1 if report.has_errors else 0
+
+    if args.command == "generate":
+        from repro.gen import generate_program
+        generated = generate_program(_gen_config_from_args(args))
+        if args.out:
+            generated.save(args.out)
+            log.info(f"wrote {os.path.join(args.out, 'program.json')} and "
+                     f"manifest.json ({len(generated.manifest.bugs)} "
+                     "injected bug(s))")
+        if args.json:
+            print(generated.manifest.canonical_json())
+        elif not args.out:
+            log.info(f"generated program: {args.ranks} ranks, "
+                     f"{args.rounds} rounds, "
+                     f"{len(generated.manifest.bugs)} injected bug(s)")
+            for bug in generated.manifest.bugs:
+                log.info(f"  bug {bug.bug_id}: {bug.pattern} "
+                         f"({bug.kind}, round {bug.round_index} "
+                         f"{bug.epoch_kind}, ranks {list(bug.ranks)})")
+            log.info("pass --out DIR to save program.json + manifest.json")
+        return 0
+
+    if args.command == "fuzz":
+        from repro.gen.fuzz import fuzz_corpus
+        gen_cfg = _gen_config_from_args(args)
+        check_cfg = _config_from_args(args)
+        seeds = range(args.seed, args.seed + args.seeds)
+        fuzz_report = fuzz_corpus(gen_cfg, seeds, check_cfg,
+                                  differential=not args.no_differential)
+        if args.json:
+            print(json.dumps(fuzz_report.to_dict(), indent=2))
+        else:
+            log.info(fuzz_report.format())
+        return 0 if fuzz_report.ok else 1
 
     if args.command == "history":
         from repro.obs.dashboard import render_history_text

@@ -1,0 +1,194 @@
+"""Ground-truth manifests for injected conflicts, and their scoring.
+
+Every bug the generator injects is recorded as an :class:`InjectedBug` —
+pattern, paper bug class, participating ranks, the window byte span (for
+window conflicts), the hosting round and epoch kind, and the expected
+finding shape (kind/rule/severity).  Matching against a
+:class:`~repro.core.checker.CheckReport` is by construction unambiguous:
+each bug owns a dedicated origin buffer (``bug{j}_org``) whose name
+appears on at least one side of every finding it can produce, so a
+finding is attributed to bug *j* iff its error kind matches and either
+side's variable is ``bug{j}_org``.
+
+Recall = bugs with at least one matching finding / bugs injected.
+Precision = findings attributed to some bug / findings reported.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: pattern -> the paper bug class (Table II) it reproduces
+PAPER_CLASSES = {
+    "get_local": "emulate / BT-broadcast: local read-write of an "
+                 "in-flight Get's origin buffer",
+    "put_origin": "ping-pong / ADLB: local store to an in-flight Put's "
+                  "origin buffer",
+    "op_pair": "Table I: unordered same-epoch operations on overlapping "
+               "target bytes",
+    "conflicting_puts": "lockopts: concurrent Puts from two origins to "
+                        "overlapping target bytes",
+    "target_race": "jacobi / sweep3d: target-side local access racing "
+                   "a remote Put on exposed window memory",
+}
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    """One known conflict, as injected."""
+
+    bug_id: int
+    pattern: str
+    #: expected finding kind: intra_epoch | cross_process
+    kind: str
+    #: expected Table-I rule of the finding (NONOV | ERROR | ORIGIN)
+    rule: str
+    #: expected severity (conflicting_puts under two exclusive locks is
+    #: a warning, everything else an error)
+    severity: str
+    #: hosting round index and its epoch kind
+    round_index: int
+    epoch_kind: str
+    #: participating ranks (origin(s), and the target/local rank)
+    ranks: Tuple[int, ...]
+    #: rank owning the conflicting window memory (window bugs) or the
+    #: origin buffer (origin bugs)
+    home_rank: int
+    #: the bug's distinguishing origin-buffer name
+    var: str
+    #: absolute byte interval of the conflicting window slot, or None
+    #: for origin-buffer conflicts
+    span: Optional[Tuple[int, int]] = None
+
+    @property
+    def paper_class(self) -> str:
+        return PAPER_CLASSES[self.pattern]
+
+    def matches(self, finding: dict) -> bool:
+        """Does a ``ConsistencyError.to_dict()`` payload belong to us?"""
+        if finding["kind"] != self.kind:
+            return False
+        return self.var in (finding["a"]["var"], finding["b"]["var"])
+
+    def to_dict(self) -> dict:
+        return {
+            "bug_id": self.bug_id, "pattern": self.pattern,
+            "paper_class": self.paper_class, "kind": self.kind,
+            "rule": self.rule, "severity": self.severity,
+            "round": self.round_index, "epoch_kind": self.epoch_kind,
+            "ranks": list(self.ranks), "home_rank": self.home_rank,
+            "var": self.var,
+            "span": None if self.span is None else list(self.span),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectedBug":
+        span = data.get("span")
+        return cls(
+            bug_id=int(data["bug_id"]), pattern=str(data["pattern"]),
+            kind=str(data["kind"]), rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            round_index=int(data["round"]),
+            epoch_kind=str(data["epoch_kind"]),
+            ranks=tuple(int(r) for r in data["ranks"]),
+            home_rank=int(data["home_rank"]), var=str(data["var"]),
+            span=None if span is None else (int(span[0]), int(span[1])))
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """All injected bugs of one generated program."""
+
+    seed: int
+    nranks: int
+    bugs: Tuple[InjectedBug, ...]
+
+    def to_dict(self) -> dict:
+        return {"version": 1, "seed": self.seed, "nranks": self.nranks,
+                "bugs": [b.to_dict() for b in self.bugs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Manifest":
+        return cls(seed=int(data["seed"]), nranks=int(data["nranks"]),
+                   bugs=tuple(InjectedBug.from_dict(b)
+                              for b in data["bugs"]))
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.canonical_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Manifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+@dataclass(frozen=True)
+class Score:
+    """Recall/precision of one report against one manifest."""
+
+    #: bug_id -> indices of the findings attributed to it
+    matched: Dict[int, Tuple[int, ...]]
+    #: bug_ids with no matching finding (recall misses)
+    missed: Tuple[int, ...]
+    #: finding indices attributed to no bug (precision misses)
+    unmatched_findings: Tuple[int, ...]
+    nbugs: int
+    nfindings: int
+
+    @property
+    def recall(self) -> float:
+        if not self.nbugs:
+            return 1.0
+        return (self.nbugs - len(self.missed)) / self.nbugs
+
+    @property
+    def precision(self) -> float:
+        if not self.nfindings:
+            return 1.0
+        return (self.nfindings - len(self.unmatched_findings)) \
+            / self.nfindings
+
+    def to_dict(self) -> dict:
+        return {
+            "recall": self.recall, "precision": self.precision,
+            "bugs": self.nbugs, "findings": self.nfindings,
+            "missed": list(self.missed),
+            "unmatched_findings": list(self.unmatched_findings),
+            "matched": {str(k): list(v)
+                        for k, v in sorted(self.matched.items())},
+        }
+
+
+def score_report(report, manifest: Manifest) -> Score:
+    """Match a report's findings against the manifest's injected bugs.
+
+    ``report`` is a :class:`~repro.core.checker.CheckReport` or a list
+    of ``ConsistencyError.to_dict()`` payloads.
+    """
+    if hasattr(report, "findings"):
+        findings: Sequence[dict] = [e.to_dict() for e in report.findings]
+    else:
+        findings = list(report)
+    matched: Dict[int, List[int]] = {b.bug_id: [] for b in manifest.bugs}
+    claimed = set()
+    for idx, finding in enumerate(findings):
+        for bug in manifest.bugs:
+            if bug.matches(finding):
+                matched[bug.bug_id].append(idx)
+                claimed.add(idx)
+    return Score(
+        matched={k: tuple(v) for k, v in matched.items()},
+        missed=tuple(sorted(b.bug_id for b in manifest.bugs
+                            if not matched[b.bug_id])),
+        unmatched_findings=tuple(i for i in range(len(findings))
+                                 if i not in claimed),
+        nbugs=len(manifest.bugs),
+        nfindings=len(findings))

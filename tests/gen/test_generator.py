@@ -1,0 +1,98 @@
+"""Generator determinism, persistence, constraints, and manifests."""
+
+import json
+
+import pytest
+
+from repro.gen import (
+    BUG_PATTERNS, GenConfig, GenerationError, Manifest, Program,
+    generate_program,
+)
+from repro.gen.manifest import PAPER_CLASSES
+
+
+def test_same_seed_byte_identical():
+    cfg = GenConfig(seed=11, nranks=6, rounds=4, bugs=("any",) * 3)
+    first, second = generate_program(cfg), generate_program(cfg)
+    assert first.program.canonical_json() == second.program.canonical_json()
+    assert first.manifest.canonical_json() == \
+        second.manifest.canonical_json()
+
+
+def test_different_seeds_differ():
+    cfg = GenConfig(seed=0, nranks=6, rounds=4, bugs=("any",))
+    other = cfg.replace(seed=1)
+    assert generate_program(cfg).program.canonical_json() != \
+        generate_program(other).program.canonical_json()
+
+
+def test_manifest_records_requested_bugs():
+    cfg = GenConfig(seed=2, bugs=("get_local", "put_origin", "op_pair"))
+    manifest = generate_program(cfg).manifest
+    assert [b.pattern for b in manifest.bugs] == \
+        ["get_local", "put_origin", "op_pair"]
+    assert manifest.nranks == cfg.nranks
+    for bug in manifest.bugs:
+        assert bug.var == f"bug{bug.bug_id}_org"
+        assert bug.paper_class == PAPER_CLASSES[bug.pattern]
+
+
+def test_save_load_roundtrip(tmp_path):
+    generated = generate_program(
+        GenConfig(seed=4, bugs=("conflicting_puts",), nranks=5))
+    generated.save(str(tmp_path))
+    program = Program.load(str(tmp_path / "program.json"))
+    manifest = Manifest.load(str(tmp_path / "manifest.json"))
+    assert program.canonical_json() == generated.program.canonical_json()
+    assert manifest.canonical_json() == generated.manifest.canonical_json()
+
+
+def test_generated_program_validates():
+    for seed in range(5):
+        generated = generate_program(
+            GenConfig(seed=seed, nranks=5, rounds=4, bugs=("any",) * 2))
+        generated.program.validate()  # raises on inconsistency
+
+
+def test_conflicting_puts_needs_three_ranks():
+    with pytest.raises(GenerationError):
+        generate_program(GenConfig(nranks=2, bugs=("conflicting_puts",)))
+
+
+def test_conflicting_puts_impossible_under_pscw_only():
+    with pytest.raises(GenerationError):
+        generate_program(GenConfig(
+            nranks=5, bugs=("conflicting_puts",),
+            epoch_weights=(("pscw", 1.0),)))
+
+
+def test_every_pattern_placeable_in_every_epoch_kind():
+    # conflicting_puts x pscw is unsatisfiable by design (one fixed
+    # origin->target ring per PSCW epoch); every other combination must
+    # place
+    for kind in ("fence", "lock", "lockall", "pscw"):
+        for pattern in BUG_PATTERNS:
+            if (pattern, kind) == ("conflicting_puts", "pscw"):
+                continue
+            generated = generate_program(GenConfig(
+                seed=0, nranks=5, bugs=(pattern,),
+                epoch_weights=((kind, 1.0),)))
+            (bug,) = generated.manifest.bugs
+            assert bug.pattern == pattern
+            assert bug.epoch_kind == kind
+
+
+def test_manifest_span_matches_bug_slot():
+    generated = generate_program(
+        GenConfig(seed=6, nranks=4, bugs=("conflicting_puts",)))
+    (bug,) = generated.manifest.bugs
+    assert bug.span == generated.program.bug_slot_bytes(0)
+    assert bug.span[0] < bug.span[1]
+
+
+def test_manifest_json_is_loadable_dict():
+    manifest = generate_program(
+        GenConfig(seed=7, bugs=("target_race",))).manifest
+    payload = json.loads(manifest.canonical_json())
+    assert Manifest.from_dict(payload).canonical_json() == \
+        manifest.canonical_json()
